@@ -1,0 +1,95 @@
+//! KL and Jensen–Shannon divergences (the `JS` baseline of Figs. 10–11).
+
+/// Kullback–Leibler divergence `KL(p ‖ q)` in nats. Inputs are
+/// normalized; zero entries of `p` contribute nothing; zero entries of
+/// `q` where `p > 0` are floored at a small epsilon.
+///
+/// # Panics
+///
+/// Panics when lengths differ.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    let (sp, sq): (f64, f64) = (p.iter().sum(), q.iter().sum());
+    let mut total = 0.0;
+    for (&a, &b) in p.iter().zip(q) {
+        let pa = if sp > 0.0 { a / sp } else { 0.0 };
+        if pa <= 0.0 {
+            continue;
+        }
+        let qb = (if sq > 0.0 { b / sq } else { 0.0 }).max(1e-12);
+        total += pa * (pa / qb).ln();
+    }
+    total
+}
+
+/// Jensen–Shannon divergence in nats: `½KL(p‖m) + ½KL(q‖m)` with
+/// `m = (p+q)/2`. Symmetric and bounded by `ln 2`.
+///
+/// # Panics
+///
+/// Panics when lengths differ.
+pub fn js_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    let (sp, sq): (f64, f64) = (p.iter().sum(), q.iter().sum());
+    let pn: Vec<f64> = p
+        .iter()
+        .map(|&a| if sp > 0.0 { a / sp } else { 0.0 })
+        .collect();
+    let qn: Vec<f64> = q
+        .iter()
+        .map(|&b| if sq > 0.0 { b / sq } else { 0.0 })
+        .collect();
+    let m: Vec<f64> = pn.iter().zip(&qn).map(|(&a, &b)| 0.5 * (a + b)).collect();
+    0.5 * kl_divergence(&pn, &m) + 0.5 * kl_divergence(&qn, &m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kl_zero_for_identical() {
+        let p = [0.2, 0.3, 0.5];
+        assert!(kl_divergence(&p, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_is_asymmetric() {
+        let p = [0.9, 0.1];
+        let q = [0.5, 0.5];
+        assert!((kl_divergence(&p, &q) - kl_divergence(&q, &p)).abs() > 1e-6);
+    }
+
+    #[test]
+    fn js_symmetric_and_bounded() {
+        let p = [1.0, 0.0, 0.0];
+        let q = [0.0, 0.0, 1.0];
+        let d1 = js_divergence(&p, &q);
+        let d2 = js_divergence(&q, &p);
+        assert!((d1 - d2).abs() < 1e-12);
+        assert!(
+            (d1 - (2.0f64).ln()).abs() < 1e-6,
+            "disjoint supports hit ln 2, got {d1}"
+        );
+        assert!(js_divergence(&p, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn js_insensitive_to_geometry_unlike_wasserstein() {
+        // The motivating observation for the paper's choice of the
+        // Wasserstein distance (Fig. 10): JS sees all disjoint supports as
+        // equally far, Wasserstein sees how far apart they sit.
+        use crate::wasserstein::wasserstein_1d_hist;
+        let p = [1.0, 0.0, 0.0, 0.0];
+        let near = [0.0, 1.0, 0.0, 0.0];
+        let far = [0.0, 0.0, 0.0, 1.0];
+        assert!((js_divergence(&p, &near) - js_divergence(&p, &far)).abs() < 1e-12);
+        assert!(wasserstein_1d_hist(&p, &near) < wasserstein_1d_hist(&p, &far));
+    }
+
+    #[test]
+    fn handles_unnormalized_and_zero_inputs() {
+        assert!(js_divergence(&[2.0, 2.0], &[1.0, 1.0]).abs() < 1e-12);
+        assert_eq!(kl_divergence(&[0.0, 0.0], &[0.5, 0.5]), 0.0);
+    }
+}

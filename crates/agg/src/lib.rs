@@ -1,0 +1,44 @@
+//! # acme-agg
+//!
+//! Personalized architecture aggregation (Phase 2-2 of the ACME paper,
+//! §III-D): per-parameter importance sets via first-order Taylor
+//! expansion (Eqs. 16–18), Wasserstein-distance similarity between device
+//! data distributions (Eqs. 19–20), and the weighted convex combination
+//! that refines each device's header architecture with knowledge from
+//! similar devices (Eq. 21).
+//!
+//! The Jensen–Shannon divergence and plain averaging are included as the
+//! `JS` and `Avg` baselines of Fig. 11.
+//!
+//! ```
+//! use acme_agg::{similarity_matrix_wasserstein, normalize_similarity, aggregate_importance};
+//! use acme_tensor::{Array, SmallRng64};
+//!
+//! // Two devices with very different feature clouds, one pair similar.
+//! let a = Array::from_vec(vec![0.0, 0.0, 0.1, 0.1], &[2, 2]).unwrap();
+//! let b = Array::from_vec(vec![0.05, 0.0, 0.12, 0.1], &[2, 2]).unwrap();
+//! let c = Array::from_vec(vec![5.0, 5.0, 5.1, 5.2], &[2, 2]).unwrap();
+//! let mut rng = SmallRng64::new(0);
+//! let sim = similarity_matrix_wasserstein(&[a, b, c], 16, &mut rng);
+//! assert!(sim[0][1] > sim[0][2]); // a is closer to b than to c
+//! let weights = normalize_similarity(&sim);
+//! let sets = vec![vec![1.0, 0.0], vec![1.0, 0.2], vec![0.0, 9.0]];
+//! let fused = aggregate_importance(&sets, &weights, 0);
+//! assert_eq!(fused.len(), 2);
+//! ```
+
+mod divergence;
+mod importance;
+mod similarity;
+mod wasserstein;
+
+pub use divergence::{js_divergence, kl_divergence};
+pub use importance::{
+    aggregate_importance, aggregation_weights, importance_set_from_grads, least_important,
+    AggregationMethod, ImportanceSet,
+};
+pub use similarity::{
+    normalize_similarity, normalize_similarity_with_temperature, similarity_matrix_js,
+    similarity_matrix_wasserstein,
+};
+pub use wasserstein::{sliced_wasserstein, wasserstein_1d_hist, wasserstein_1d_samples};

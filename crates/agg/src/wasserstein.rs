@@ -1,0 +1,177 @@
+//! Wasserstein distances: exact 1-D solutions and the sliced
+//! approximation used for high-dimensional feature clouds.
+
+use acme_tensor::{randn, Array};
+use rand::Rng;
+
+/// Exact 1-Wasserstein distance between two empirical sample sets on the
+/// line (L1 ground cost): sort both and average `|x_(i) - y_(j)|` over
+/// matched quantiles. Sample counts may differ; the quantile coupling is
+/// used.
+///
+/// Returns 0 when either set is empty.
+pub fn wasserstein_1d_samples(xs: &[f32], ys: &[f32]) -> f64 {
+    if xs.is_empty() || ys.is_empty() {
+        return 0.0;
+    }
+    let mut a: Vec<f32> = xs.to_vec();
+    let mut b: Vec<f32> = ys.to_vec();
+    a.sort_by(|p, q| p.partial_cmp(q).expect("finite samples"));
+    b.sort_by(|p, q| p.partial_cmp(q).expect("finite samples"));
+    // Integrate |F_a^{-1}(t) - F_b^{-1}(t)| over t in [0,1) on the merged
+    // quantile grid.
+    let (n, m) = (a.len(), b.len());
+    let steps = n.max(m) * 2;
+    let mut total = 0.0f64;
+    for s in 0..steps {
+        let t = (s as f64 + 0.5) / steps as f64;
+        let qa = a[((t * n as f64) as usize).min(n - 1)];
+        let qb = b[((t * m as f64) as usize).min(m - 1)];
+        total += (qa - qb).abs() as f64;
+    }
+    total / steps as f64
+}
+
+/// Exact 1-Wasserstein distance between two histograms over the same
+/// ordered bins with unit spacing: the L1 distance between CDFs.
+///
+/// # Panics
+///
+/// Panics when lengths differ.
+pub fn wasserstein_1d_hist(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "histogram length mismatch");
+    let (sp, sq): (f64, f64) = (p.iter().sum(), q.iter().sum());
+    let mut cdf_diff = 0.0f64;
+    let mut total = 0.0f64;
+    for (&a, &b) in p.iter().zip(q) {
+        let pa = if sp > 0.0 { a / sp } else { 0.0 };
+        let qb = if sq > 0.0 { b / sq } else { 0.0 };
+        cdf_diff += pa - qb;
+        total += cdf_diff.abs();
+    }
+    total
+}
+
+/// Sliced 1-Wasserstein distance between two feature clouds `x: [n, d]`,
+/// `y: [m, d]`: the average exact 1-D distance over `projections` random
+/// unit directions. This preserves the ranking structure of the full
+/// Wasserstein distance (Eq. 20 of the paper uses the distance only to
+/// *rank* device similarity) while staying exactly computable.
+///
+/// # Panics
+///
+/// Panics when the feature widths differ or `projections == 0`.
+pub fn sliced_wasserstein(x: &Array, y: &Array, projections: usize, rng: &mut impl Rng) -> f64 {
+    assert!(projections > 0, "need at least one projection");
+    assert_eq!(x.rank(), 2, "x must be [n, d]");
+    assert_eq!(y.rank(), 2, "y must be [m, d]");
+    assert_eq!(x.shape()[1], y.shape()[1], "feature width mismatch");
+    if x.shape()[0] == 0 || y.shape()[0] == 0 {
+        return 0.0;
+    }
+    let d = x.shape()[1];
+    let mut total = 0.0f64;
+    for _ in 0..projections {
+        let dir = randn(&[d], rng);
+        let norm = dir.sq_norm().sqrt().max(1e-12);
+        let project = |m: &Array| -> Vec<f32> {
+            let n = m.shape()[0];
+            (0..n)
+                .map(|i| {
+                    let row = &m.data()[i * d..(i + 1) * d];
+                    row.iter()
+                        .zip(dir.data())
+                        .map(|(&a, &b)| a * b)
+                        .sum::<f32>()
+                        / norm
+                })
+                .collect()
+        };
+        total += wasserstein_1d_samples(&project(x), &project(y));
+    }
+    total / projections as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acme_tensor::SmallRng64;
+
+    #[test]
+    fn identical_samples_distance_zero() {
+        let xs = [1.0, 2.0, 3.0];
+        assert!(wasserstein_1d_samples(&xs, &xs) < 1e-9);
+    }
+
+    #[test]
+    fn shifted_samples_distance_equals_shift() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [3.0, 4.0, 5.0];
+        let d = wasserstein_1d_samples(&xs, &ys);
+        assert!((d - 3.0).abs() < 1e-6, "got {d}");
+    }
+
+    #[test]
+    fn unequal_sample_counts_supported() {
+        let xs = [0.0, 0.0, 0.0, 0.0];
+        let ys = [1.0];
+        let d = wasserstein_1d_samples(&xs, &ys);
+        assert!((d - 1.0).abs() < 1e-6, "got {d}");
+    }
+
+    #[test]
+    fn empty_sets_are_zero() {
+        assert_eq!(wasserstein_1d_samples(&[], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn hist_distance_basic() {
+        // Point masses two bins apart -> distance 2.
+        assert!((wasserstein_1d_hist(&[1.0, 0.0, 0.0], &[0.0, 0.0, 1.0]) - 2.0).abs() < 1e-12);
+        // Identical -> 0.
+        assert_eq!(wasserstein_1d_hist(&[0.5, 0.5], &[0.5, 0.5]), 0.0);
+        // Unnormalized inputs are normalized first.
+        assert!((wasserstein_1d_hist(&[2.0, 0.0], &[0.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hist_triangle_inequality_spot_check() {
+        let a = [0.6, 0.3, 0.1];
+        let b = [0.1, 0.3, 0.6];
+        let c = [0.3, 0.4, 0.3];
+        let ab = wasserstein_1d_hist(&a, &b);
+        let ac = wasserstein_1d_hist(&a, &c);
+        let cb = wasserstein_1d_hist(&c, &b);
+        assert!(ab <= ac + cb + 1e-12);
+    }
+
+    #[test]
+    fn sliced_ranks_clouds_by_separation() {
+        let mut rng = SmallRng64::new(0);
+        let base = randn(&[40, 8], &mut rng);
+        let near = base.add_scalar(0.1);
+        let far = base.add_scalar(5.0);
+        let mut r1 = SmallRng64::new(1);
+        let d_near = sliced_wasserstein(&base, &near, 16, &mut r1);
+        let mut r2 = SmallRng64::new(1);
+        let d_far = sliced_wasserstein(&base, &far, 16, &mut r2);
+        assert!(d_near < d_far, "{d_near} vs {d_far}");
+    }
+
+    #[test]
+    fn sliced_self_distance_is_small() {
+        let mut rng = SmallRng64::new(3);
+        let x = randn(&[30, 4], &mut rng);
+        let d = sliced_wasserstein(&x, &x, 8, &mut rng);
+        assert!(d < 1e-6, "self distance {d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "feature width")]
+    fn sliced_rejects_mismatched_width() {
+        let mut rng = SmallRng64::new(0);
+        let x = randn(&[3, 4], &mut rng);
+        let y = randn(&[3, 5], &mut rng);
+        sliced_wasserstein(&x, &y, 4, &mut rng);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests of the distance and aggregation layer.
+
+use acme_agg::{
+    aggregate_importance, importance_set_from_grads, js_divergence, least_important,
+    normalize_similarity_with_temperature, similarity_matrix_js, sliced_wasserstein,
+};
+use acme_tensor::{randn, SmallRng64};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sliced_wasserstein_symmetric_under_same_projections(
+        seed in 0u64..100,
+        n in 2usize..12,
+        m in 2usize..12,
+    ) {
+        let mut rng = SmallRng64::new(seed);
+        let x = randn(&[n, 4], &mut rng);
+        let y = randn(&[m, 4], &mut rng).add_scalar(1.0);
+        // Same projection stream -> symmetric.
+        let d_xy = sliced_wasserstein(&x, &y, 8, &mut SmallRng64::new(7));
+        let d_yx = sliced_wasserstein(&y, &x, 8, &mut SmallRng64::new(7));
+        prop_assert!((d_xy - d_yx).abs() < 1e-6);
+        prop_assert!(d_xy >= 0.0);
+    }
+
+    #[test]
+    fn js_similarity_matrix_entries_in_unit_interval(
+        dists in prop::collection::vec(prop::collection::vec(0.01f64..5.0, 4), 2..6),
+    ) {
+        let sim = similarity_matrix_js(&dists);
+        for (i, row) in sim.iter().enumerate() {
+            prop_assert_eq!(row[i], 1.0);
+            for &v in row {
+                prop_assert!(v > 0.0 && v <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn normalization_rows_are_distributions(
+        n in 2usize..6,
+        tau in 0.01f64..2.0,
+        seed in 0u64..50,
+    ) {
+        let mut rng = SmallRng64::new(seed);
+        use rand::Rng;
+        let sim: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| if i == j { 1.0 } else { rng.gen_range(0.0..1.0) }).collect())
+            .collect();
+        let w = normalize_similarity_with_temperature(&sim, tau);
+        for row in &w {
+            prop_assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(row.iter().all(|&v| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn importance_sets_are_nonnegative_and_aggregation_commutes_with_scaling(
+        values in prop::collection::vec(-3.0f32..3.0, 6),
+        grads in prop::collection::vec(-3.0f32..3.0, 6),
+        scale in 0.1f64..10.0,
+    ) {
+        let q = importance_set_from_grads(&values, &grads);
+        prop_assert!(q.iter().all(|&v| v >= 0.0));
+        // Aggregation is linear: scaling all sets scales the result.
+        let sets = vec![q.clone(), q.iter().map(|v| v * 2.0).collect()];
+        let weights = vec![vec![0.3, 0.7], vec![0.5, 0.5]];
+        let base = aggregate_importance(&sets, &weights, 0);
+        let scaled_sets: Vec<Vec<f64>> =
+            sets.iter().map(|s| s.iter().map(|v| v * scale).collect()).collect();
+        let scaled = aggregate_importance(&scaled_sets, &weights, 0);
+        for (a, b) in base.iter().zip(&scaled) {
+            prop_assert!((a * scale - b).abs() < 1e-9 * scale.max(1.0));
+        }
+    }
+
+    #[test]
+    fn least_important_returns_sorted_distinct_valid(
+        set in prop::collection::vec(0.0f64..10.0, 1..12),
+        drop_frac in 0.0f64..1.0,
+    ) {
+        let drop = ((set.len() as f64) * drop_frac) as usize;
+        let out = least_important(&set, drop);
+        prop_assert_eq!(out.len(), drop);
+        prop_assert!(out.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(out.iter().all(|&i| i < set.len()));
+        // Every kept element is >= every dropped element.
+        if drop > 0 && drop < set.len() {
+            let dropped_max = out.iter().map(|&i| set[i]).fold(f64::MIN, f64::max);
+            let kept_min = (0..set.len())
+                .filter(|i| !out.contains(i))
+                .map(|i| set[i])
+                .fold(f64::MAX, f64::min);
+            prop_assert!(kept_min >= dropped_max - 1e-12);
+        }
+    }
+
+    #[test]
+    fn js_of_mixture_is_below_components(
+        p in prop::collection::vec(0.01f64..5.0, 4),
+        q in prop::collection::vec(0.01f64..5.0, 4),
+    ) {
+        // JS(p, (p+q)/2) <= JS(p, q): the midpoint is closer.
+        let m: Vec<f64> = p.iter().zip(&q).map(|(&a, &b)| 0.5 * (a + b)).collect();
+        prop_assert!(js_divergence(&p, &m) <= js_divergence(&p, &q) + 1e-9);
+    }
+}

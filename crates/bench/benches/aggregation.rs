@@ -1,0 +1,56 @@
+//! Criterion benchmarks of the similarity/aggregation path behind
+//! Figs. 10–11: Wasserstein distances, matrix normalization, and Eq. 21.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use acme_agg::{
+    aggregate_importance, normalize_similarity_with_temperature, similarity_matrix_wasserstein,
+    sliced_wasserstein,
+};
+use acme_tensor::{randn, SmallRng64};
+
+fn bench_sliced_wasserstein(c: &mut Criterion) {
+    let mut rng = SmallRng64::new(0);
+    let x = randn(&[32, 768], &mut rng);
+    let y = randn(&[32, 768], &mut rng).add_scalar(0.5);
+    c.bench_function("sliced_wasserstein_32x768_p16", |b| {
+        let mut r = SmallRng64::new(1);
+        b.iter(|| black_box(sliced_wasserstein(&x, &y, 16, &mut r)))
+    });
+}
+
+fn bench_similarity_matrix(c: &mut Criterion) {
+    let mut rng = SmallRng64::new(2);
+    let feats: Vec<_> = (0..5).map(|_| randn(&[24, 64], &mut rng)).collect();
+    c.bench_function("similarity_matrix_5_devices", |b| {
+        let mut r = SmallRng64::new(3);
+        b.iter(|| black_box(similarity_matrix_wasserstein(&feats, 12, &mut r)))
+    });
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let sets: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64; 4096]).collect();
+    let sim = vec![vec![0.9; 5]; 5];
+    let weights = normalize_similarity_with_temperature(&sim, 0.02);
+    c.bench_function("aggregate_importance_5x4096", |b| {
+        b.iter(|| {
+            for d in 0..5 {
+                black_box(aggregate_importance(&sets, &weights, d));
+            }
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = aggregation;
+    config = config();
+    targets = bench_sliced_wasserstein, bench_similarity_matrix, bench_aggregation
+}
+criterion_main!(aggregation);

@@ -1,0 +1,106 @@
+//! Criterion micro-benchmarks of the tensor/NN kernels behind every
+//! training-based figure (Figs. 1, 7, 8, 11–13).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use acme_nn::{MultiHeadSelfAttention, ParamSet, TransformerBlock};
+use acme_tensor::{randn, Array, Graph, SmallRng64};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = SmallRng64::new(0);
+    let a = randn(&[128, 64], &mut rng);
+    let b = randn(&[64, 64], &mut rng);
+    c.bench_function("matmul_128x64x64", |bench| {
+        bench.iter(|| black_box(a.matmul(&b).unwrap()))
+    });
+}
+
+fn bench_attention_forward(c: &mut Criterion) {
+    let mut rng = SmallRng64::new(1);
+    let mut ps = ParamSet::new();
+    let attn = MultiHeadSelfAttention::new(&mut ps, "a", 32, 4, &mut rng);
+    let x = randn(&[8, 17, 32], &mut rng);
+    c.bench_function("attention_forward_b8_t17_d32", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::new();
+            let xv = g.constant(x.clone());
+            black_box(attn.forward(&mut g, &ps, xv))
+        })
+    });
+}
+
+fn bench_block_forward_backward(c: &mut Criterion) {
+    let mut rng = SmallRng64::new(2);
+    let mut ps = ParamSet::new();
+    let blk = TransformerBlock::new(&mut ps, "b", 32, 4, 64, &mut rng);
+    let x = randn(&[8, 17, 32], &mut rng);
+    c.bench_function("transformer_block_fwd_bwd", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::new();
+            let xv = g.constant(x.clone());
+            let y = blk.forward(&mut g, &ps, xv);
+            let s = g.mean_all(y);
+            g.backward(s);
+            black_box(g.grad(xv).is_some())
+        })
+    });
+}
+
+fn bench_conv2d(c: &mut Criterion) {
+    let mut rng = SmallRng64::new(3);
+    let x = randn(&[8, 32, 4, 4], &mut rng);
+    let w = randn(&[32, 32, 3, 3], &mut rng);
+    c.bench_function("conv2d_fwd_bwd_8x32x4x4_k3", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::new();
+            let xv = g.leaf(x.clone());
+            let wv = g.leaf(w.clone());
+            let y = g.conv2d(xv, wv, None, 1, 1);
+            let s = g.mean_all(y);
+            g.backward(s);
+            black_box(g.grad(wv).is_some())
+        })
+    });
+}
+
+fn bench_cross_entropy(c: &mut Criterion) {
+    let mut rng = SmallRng64::new(4);
+    let logits = randn(&[64, 20], &mut rng);
+    let targets: Vec<usize> = (0..64).map(|i| i % 20).collect();
+    c.bench_function("cross_entropy_64x20", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::new();
+            let l = g.leaf(logits.clone());
+            let loss = g.cross_entropy_logits(l, &targets);
+            g.backward(loss);
+            black_box(g.value(loss).item())
+        })
+    });
+}
+
+fn bench_patchify(c: &mut Criterion) {
+    let mut rng = SmallRng64::new(5);
+    let images = randn(&[32, 3, 16, 16], &mut rng);
+    c.bench_function("patchify_32x3x16x16_p4", |bench| {
+        bench.iter(|| black_box(acme_vit::patchify(&images, 4)))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = kernels;
+    config = config();
+    targets = bench_matmul, bench_attention_forward, bench_block_forward_backward,
+        bench_conv2d, bench_cross_entropy, bench_patchify
+}
+criterion_main!(kernels);
+
+// Quiet unused-import lint on Array (used indirectly via randn's return).
+#[allow(dead_code)]
+fn _touch(_: Array) {}

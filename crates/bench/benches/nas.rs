@@ -1,0 +1,66 @@
+//! Criterion benchmarks of the NAS controller and child evaluation
+//! behind Figs. 7(b), 8 and 12.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use acme_nas::{Controller, ControllerConfig, HeaderArch, NasHeader, SharedParams};
+use acme_nn::ParamSet;
+use acme_tensor::{randn, Graph, SmallRng64};
+use acme_vit::headers::Header;
+use acme_vit::{Vit, VitConfig};
+
+fn bench_controller_sample(c: &mut Criterion) {
+    let mut rng = SmallRng64::new(0);
+    let mut ps = ParamSet::new();
+    let ctrl = Controller::new(&mut ps, ControllerConfig::default(), &mut rng);
+    c.bench_function("controller_sample_b3", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            black_box(ctrl.sample(&mut g, &ps, &mut rng, false))
+        })
+    });
+}
+
+fn bench_controller_reinforce(c: &mut Criterion) {
+    let mut rng = SmallRng64::new(1);
+    let mut ps = ParamSet::new();
+    let mut ctrl = Controller::new(&mut ps, ControllerConfig::default(), &mut rng);
+    c.bench_function("controller_reinforce_step", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            let (_, logp) = ctrl.sample(&mut g, &ps, &mut rng, false);
+            ctrl.reinforce(&mut g, &mut ps, logp, 0.5);
+        })
+    });
+}
+
+fn bench_child_forward(c: &mut Criterion) {
+    let mut rng = SmallRng64::new(2);
+    let cfg = VitConfig::reference(20);
+    let mut ps = ParamSet::new();
+    let vit = Vit::new(&mut ps, &cfg, &mut rng);
+    let shared = SharedParams::new(&mut ps, "sn", 3, cfg.dim, cfg.grid(), 20, &mut rng);
+    let header = NasHeader::new(HeaderArch::chain(3, 2), shared);
+    let images = randn(&[16, 3, 16, 16], &mut rng);
+    c.bench_function("nas_child_forward_b16", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            let f = vit.forward(&mut g, &ps, &images);
+            black_box(header.forward(&mut g, &ps, &f))
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = nas;
+    config = config();
+    targets = bench_controller_sample, bench_controller_reinforce, bench_child_forward
+}
+criterion_main!(nas);

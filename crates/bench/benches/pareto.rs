@@ -1,0 +1,72 @@
+//! Criterion benchmarks of the Pareto Front Grid machinery behind Fig. 9
+//! (construction amortization and selection latency).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use acme_pareto::{
+    pareto_front_grid, select_constrained, select_with, Candidate, GridSpec, MatchingMethod,
+};
+use acme_tensor::SmallRng64;
+use rand::Rng;
+
+fn pool(n: usize) -> Vec<Candidate> {
+    let mut rng = SmallRng64::new(0);
+    (0..n)
+        .map(|i| {
+            let w = 0.1 + 0.9 * rng.gen::<f64>();
+            let loss = 1.0 / w + 0.1 * rng.gen::<f64>();
+            let energy = 5.0 * w + rng.gen::<f64>();
+            let size = 10_000.0 * w;
+            Candidate::new(w, 1 + i % 12, [loss, energy, size]).with_accuracy(w)
+        })
+        .collect()
+}
+
+fn bench_grid_construction(c: &mut Criterion) {
+    let cands = pool(200);
+    c.bench_function("grid_spec_from_200_candidates", |b| {
+        b.iter(|| black_box(GridSpec::from_candidates(&cands, 0.1).unwrap()))
+    });
+}
+
+fn bench_pfg(c: &mut Criterion) {
+    let cands = pool(200);
+    let spec = GridSpec::from_candidates(&cands, 0.1).unwrap();
+    c.bench_function("pfg_over_200_candidates", |b| {
+        b.iter(|| black_box(pareto_front_grid(&cands, &spec)))
+    });
+}
+
+fn bench_selection_methods(c: &mut Criterion) {
+    let cands = pool(200);
+    let spec = GridSpec::from_candidates(&cands, 0.1).unwrap();
+    c.bench_function("select_pfg_constrained", |b| {
+        b.iter(|| black_box(select_constrained(&cands, &spec, 8000.0)))
+    });
+    let mut rng = SmallRng64::new(1);
+    c.bench_function("select_random_feasible", |b| {
+        b.iter(|| {
+            black_box(select_with(
+                MatchingMethod::Random,
+                &cands,
+                &spec,
+                8000.0,
+                &mut rng,
+            ))
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = pareto;
+    config = config();
+    targets = bench_grid_construction, bench_pfg, bench_selection_methods
+}
+criterion_main!(pareto);

@@ -1,0 +1,56 @@
+//! Criterion benchmarks of the distributed protocol behind Table I.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use acme_distsys::protocol::{centralized_transfers, run_acme_protocol, ProtocolConfig};
+use acme_distsys::{Network, NodeId, Payload};
+use acme_energy::Fleet;
+
+fn bench_acme_protocol(c: &mut Criterion) {
+    let fleet = Fleet::paper_default(4, 5);
+    let cfg = ProtocolConfig::default();
+    c.bench_function("acme_protocol_20_devices_t3", |b| {
+        b.iter(|| black_box(run_acme_protocol(&fleet, &cfg)))
+    });
+}
+
+fn bench_centralized(c: &mut Criterion) {
+    let fleet = Fleet::paper_default(4, 5);
+    c.bench_function("centralized_transfers_20_devices", |b| {
+        b.iter(|| black_box(centralized_transfers(&fleet, 500, 3072, 1_000_000)))
+    });
+}
+
+fn bench_metered_send(c: &mut Criterion) {
+    let net = Network::new();
+    let _rx = net.register(NodeId::Cloud);
+    net.register(NodeId::Edge(acme_energy::EdgeId(0)));
+    c.bench_function("metered_send_importance_4k", |b| {
+        b.iter(|| {
+            black_box(
+                net.send(
+                    NodeId::Edge(acme_energy::EdgeId(0)),
+                    NodeId::Cloud,
+                    Payload::ImportanceUpload {
+                        values: vec![0.0; 4096],
+                    },
+                )
+                .is_ok(),
+            )
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = protocol;
+    config = config();
+    targets = bench_acme_protocol, bench_centralized, bench_metered_send
+}
+criterion_main!(protocol);

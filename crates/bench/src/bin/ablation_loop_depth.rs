@@ -1,0 +1,93 @@
+//! Ablation — the edge–device single-loop iteration count `T` of
+//! Algorithm 2: accuracy improvement as the loop deepens.
+
+use acme::{refine_cluster, DeviceSetup, RefineConfig};
+use acme_bench::{eval_cifar, print_table, RunScale};
+use acme_data::{partition_confusion, ConfusionLevel};
+use acme_energy::{DeviceId, EdgeId};
+use acme_nas::{HeaderArch, NasHeader, SharedParams};
+use acme_nn::ParamSet;
+use acme_tensor::SmallRng64;
+use acme_vit::{fit, TrainConfig, Vit, VitConfig};
+
+fn main() {
+    let scale = RunScale::from_args();
+    let mut rng = SmallRng64::new(53);
+    let ds = eval_cifar(scale, &mut rng);
+    let classes = ds.num_classes();
+
+    let cfg = VitConfig {
+        depth: scale.pick(4, 2),
+        ..VitConfig::reference(classes)
+    };
+    let mut ps = ParamSet::new();
+    let vit = Vit::new(&mut ps, &cfg, &mut rng);
+    fit(
+        &vit,
+        &mut ps,
+        &ds,
+        &TrainConfig {
+            epochs: scale.pick(4, 2),
+            ..TrainConfig::default()
+        },
+    );
+    let shared = SharedParams::new(&mut ps, "sn", 2, cfg.dim, cfg.grid(), classes, &mut rng);
+    let header = NasHeader::new(HeaderArch::chain(2, 1), shared);
+
+    let mut srng = SmallRng64::new(99);
+    let parts = partition_confusion(&ds, 5, ConfusionLevel::C2, &mut srng);
+    let devices: Vec<DeviceSetup> = parts
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.len() >= 8)
+        .map(|(i, p)| {
+            let (train, test) = p.split(0.6, &mut srng);
+            let train = train.sample(scale.pick(30, 14), &mut srng);
+            DeviceSetup {
+                device: DeviceId(i),
+                train,
+                test,
+            }
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    for t in 1..=scale.pick(5, 3) {
+        let refine_cfg = RefineConfig {
+            loop_rounds: t,
+            local_epochs: 1,
+            drop_per_round: 4,
+            ..RefineConfig::default()
+        };
+        let out = refine_cluster(
+            EdgeId(0),
+            &vit,
+            &header,
+            &ps,
+            &devices,
+            &refine_cfg,
+            None,
+            &mut SmallRng64::new(3),
+        );
+        let mean_after: f32 =
+            out.results.iter().map(|r| r.accuracy_after).sum::<f32>() / out.results.len() as f32;
+        let mean_impr: f32 = out
+            .results
+            .iter()
+            .map(acme::DeviceResult::improvement)
+            .sum::<f32>()
+            / out.results.len() as f32;
+        rows.push(vec![
+            t.to_string(),
+            format!("{mean_after:.3}"),
+            format!("{mean_impr:+.3}"),
+        ]);
+    }
+    print_table(
+        "Ablation: single-loop iteration count T (Algorithm 2)",
+        &["T", "mean accuracy", "mean improvement"],
+        &rows,
+    );
+    println!("\nexpected: improvement grows with T and saturates — the loop converges,");
+    println!("matching the paper's \"repeated iteratively until convergence\".");
+}

@@ -1,0 +1,141 @@
+//! Fig. 10 — feature-extraction ability of the Wasserstein distance vs
+//! the JS divergence: similarity matrices over five devices where
+//! devices 0–2 share one data distribution and devices 3–4 another.
+//!
+//! The paper's point: JS saturates on (near-)disjoint label supports and
+//! loses the geometry; the Wasserstein distance still grades *how far*
+//! distributions are and recovers the block structure.
+
+use acme::backbone_features;
+use acme_agg::{similarity_matrix_js, similarity_matrix_wasserstein};
+use acme_bench::{eval_cifar, print_table, RunScale};
+use acme_data::{label_distribution, Dataset};
+use acme_nn::ParamSet;
+use acme_tensor::SmallRng64;
+use acme_vit::{fit, TrainConfig, Vit, VitConfig};
+
+fn by_classes(ds: &Dataset, classes: &[usize]) -> Dataset {
+    let idx: Vec<usize> = (0..ds.len())
+        .filter(|&i| classes.contains(&ds.get(i).1))
+        .collect();
+    ds.subset(&idx)
+}
+
+fn matrix_rows(m: &[Vec<f64>]) -> Vec<Vec<String>> {
+    m.iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let mut cells = vec![format!("device {i}")];
+            cells.extend(row.iter().map(|v| format!("{v:.3}")));
+            cells
+        })
+        .collect()
+}
+
+/// Mean within-group minus cross-group similarity: positive = the
+/// block structure of Fig. 10 was recovered.
+#[allow(clippy::needless_range_loop)]
+fn block_contrast(m: &[Vec<f64>]) -> f64 {
+    let group = |i: usize| usize::from(i >= 3);
+    let (mut within, mut wn) = (0.0, 0);
+    let (mut cross, mut cn) = (0.0, 0);
+    for i in 0..5 {
+        for j in 0..5 {
+            if i == j {
+                continue;
+            }
+            if group(i) == group(j) {
+                within += m[i][j];
+                wn += 1;
+            } else {
+                cross += m[i][j];
+                cn += 1;
+            }
+        }
+    }
+    within / wn as f64 - cross / cn as f64
+}
+
+fn main() {
+    let scale = RunScale::from_args();
+    let mut rng = SmallRng64::new(19);
+    let ds = eval_cifar(scale, &mut rng);
+    let classes = ds.num_classes();
+    let half = classes / 2;
+    let group_a: Vec<usize> = (0..half).collect();
+    let group_b: Vec<usize> = (half..classes).collect();
+    let pool_a = by_classes(&ds, &group_a);
+    let pool_b = by_classes(&ds, &group_b);
+    let samples = scale.pick(40, 16);
+    let devices: Vec<Dataset> = (0..5)
+        .map(|i| {
+            let src = if i < 3 { &pool_a } else { &pool_b };
+            src.sample(samples, &mut rng.fork(50 + i as u64))
+        })
+        .collect();
+
+    // A pre-trained model provides the feature space (the paper's P(D)).
+    let cfg = VitConfig {
+        depth: scale.pick(4, 2),
+        ..VitConfig::reference(classes)
+    };
+    let mut ps = ParamSet::new();
+    let vit = Vit::new(&mut ps, &cfg, &mut rng);
+    let pretrain = ds.sample(scale.pick(400, 100), &mut rng);
+    fit(
+        &vit,
+        &mut ps,
+        &pretrain,
+        &TrainConfig {
+            epochs: scale.pick(5, 2),
+            ..TrainConfig::default()
+        },
+    );
+
+    let feats: Vec<_> = devices
+        .iter()
+        .map(|d| backbone_features(&vit, &ps, d, samples, &mut rng))
+        .collect();
+    let wass = similarity_matrix_wasserstein(&feats, scale.pick(24, 8), &mut rng);
+    let dists: Vec<_> = devices.iter().map(label_distribution).collect();
+    let js = similarity_matrix_js(&dists);
+
+    let header = ["", "d0 (A)", "d1 (A)", "d2 (A)", "d3 (B)", "d4 (B)"];
+    print_table(
+        "Fig. 10 (left): Wasserstein similarity",
+        &header,
+        &matrix_rows(&wass),
+    );
+    print_table("Fig. 10 (right): JS similarity", &header, &matrix_rows(&js));
+
+    let cw = block_contrast(&wass);
+    let cj = block_contrast(&js);
+    println!("\nblock contrast (within-group minus cross-group similarity):");
+    println!("  Wasserstein: {cw:+.4}");
+    println!("  JS:          {cj:+.4}");
+
+    // The paper's actual criticism: on (near-)disjoint supports JS
+    // saturates at its ln(2) bound, i.e. every cross-group similarity
+    // collapses to 1/(1+ln 2) ≈ 0.591 and the *geometry* between
+    // distributions is lost. The Wasserstein entries keep grading it.
+    #[allow(clippy::needless_range_loop)]
+    let cross_spread = |m: &[Vec<f64>]| {
+        let mut vals = Vec::new();
+        for i in 0..3 {
+            for j in 3..5 {
+                vals.push(m[i][j]);
+            }
+        }
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        (vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64).sqrt()
+    };
+    println!("\ncross-group similarity spread (geometric discrimination):");
+    println!("  Wasserstein: {:.4}", cross_spread(&wass));
+    println!(
+        "  JS:          {:.4}  (saturated at 1/(1+ln2) = {:.3})",
+        cross_spread(&js),
+        1.0 / (1.0 + (2.0f64).ln())
+    );
+    println!("paper: the Wasserstein distance captures the complex data relationships");
+    println!("between devices that the saturated JS divergence cannot grade.");
+}

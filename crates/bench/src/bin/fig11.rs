@@ -1,0 +1,101 @@
+//! Fig. 11 — accuracy improvement of the four aggregation methods
+//! (Alone / Avg / JS / ACME) under IID and the C1–C3 non-IID levels,
+//! averaged over devices and seeds.
+
+use acme::{refine_cluster, DeviceSetup, RefineConfig};
+use acme_agg::AggregationMethod;
+use acme_bench::{eval_cifar, print_table, RunScale};
+use acme_data::{partition_confusion, ConfusionLevel};
+use acme_energy::{DeviceId, EdgeId};
+use acme_nas::{HeaderArch, NasHeader, SharedParams};
+use acme_nn::ParamSet;
+use acme_tensor::SmallRng64;
+use acme_vit::{fit, TrainConfig, Vit, VitConfig};
+
+fn main() {
+    let scale = RunScale::from_args();
+    let mut rng = SmallRng64::new(23);
+    let ds = eval_cifar(scale, &mut rng);
+    let classes = ds.num_classes();
+    let n_devices = 5;
+    let seeds: Vec<u64> = scale.pick(vec![1, 2, 3], vec![1]);
+
+    // Shared backbone + coarse header trained once on pooled data.
+    let cfg = VitConfig {
+        depth: scale.pick(4, 2),
+        ..VitConfig::reference(classes)
+    };
+    let mut ps = ParamSet::new();
+    let vit = Vit::new(&mut ps, &cfg, &mut rng);
+    fit(
+        &vit,
+        &mut ps,
+        &ds,
+        &TrainConfig {
+            epochs: scale.pick(4, 2),
+            ..TrainConfig::default()
+        },
+    );
+    let shared = SharedParams::new(&mut ps, "sn", 2, cfg.dim, cfg.grid(), classes, &mut rng);
+    let header = NasHeader::new(HeaderArch::chain(2, 1), shared);
+
+    let mut rows = Vec::new();
+    for level in ConfusionLevel::all() {
+        let mut row = vec![level.to_string()];
+        for method in AggregationMethod::all() {
+            let mut total = 0.0f64;
+            let mut count = 0usize;
+            for &seed in &seeds {
+                let mut srng = SmallRng64::new(1000 * seed + 7);
+                let parts = partition_confusion(&ds, n_devices, level, &mut srng);
+                let devices: Vec<DeviceSetup> = parts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.len() >= 8)
+                    .map(|(i, p)| {
+                        let (train, test) = p.split(0.6, &mut srng);
+                        let train = train.sample(scale.pick(28, 14), &mut srng);
+                        DeviceSetup {
+                            device: DeviceId(i),
+                            train,
+                            test,
+                        }
+                    })
+                    .collect();
+                if devices.len() < 2 {
+                    continue;
+                }
+                let refine_cfg = RefineConfig {
+                    loop_rounds: scale.pick(3, 2),
+                    local_epochs: 1,
+                    drop_per_round: 6,
+                    method,
+                    ..RefineConfig::default()
+                };
+                let out = refine_cluster(
+                    EdgeId(0),
+                    &vit,
+                    &header,
+                    &ps,
+                    &devices,
+                    &refine_cfg,
+                    None,
+                    &mut SmallRng64::new(seed * 31),
+                );
+                for r in &out.results {
+                    total += r.improvement() as f64;
+                    count += 1;
+                }
+            }
+            row.push(format!("{:+.3}", total / count.max(1) as f64));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Fig. 11: accuracy improvement by aggregation method and data distribution",
+        &["distribution", "Alone", "Avg", "JS", "ACME"],
+        &rows,
+    );
+    println!("\npaper: all methods improve on the original model; Avg loses its edge as");
+    println!("confusion grows; ACME (Wasserstein) improves the most across all levels.");
+}

@@ -1,0 +1,124 @@
+//! Fig. 13(a) — auxiliary validation on the Stanford-Cars-like workload:
+//! accuracy and size of ACME's customized model vs the lightweight-ViT
+//! baselines under the storage constraint.
+//!
+//! Same protocol as `fig7a`, on the harder fine-grained dataset.
+
+use acme::{build_candidate_pool, coarse_header_search, customize_backbone_for_cluster};
+use acme_bench::{eval_cars, f3, print_table, RunScale};
+use acme_energy::{Device, DeviceCluster, EdgeId, EnergyModel};
+use acme_nas::SearchConfig;
+use acme_nn::ParamSet;
+use acme_tensor::SmallRng64;
+use acme_vit::baselines::BaselineKind;
+use acme_vit::headers::{HeadedVit, Header};
+use acme_vit::{evaluate, fit, DistillConfig, TrainConfig, Vit, VitConfig};
+
+fn main() {
+    let scale = RunScale::from_args();
+    let mut rng = SmallRng64::new(31);
+    let ds = eval_cars(scale, &mut rng);
+    let (train, test) = ds.split(0.8, &mut rng);
+    let classes = ds.num_classes();
+    let epochs = scale.pick(8, 3);
+    let image = ds.image_shape()[1];
+    let channels = ds.image_shape()[0];
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for kind in BaselineKind::all() {
+        let mut ps = ParamSet::new();
+        let model = kind.build(&mut ps, image, channels, classes, &mut rng);
+        fit(
+            model.as_ref(),
+            &mut ps,
+            &train,
+            &TrainConfig {
+                epochs,
+                ..TrainConfig::default()
+            },
+        );
+        let acc = evaluate(model.as_ref(), &ps, &test, 32);
+        rows.push(vec![
+            kind.to_string(),
+            ps.num_scalars().to_string(),
+            f3(acc as f64),
+        ]);
+    }
+
+    let cfg = VitConfig::reference(classes);
+    let mut tps = ParamSet::new();
+    let teacher = Vit::new(&mut tps, &cfg, &mut rng);
+    fit(
+        &teacher,
+        &mut tps,
+        &train,
+        &TrainConfig {
+            epochs,
+            ..TrainConfig::default()
+        },
+    );
+    let pool = build_candidate_pool(
+        &teacher,
+        &tps,
+        &train,
+        &test,
+        &[0.5, 0.75, 1.0],
+        &scale.pick(vec![2, 3, 4, 5, 6], vec![2, 4]),
+        &DistillConfig {
+            epochs: scale.pick(2, 1),
+            ..DistillConfig::default()
+        },
+        2,
+        &mut rng,
+    );
+    let budget = (cfg.exact_params() as f64 * 0.7) as u64;
+    let cluster = DeviceCluster::new(EdgeId(0), vec![Device::new(0, 5.0, budget)]);
+    let idx = customize_backbone_for_cluster(&pool, &cluster, &EnergyModel::default(), 5, 0.15)
+        .expect("budget feasible");
+    let chosen = &pool[idx];
+    let mut aps = chosen.ps.clone();
+    let backbone = chosen.vit.clone();
+    let search_cfg = SearchConfig {
+        num_blocks: 2,
+        u: 1,
+        rounds: scale.pick(2, 1),
+        shared_steps: scale.pick(10, 4),
+        controller_steps: scale.pick(8, 3),
+        final_candidates: scale.pick(4, 2),
+        ..SearchConfig::default()
+    };
+    let custom = coarse_header_search(
+        EdgeId(0),
+        &backbone,
+        &mut aps,
+        &train,
+        &search_cfg,
+        &mut rng,
+    );
+    let model = HeadedVit::new(&backbone, &custom.header);
+    fit(
+        &model,
+        &mut aps,
+        &train,
+        &TrainConfig {
+            epochs,
+            ..TrainConfig::default()
+        },
+    );
+    let acc = evaluate(&model, &aps, &test, 32);
+    let params = chosen.params + aps.num_scalars_of(&Header::param_ids(&custom.header)) as u64;
+    rows.push(vec![
+        format!("ACME (w={:.2} d={})", chosen.w, chosen.d),
+        params.to_string(),
+        f3(acc as f64),
+    ]);
+
+    print_table(
+        "Fig. 13(a): Stanford-Cars-like — accuracy vs parameters under storage constraint",
+        &["model", "params", "accuracy"],
+        &rows,
+    );
+    println!(
+        "\npaper: ACME's model improves average accuracy by ~3.9 points under the constraint."
+    );
+}

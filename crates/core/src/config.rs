@@ -1,0 +1,203 @@
+//! Pipeline configuration.
+
+use acme_data::{ConfusionLevel, SyntheticSpec};
+use acme_energy::EnergyModel;
+use acme_nas::SearchConfig;
+use acme_vit::{DistillConfig, TrainConfig, VitConfig};
+
+use crate::refine::RefineConfig;
+
+/// Full configuration of an [`Acme`](crate::Acme) run.
+#[derive(Debug, Clone)]
+pub struct AcmeConfig {
+    /// The reference backbone `θ₀`.
+    pub reference: VitConfig,
+    /// Synthetic dataset generator settings (classes must match
+    /// `reference.classes`).
+    pub dataset: SyntheticSpec,
+    /// Device clusters and devices per cluster.
+    pub clusters: usize,
+    /// Devices per cluster.
+    pub devices_per_cluster: usize,
+    /// How device-local data is skewed.
+    pub confusion: ConfusionLevel,
+    /// Width options `W^B` explored by Phase 1.
+    pub widths: Vec<f64>,
+    /// Depth options `D^B` explored by Phase 1.
+    pub depths: Vec<usize>,
+    /// Performance window `γ_p` of the Pareto grid (Eq. 11).
+    pub gamma_p: f64,
+    /// Energy model coefficients (Eq. 2).
+    pub energy: EnergyModel,
+    /// Epochs `k` of the energy integral (Eq. 1).
+    pub energy_epochs: usize,
+    /// Cloud pre-training schedule for `θ₀`.
+    pub pretrain: TrainConfig,
+    /// Distillation schedule per Phase 1 candidate (Eq. 9).
+    pub distill: DistillConfig,
+    /// Importance-scoring batches for head/neuron pruning.
+    pub importance_batches: usize,
+    /// Edge NAS settings (Phase 2-1).
+    pub search: SearchConfig,
+    /// Fraction of each device's data mirrored on its edge server
+    /// (the paper stores 10–20%).
+    pub edge_share: f64,
+    /// Device-side refinement settings (Phase 2-2 / Algorithm 2).
+    pub refine: RefineConfig,
+    /// Root RNG seed.
+    pub seed: u64,
+}
+
+impl AcmeConfig {
+    /// The paper-shaped default: 20-class CIFAR-100-like data, the
+    /// reference ViT, a 4×6 width/depth grid, and a 10-cluster fleet.
+    /// This is sized for the benchmark harness (minutes, release mode).
+    pub fn paper_scaled() -> Self {
+        let classes = 20;
+        AcmeConfig {
+            reference: VitConfig::reference(classes),
+            dataset: SyntheticSpec::cifar(),
+            clusters: 10,
+            devices_per_cluster: 5,
+            confusion: ConfusionLevel::C1,
+            widths: vec![0.25, 0.5, 0.75, 1.0],
+            depths: vec![1, 2, 3, 4, 5, 6],
+            gamma_p: 0.15,
+            energy: EnergyModel::default(),
+            energy_epochs: 5,
+            pretrain: TrainConfig {
+                epochs: 6,
+                ..TrainConfig::default()
+            },
+            distill: DistillConfig {
+                epochs: 2,
+                ..DistillConfig::default()
+            },
+            importance_batches: 4,
+            search: SearchConfig::default(),
+            edge_share: 0.15,
+            refine: RefineConfig::default(),
+            seed: 7,
+        }
+    }
+
+    /// A fast configuration for tests and the quickstart example
+    /// (seconds, not minutes).
+    pub fn quick() -> Self {
+        let classes = 6;
+        AcmeConfig {
+            reference: VitConfig {
+                image: 8,
+                patch: 4,
+                channels: 1,
+                dim: 16,
+                depth: 2,
+                heads: 2,
+                head_dim: 8,
+                mlp_hidden: 32,
+                classes,
+            },
+            dataset: SyntheticSpec {
+                classes,
+                per_class: 48,
+                channels: 1,
+                size: 8,
+                grid: 2,
+                noise: 0.25,
+                confusion: 0.25,
+            },
+            clusters: 2,
+            devices_per_cluster: 3,
+            confusion: ConfusionLevel::C1,
+            widths: vec![0.5, 1.0],
+            depths: vec![1, 2],
+            gamma_p: 0.2,
+            energy: EnergyModel::default(),
+            energy_epochs: 3,
+            pretrain: TrainConfig {
+                epochs: 4,
+                batch_size: 16,
+                ..TrainConfig::default()
+            },
+            distill: DistillConfig {
+                epochs: 1,
+                batch_size: 16,
+                ..DistillConfig::default()
+            },
+            importance_batches: 2,
+            search: SearchConfig::quick(),
+            edge_share: 0.15,
+            refine: RefineConfig::quick(),
+            seed: 7,
+        }
+    }
+
+    /// Sanity-checks cross-field consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        self.reference.validate()?;
+        if self.dataset.classes != self.reference.classes {
+            return Err(format!(
+                "dataset classes {} != model classes {}",
+                self.dataset.classes, self.reference.classes
+            ));
+        }
+        if self.clusters == 0 || self.devices_per_cluster == 0 {
+            return Err("fleet must be nonempty".to_string());
+        }
+        if self.widths.is_empty() || self.depths.is_empty() {
+            return Err("width/depth grids must be nonempty".to_string());
+        }
+        if self
+            .widths
+            .iter()
+            .any(|&w| !(0.0..=1.0).contains(&w) || w == 0.0)
+        {
+            return Err("widths must lie in (0, 1]".to_string());
+        }
+        if self
+            .depths
+            .iter()
+            .any(|&d| d == 0 || d > self.reference.depth)
+        {
+            return Err("depths must lie in 1..=reference depth".to_string());
+        }
+        if !(0.0..=1.0).contains(&self.edge_share) {
+            return Err("edge share must lie in [0, 1]".to_string());
+        }
+        Ok(())
+    }
+}
+
+impl Default for AcmeConfig {
+    fn default() -> Self {
+        AcmeConfig::paper_scaled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        AcmeConfig::paper_scaled().validate().unwrap();
+        AcmeConfig::quick().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_mismatches() {
+        let mut c = AcmeConfig::quick();
+        c.dataset.classes = 3;
+        assert!(c.validate().is_err());
+        let mut c = AcmeConfig::quick();
+        c.depths = vec![99];
+        assert!(c.validate().is_err());
+        let mut c = AcmeConfig::quick();
+        c.widths = vec![0.0];
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! # acme
+//!
+//! The end-to-end ACME pipeline: **A**daptive **C**ustomization of
+//! Transformer-based large **M**od**E**ls via a bidirectional single-loop
+//! cloud–edge–device system (ICDCS 2025).
+//!
+//! The pipeline composes the workspace substrates:
+//!
+//! 1. **Cloud pre-training** — the reference backbone `θ₀` is trained on
+//!    the cloud's public dataset.
+//! 2. **Phase 1, backbone customization** (Algorithm 1) — head/neuron
+//!    Taylor importance, width pruning and depth truncation build the
+//!    `(w, d)` candidate pool; knowledge distillation polishes each
+//!    student; per cluster, a Pareto Front Grid over (loss, energy, size)
+//!    truncated by the storage bound selects `δ(θ₀, w_s, d_s)`.
+//! 3. **Phase 2-1, coarse header** — each edge server runs the ENAS-style
+//!    block search on its shared dataset against the assigned backbone.
+//! 4. **Phase 2-2, fine header** (Algorithm 2) — devices freeze the
+//!    backbone, train the header locally, upload importance sets; the
+//!    edge aggregates them with Wasserstein-similarity weights and the
+//!    devices prune accordingly, for `T` single-loop rounds.
+//!
+//! Every transfer is metered through [`acme_distsys`], so the pipeline
+//! reports the Table I upload volumes alongside per-device accuracy.
+//!
+//! ```no_run
+//! use acme::{Acme, AcmeConfig};
+//! use acme_tensor::SmallRng64;
+//!
+//! let config = AcmeConfig::quick();
+//! let outcome = Acme::new(config).run(&mut SmallRng64::new(0));
+//! println!("mean accuracy: {:.3}", outcome.mean_accuracy());
+//! println!("upload volume: {:.3} MB", outcome.transfers.uplink_megabytes());
+//! ```
+
+mod config;
+mod outcome;
+mod phase1;
+mod phase2;
+mod pipeline;
+mod refine;
+
+pub use config::AcmeConfig;
+pub use outcome::{AcmeOutcome, BackboneAssignment, DeviceResult};
+pub use phase1::{build_candidate_pool, customize_backbone_for_cluster, CandidateModel};
+pub use phase2::{coarse_header_search, EdgeCustomization};
+pub use pipeline::Acme;
+pub use refine::{
+    apply_neuron_drops, backbone_features, header_neuron_importance, refine_cluster, DeviceSetup,
+    RefineConfig, RefineOutcome,
+};

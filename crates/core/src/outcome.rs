@@ -1,0 +1,113 @@
+//! Result types of a pipeline run.
+
+use acme_distsys::TransferReport;
+use acme_energy::{DeviceId, EdgeId};
+
+/// The backbone `δ(θ₀, w_s, d_s)` Phase 1 assigned to one cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackboneAssignment {
+    /// Owning edge server.
+    pub edge: EdgeId,
+    /// Width factor `w_s`.
+    pub w: f64,
+    /// Depth `d_s`.
+    pub d: usize,
+    /// Exact parameter count of the assigned backbone (+ default head).
+    pub params: u64,
+    /// Loss of the candidate on the cloud's public validation set.
+    pub loss: f64,
+    /// Representative energy of the cluster (Eq. 10's max).
+    pub energy: f64,
+}
+
+/// Per-device outcome of Phase 2-2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceResult {
+    /// The device.
+    pub device: DeviceId,
+    /// Its edge server.
+    pub edge: EdgeId,
+    /// Local test accuracy with the coarse header, before refinement.
+    pub accuracy_before: f32,
+    /// Local test accuracy after the single-loop refinement.
+    pub accuracy_after: f32,
+}
+
+impl DeviceResult {
+    /// Accuracy improvement from refinement.
+    pub fn improvement(&self) -> f32 {
+        self.accuracy_after - self.accuracy_before
+    }
+}
+
+/// The full outcome of an [`Acme`](crate::Acme) run.
+#[derive(Debug, Clone)]
+pub struct AcmeOutcome {
+    /// Per-cluster backbone assignments.
+    pub assignments: Vec<BackboneAssignment>,
+    /// Per-device refinement results.
+    pub devices: Vec<DeviceResult>,
+    /// Metered transfers of the whole pipeline.
+    pub transfers: TransferReport,
+    /// Header search-space cardinality explored per edge (Eq. 14).
+    pub header_search_space: u128,
+}
+
+impl AcmeOutcome {
+    /// Mean final accuracy over all devices.
+    pub fn mean_accuracy(&self) -> f32 {
+        if self.devices.is_empty() {
+            return 0.0;
+        }
+        self.devices
+            .iter()
+            .map(|d| d.accuracy_after as f64)
+            .sum::<f64>() as f32
+            / self.devices.len() as f32
+    }
+
+    /// Mean accuracy improvement from the refinement loop.
+    pub fn mean_improvement(&self) -> f32 {
+        if self.devices.is_empty() {
+            return 0.0;
+        }
+        self.devices
+            .iter()
+            .map(|d| d.improvement() as f64)
+            .sum::<f64>() as f32
+            / self.devices.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_handle_empty_and_nonempty() {
+        let empty = AcmeOutcome {
+            assignments: vec![],
+            devices: vec![],
+            transfers: TransferReport {
+                messages: 0,
+                total_bytes: 0,
+                uplink_bytes: 0,
+                per_kind: vec![],
+            },
+            header_search_space: 1,
+        };
+        assert_eq!(empty.mean_accuracy(), 0.0);
+        let one = AcmeOutcome {
+            devices: vec![DeviceResult {
+                device: DeviceId(0),
+                edge: EdgeId(0),
+                accuracy_before: 0.5,
+                accuracy_after: 0.7,
+            }],
+            ..empty
+        };
+        assert!((one.mean_accuracy() - 0.7).abs() < 1e-6);
+        assert!((one.mean_improvement() - 0.2).abs() < 1e-6);
+        assert!((one.devices[0].improvement() - 0.2).abs() < 1e-6);
+    }
+}

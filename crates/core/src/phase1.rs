@@ -1,0 +1,272 @@
+//! Phase 1: backbone generation and cluster-level customization
+//! (Algorithm 1).
+
+use acme_data::Dataset;
+use acme_energy::{DeviceCluster, EnergyModel};
+use acme_nn::ParamSet;
+use acme_pareto::{select_constrained, Candidate, GridSpec};
+use acme_tensor::{Graph, SmallRng64};
+use acme_vit::{
+    distill, evaluate, prune_width, score_importance, truncate_depth, DistillConfig, Vit,
+};
+
+/// One `(w, d)` candidate with its trained weights and cloud-side loss.
+pub struct CandidateModel {
+    /// Width factor.
+    pub w: f64,
+    /// Depth.
+    pub d: usize,
+    /// The student backbone.
+    pub vit: Vit,
+    /// Its parameters.
+    pub ps: ParamSet,
+    /// Cross-entropy on the cloud's public validation set.
+    pub loss: f64,
+    /// Accuracy on the same set (for the Fig. 9 efficiency metrics).
+    pub accuracy: f64,
+    /// Exact parameter count.
+    pub params: u64,
+}
+
+impl std::fmt::Debug for CandidateModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CandidateModel")
+            .field("w", &self.w)
+            .field("d", &self.d)
+            .field("loss", &self.loss)
+            .field("params", &self.params)
+            .finish()
+    }
+}
+
+/// Mean cross-entropy of `vit`'s default head on `data`.
+fn val_loss(vit: &Vit, ps: &ParamSet, data: &Dataset, batch_size: usize) -> f64 {
+    let mut rng = SmallRng64::new(0);
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    for batch in data.batches(batch_size, &mut rng) {
+        let mut g = Graph::new();
+        let logits = vit.logits(&mut g, ps, &batch.images);
+        let loss = g.cross_entropy_logits(logits, &batch.labels);
+        total += g.value(loss).item() as f64 * batch.labels.len() as f64;
+        count += batch.labels.len();
+    }
+    total / count.max(1) as f64
+}
+
+/// Builds the backbone candidate pool: for every `(w, d)` of the grids,
+/// importance-prune the teacher to width `w` (Eqs. 6–8), truncate to
+/// depth `d`, distill against the teacher (Eq. 9), and measure loss and
+/// accuracy on the cloud's public validation split.
+///
+/// # Panics
+///
+/// Panics on empty grids or datasets.
+#[allow(clippy::too_many_arguments)]
+pub fn build_candidate_pool(
+    teacher: &Vit,
+    teacher_ps: &ParamSet,
+    public_train: &Dataset,
+    public_val: &Dataset,
+    widths: &[f64],
+    depths: &[usize],
+    distill_cfg: &DistillConfig,
+    importance_batches: usize,
+    rng: &mut SmallRng64,
+) -> Vec<CandidateModel> {
+    assert!(
+        !widths.is_empty() && !depths.is_empty(),
+        "empty candidate grid"
+    );
+    assert!(
+        !public_train.is_empty() && !public_val.is_empty(),
+        "empty public data"
+    );
+    let scores = score_importance(
+        teacher,
+        teacher_ps,
+        public_train,
+        importance_batches,
+        distill_cfg.batch_size,
+        rng,
+    );
+    let mut pool = Vec::with_capacity(widths.len() * depths.len());
+    for &w in widths {
+        // Width pruning once per width; depth truncations share it.
+        let (wide, wide_ps) = prune_width(teacher, teacher_ps, &scores, w);
+        for &d in depths {
+            let (vit, mut ps) = truncate_depth(&wide, &wide_ps, d);
+            if distill_cfg.epochs > 0 {
+                distill(
+                    teacher,
+                    teacher_ps,
+                    &vit,
+                    &mut ps,
+                    public_train,
+                    distill_cfg,
+                );
+            }
+            let loss = val_loss(&vit, &ps, public_val, distill_cfg.batch_size);
+            let accuracy = evaluate(&vit, &ps, public_val, distill_cfg.batch_size) as f64;
+            let params = ps.num_scalars() as u64;
+            pool.push(CandidateModel {
+                w,
+                d,
+                vit,
+                ps,
+                loss,
+                accuracy,
+                params,
+            });
+        }
+    }
+    pool
+}
+
+/// Algorithm 1's per-cluster selection: builds the objective vectors
+/// `f_s = [L, E_s, ζ]` (energy is the cluster's representative maximum,
+/// Eq. 10), constructs the Pareto Front Grid, truncates by
+/// `min_n C_n`, and applies the Eq. (13) selection rule.
+///
+/// Returns the index into `pool` of the chosen candidate, or `None` when
+/// nothing fits the cluster's storage bound.
+pub fn customize_backbone_for_cluster(
+    pool: &[CandidateModel],
+    cluster: &DeviceCluster,
+    energy: &EnergyModel,
+    energy_epochs: usize,
+    gamma_p: f64,
+) -> Option<usize> {
+    let candidates: Vec<Candidate> = pool
+        .iter()
+        .map(|c| {
+            // Representative energy: the maximum over the cluster, i.e.
+            // the weakest (slowest) device.
+            let e = cluster
+                .devices()
+                .iter()
+                .map(|dev| energy.energy(dev, c.w, c.d, energy_epochs))
+                .fold(f64::NEG_INFINITY, f64::max);
+            Candidate::new(c.w, c.d, [c.loss, e, c.params as f64]).with_accuracy(c.accuracy)
+        })
+        .collect();
+    let spec = GridSpec::from_candidates(&candidates, gamma_p).ok()?;
+    let chosen = select_constrained(&candidates, &spec, cluster.min_storage() as f64)?;
+    pool.iter().position(|c| c.w == chosen.w && c.d == chosen.d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acme_data::{cifar100_like, SyntheticSpec};
+    use acme_energy::{Device, EdgeId};
+    use acme_vit::VitConfig;
+
+    fn setup() -> (Vit, ParamSet, Dataset, Dataset, SmallRng64) {
+        let mut rng = SmallRng64::new(0);
+        let ds = cifar100_like(&SyntheticSpec::tiny().with_per_class(12), &mut rng);
+        let (train, val) = ds.split(0.7, &mut rng);
+        let cfg = VitConfig::tiny(ds.num_classes());
+        let mut ps = ParamSet::new();
+        let vit = Vit::new(&mut ps, &cfg, &mut rng);
+        (vit, ps, train, val, rng)
+    }
+
+    #[test]
+    fn pool_covers_grid_with_monotone_sizes() {
+        let (vit, ps, train, val, mut rng) = setup();
+        let pool = build_candidate_pool(
+            &vit,
+            &ps,
+            &train,
+            &val,
+            &[0.5, 1.0],
+            &[1, 2],
+            &DistillConfig {
+                epochs: 0,
+                ..DistillConfig::default()
+            },
+            1,
+            &mut rng,
+        );
+        assert_eq!(pool.len(), 4);
+        let full = pool.iter().find(|c| c.w == 1.0 && c.d == 2).unwrap();
+        let tiny = pool.iter().find(|c| c.w == 0.5 && c.d == 1).unwrap();
+        assert!(tiny.params < full.params);
+        assert!(pool.iter().all(|c| c.loss.is_finite() && c.loss > 0.0));
+    }
+
+    #[test]
+    fn cluster_selection_respects_storage() {
+        let (vit, ps, train, val, mut rng) = setup();
+        let pool = build_candidate_pool(
+            &vit,
+            &ps,
+            &train,
+            &val,
+            &[0.5, 1.0],
+            &[1, 2],
+            &DistillConfig {
+                epochs: 0,
+                ..DistillConfig::default()
+            },
+            1,
+            &mut rng,
+        );
+        let max_params = pool.iter().map(|c| c.params).max().unwrap();
+        let min_params = pool.iter().map(|c| c.params).min().unwrap();
+        // A storage bound between min and max forces a smaller model.
+        let tight = DeviceCluster::new(
+            EdgeId(0),
+            vec![Device::new(0, 5.0, (min_params + max_params) / 2)],
+        );
+        let i = customize_backbone_for_cluster(&pool, &tight, &EnergyModel::default(), 3, 0.2)
+            .expect("feasible");
+        assert!(pool[i].params < (min_params + max_params) / 2);
+        // An infeasible bound yields None.
+        let hopeless = DeviceCluster::new(EdgeId(1), vec![Device::new(1, 5.0, 1)]);
+        assert!(
+            customize_backbone_for_cluster(&pool, &hopeless, &EnergyModel::default(), 3, 0.2)
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn distillation_improves_candidate_loss() {
+        let (vit, mut ps, train, val, mut rng) = setup();
+        // Train the teacher so distillation has signal.
+        acme_vit::fit(
+            &vit,
+            &mut ps,
+            &train,
+            &acme_vit::TrainConfig {
+                epochs: 6,
+                ..acme_vit::TrainConfig::quick()
+            },
+        );
+        let mk_pool = |epochs: usize, rng: &mut SmallRng64| {
+            build_candidate_pool(
+                &vit,
+                &ps,
+                &train,
+                &val,
+                &[1.0],
+                &[1],
+                &DistillConfig {
+                    epochs,
+                    ..DistillConfig::default()
+                },
+                1,
+                rng,
+            )
+        };
+        let raw = mk_pool(0, &mut rng.clone());
+        let distilled = mk_pool(3, &mut rng);
+        assert!(
+            distilled[0].loss < raw[0].loss,
+            "distilled {} vs raw {}",
+            distilled[0].loss,
+            raw[0].loss
+        );
+    }
+}

@@ -1,0 +1,281 @@
+//! The end-to-end orchestration of all three ACME stages.
+
+use acme_data::{generate, partition_confusion, Dataset};
+use acme_distsys::{Network, NodeId, Payload};
+use acme_energy::Fleet;
+use acme_nas::search_space_size;
+use acme_nas::OpKind;
+use acme_nn::ParamSet;
+use acme_tensor::SmallRng64;
+use acme_vit::{fit, Vit};
+
+use crate::config::AcmeConfig;
+use crate::outcome::{AcmeOutcome, BackboneAssignment};
+use crate::phase1::{build_candidate_pool, customize_backbone_for_cluster};
+use crate::phase2::coarse_header_search;
+use crate::refine::{refine_cluster, DeviceSetup};
+
+/// The pipeline runner. Construct with a validated [`AcmeConfig`] and
+/// call [`Acme::run`].
+#[derive(Debug, Clone)]
+pub struct Acme {
+    config: AcmeConfig,
+}
+
+impl Acme {
+    /// Wraps a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is inconsistent (see
+    /// [`AcmeConfig::validate`]).
+    pub fn new(config: AcmeConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid ACME configuration: {e}");
+        }
+        Acme { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AcmeConfig {
+        &self.config
+    }
+
+    /// Executes the full pipeline and returns per-cluster assignments,
+    /// per-device accuracies, and the metered transfer report.
+    pub fn run(&self, rng: &mut SmallRng64) -> AcmeOutcome {
+        let cfg = &self.config;
+        let mut data_rng = rng.fork(1);
+        let mut model_rng = rng.fork(2);
+        let mut pipe_rng = rng.fork(3);
+
+        // Data: the cloud's public dataset and the devices' private pool.
+        let public = generate(&cfg.dataset, &mut data_rng);
+        let (public_train, public_val) = public.split(0.8, &mut data_rng);
+        let device_pool = generate(&cfg.dataset, &mut data_rng);
+        let fleet = Fleet::micro_scaled(
+            cfg.clusters,
+            cfg.devices_per_cluster,
+            cfg.reference.exact_params(),
+        );
+        let parts = partition_confusion(
+            &device_pool,
+            fleet.num_devices(),
+            cfg.confusion,
+            &mut data_rng,
+        );
+
+        // Transfer metering fabric.
+        let net = Network::new();
+        let _cloud_rx = net.register(NodeId::Cloud);
+        let _edge_rxs: Vec<_> = fleet
+            .clusters()
+            .iter()
+            .map(|c| net.register(NodeId::Edge(c.edge())))
+            .collect();
+        let _device_rxs: Vec<_> = fleet
+            .clusters()
+            .iter()
+            .flat_map(|c| {
+                c.devices()
+                    .iter()
+                    .map(|d| net.register(NodeId::Device(d.id())))
+            })
+            .collect();
+
+        // Cloud pre-training of the reference model θ0.
+        let mut teacher_ps = ParamSet::new();
+        let teacher = Vit::new(&mut teacher_ps, &cfg.reference, &mut model_rng);
+        fit(&teacher, &mut teacher_ps, &public_train, &cfg.pretrain);
+
+        // Phase 1: candidate pool + per-cluster backbone customization.
+        let pool = build_candidate_pool(
+            &teacher,
+            &teacher_ps,
+            &public_train,
+            &public_val,
+            &cfg.widths,
+            &cfg.depths,
+            &cfg.distill,
+            cfg.importance_batches,
+            &mut pipe_rng,
+        );
+        let mut assignments = Vec::with_capacity(cfg.clusters);
+        let mut cluster_choice = Vec::with_capacity(cfg.clusters);
+        for cluster in fleet.clusters() {
+            let edge = cluster.edge();
+            net.send(
+                NodeId::Edge(edge),
+                NodeId::Cloud,
+                Payload::AttributeReport {
+                    device_count: cluster.devices().len(),
+                    min_storage: cluster.min_storage(),
+                    min_gpu: cluster.weakest_device().gpu_capacity(),
+                    max_gpu: cluster
+                        .devices()
+                        .iter()
+                        .map(|d| d.gpu_capacity())
+                        .fold(f64::NEG_INFINITY, f64::max),
+                },
+            )
+            .expect("attribute upload");
+            // Fall back to the smallest candidate when nothing fits.
+            let idx = customize_backbone_for_cluster(
+                &pool,
+                cluster,
+                &cfg.energy,
+                cfg.energy_epochs,
+                cfg.gamma_p,
+            )
+            .unwrap_or_else(|| {
+                pool.iter()
+                    .enumerate()
+                    .min_by_key(|(_, c)| c.params)
+                    .map(|(i, _)| i)
+                    .expect("nonempty pool")
+            });
+            let chosen = &pool[idx];
+            net.send(
+                NodeId::Cloud,
+                NodeId::Edge(edge),
+                Payload::BackboneAssignment {
+                    w: chosen.w,
+                    d: chosen.d,
+                    param_count: chosen.params,
+                },
+            )
+            .expect("backbone assignment");
+            let energy = cluster
+                .devices()
+                .iter()
+                .map(|d| cfg.energy.energy(d, chosen.w, chosen.d, cfg.energy_epochs))
+                .fold(f64::NEG_INFINITY, f64::max);
+            assignments.push(BackboneAssignment {
+                edge,
+                w: chosen.w,
+                d: chosen.d,
+                params: chosen.params,
+                loss: chosen.loss,
+                energy,
+            });
+            cluster_choice.push(idx);
+        }
+
+        // Phases 2-1 and 2-2 per cluster.
+        let mut device_results = Vec::with_capacity(fleet.num_devices());
+        let mut global_device = 0usize;
+        for (s, cluster) in fleet.clusters().iter().enumerate() {
+            let edge = cluster.edge();
+            let chosen = &pool[cluster_choice[s]];
+            // Each edge works on its own copy of the assigned backbone.
+            let mut edge_ps = chosen.ps.clone();
+            let backbone = chosen.vit.clone();
+            // Device data for this cluster, plus the edge's shared slice.
+            let mut devices = Vec::with_capacity(cluster.devices().len());
+            let mut edge_data = Dataset::default();
+            for dev in cluster.devices() {
+                let part = &parts[global_device];
+                global_device += 1;
+                let (train, test) = part.split(0.75, &mut data_rng);
+                let share = train.sample(
+                    (cfg.edge_share * train.len() as f64).ceil() as usize,
+                    &mut data_rng,
+                );
+                edge_data = if edge_data.is_empty() {
+                    share
+                } else {
+                    edge_data.merged(&share)
+                };
+                devices.push(DeviceSetup {
+                    device: dev.id(),
+                    train,
+                    test,
+                });
+            }
+            // Phase 2-1: NAS on the edge's shared dataset.
+            let customization = coarse_header_search(
+                edge,
+                &backbone,
+                &mut edge_ps,
+                &edge_data,
+                &cfg.search,
+                &mut pipe_rng,
+            );
+            let header = customization.header;
+            let header_params =
+                edge_ps.num_scalars_of(&acme_vit::headers::Header::param_ids(&header)) as u64;
+            for dev in cluster.devices() {
+                net.send(
+                    NodeId::Edge(edge),
+                    NodeId::Device(dev.id()),
+                    Payload::HeaderSpec {
+                        tokens: header.arch().to_tokens(),
+                        u: header.arch().u(),
+                        param_count: header_params + chosen.params,
+                    },
+                )
+                .expect("header distribution");
+            }
+            // Phase 2-2: the single-loop refinement.
+            let refine = refine_cluster(
+                edge,
+                &backbone,
+                &header,
+                &edge_ps,
+                &devices,
+                &cfg.refine,
+                Some(&net),
+                &mut pipe_rng,
+            );
+            device_results.extend(refine.results);
+        }
+
+        AcmeOutcome {
+            assignments,
+            devices: device_results,
+            transfers: net.ledger().report(),
+            header_search_space: search_space_size(cfg.search.num_blocks, OpKind::all().len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_pipeline_end_to_end() {
+        let acme = Acme::new(AcmeConfig::quick());
+        let outcome = acme.run(&mut SmallRng64::new(0));
+        let cfg = acme.config();
+        assert_eq!(outcome.assignments.len(), cfg.clusters);
+        assert_eq!(
+            outcome.devices.len(),
+            cfg.clusters * cfg.devices_per_cluster
+        );
+        // Storage constraints hold (quick fleet storage is far above the
+        // tiny models, but the invariant must not be violated).
+        for a in &outcome.assignments {
+            assert!(a.params > 0 && a.loss.is_finite() && a.energy > 0.0);
+        }
+        // Devices end above chance (6 classes -> 1/6).
+        let mean = outcome.mean_accuracy();
+        assert!(mean > 1.0 / 6.0, "mean accuracy {mean}");
+        // The pipeline never uploads raw data.
+        assert!(outcome
+            .transfers
+            .per_kind
+            .iter()
+            .all(|r| r.kind != "raw-data-upload"));
+        assert!(outcome.transfers.uplink_bytes > 0);
+        assert!(outcome.header_search_space > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ACME configuration")]
+    fn constructor_rejects_bad_config() {
+        let mut cfg = AcmeConfig::quick();
+        cfg.widths.clear();
+        Acme::new(cfg);
+    }
+}

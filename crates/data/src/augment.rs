@@ -1,0 +1,151 @@
+//! Lightweight image augmentation for device-side training.
+//!
+//! The paper's devices train on small private datasets; standard
+//! augmentation (mirroring, jittered crops, pixel noise) is the usual
+//! counterweight to that scarcity and composes with every training loop
+//! in the workspace because it produces plain [`Dataset`]s.
+
+use acme_tensor::Array;
+use rand::Rng;
+
+use crate::dataset::Dataset;
+
+/// Augmentation policy applied independently per example.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Augment {
+    /// Probability of a horizontal mirror.
+    pub flip_prob: f64,
+    /// Maximum shift (pixels) of a jittered crop, zero-padded.
+    pub max_shift: usize,
+    /// Std-dev of additive pixel noise.
+    pub noise: f32,
+}
+
+impl Default for Augment {
+    fn default() -> Self {
+        Augment { flip_prob: 0.5, max_shift: 1, noise: 0.05 }
+    }
+}
+
+impl Augment {
+    /// No-op policy.
+    pub fn none() -> Self {
+        Augment { flip_prob: 0.0, max_shift: 0, noise: 0.0 }
+    }
+
+    /// Applies the policy to one `[c, h, w]` image.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-3-D images.
+    pub fn apply(&self, image: &Array, rng: &mut impl Rng) -> Array {
+        assert_eq!(image.rank(), 3, "augment expects [c, h, w]");
+        let (c, h, w) = (image.shape()[0], image.shape()[1], image.shape()[2]);
+        let flip = self.flip_prob > 0.0 && rng.gen_bool(self.flip_prob.clamp(0.0, 1.0));
+        let (dy, dx) = if self.max_shift > 0 {
+            let m = self.max_shift as i64;
+            (rng.gen_range(-m..=m), rng.gen_range(-m..=m))
+        } else {
+            (0, 0)
+        };
+        let mut out = Array::zeros(image.shape());
+        for ci in 0..c {
+            for y in 0..h {
+                for x in 0..w {
+                    let sx = if flip { w - 1 - x } else { x } as i64 - dx;
+                    let sy = y as i64 - dy;
+                    if sy >= 0 && sy < h as i64 && sx >= 0 && sx < w as i64 {
+                        let mut v = image.at(&[ci, sy as usize, sx as usize]);
+                        if self.noise > 0.0 {
+                            // Box-Muller on demand keeps this allocation-free.
+                            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                            let u2: f32 = rng.gen_range(0.0..1.0);
+                            v += self.noise
+                                * (-2.0 * u1.ln()).sqrt()
+                                * (2.0 * std::f32::consts::PI * u2).cos();
+                        }
+                        *out.at_mut(&[ci, y, x]) = v;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Produces an augmented copy of a whole dataset (labels unchanged).
+    pub fn apply_dataset(&self, ds: &Dataset, rng: &mut impl Rng) -> Dataset {
+        let images = (0..ds.len()).map(|i| self.apply(ds.get(i).0, rng)).collect();
+        let labels = ds.labels().to_vec();
+        Dataset::new(images, labels, ds.num_classes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{generate, SyntheticSpec};
+    use acme_tensor::SmallRng64;
+
+    fn image() -> Array {
+        Array::from_vec((0..16).map(|v| v as f32).collect(), &[1, 4, 4]).unwrap()
+    }
+
+    #[test]
+    fn none_policy_is_identity() {
+        let img = image();
+        let out = Augment::none().apply(&img, &mut SmallRng64::new(0));
+        assert_eq!(out, img);
+    }
+
+    #[test]
+    fn flip_mirrors_rows() {
+        let img = image();
+        let aug = Augment { flip_prob: 1.0, max_shift: 0, noise: 0.0 };
+        let out = aug.apply(&img, &mut SmallRng64::new(0));
+        // Row 0: 0 1 2 3 -> 3 2 1 0.
+        assert_eq!(&out.data()[0..4], &[3.0, 2.0, 1.0, 0.0]);
+        // Double flip restores.
+        let back = aug.apply(&out, &mut SmallRng64::new(0));
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn shift_pads_with_zeros_and_preserves_mass_bound() {
+        let img = image();
+        let aug = Augment { flip_prob: 0.0, max_shift: 2, noise: 0.0 };
+        let mut rng = SmallRng64::new(3);
+        for _ in 0..10 {
+            let out = aug.apply(&img, &mut rng);
+            // Shifting can only drop pixels, never invent larger values.
+            assert!(out.max() <= img.max());
+            assert!(out.min() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn noise_changes_values_but_keeps_shape() {
+        let img = image();
+        let aug = Augment { flip_prob: 0.0, max_shift: 0, noise: 0.5 };
+        let out = aug.apply(&img, &mut SmallRng64::new(1));
+        assert_eq!(out.shape(), img.shape());
+        assert_ne!(out, img);
+    }
+
+    #[test]
+    fn dataset_augmentation_preserves_labels_and_counts() {
+        let ds = generate(&SyntheticSpec::tiny(), &mut SmallRng64::new(0));
+        let aug = Augment::default().apply_dataset(&ds, &mut SmallRng64::new(1));
+        assert_eq!(aug.len(), ds.len());
+        assert_eq!(aug.labels(), ds.labels());
+        assert_eq!(aug.num_classes(), ds.num_classes());
+        assert_eq!(aug.image_shape(), ds.image_shape());
+    }
+
+    #[test]
+    fn augmentation_is_deterministic_under_seed() {
+        let ds = generate(&SyntheticSpec::tiny(), &mut SmallRng64::new(0));
+        let a = Augment::default().apply_dataset(&ds, &mut SmallRng64::new(9));
+        let b = Augment::default().apply_dataset(&ds, &mut SmallRng64::new(9));
+        assert_eq!(a.get(5).0, b.get(5).0);
+    }
+}

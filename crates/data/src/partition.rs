@@ -1,0 +1,333 @@
+//! Device partitioning: IID, label shards, Dirichlet skew, and the
+//! paper's C1/C2/C3 confusion levels (Fig. 11).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::dataset::Dataset;
+
+/// Data-heterogeneity level from Fig. 11 of the paper: IID plus three
+/// increasingly confused non-IID distributions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConfusionLevel {
+    /// Uniform random split.
+    Iid,
+    /// Mild label skew.
+    C1,
+    /// Moderate label skew.
+    C2,
+    /// Severe label skew.
+    C3,
+}
+
+impl ConfusionLevel {
+    /// Dirichlet concentration realizing this level (smaller = more
+    /// skewed).
+    pub fn dirichlet_alpha(self) -> f64 {
+        match self {
+            ConfusionLevel::Iid => 1000.0,
+            ConfusionLevel::C1 => 1.0,
+            ConfusionLevel::C2 => 0.4,
+            ConfusionLevel::C3 => 0.1,
+        }
+    }
+
+    /// All levels in increasing confusion order.
+    pub fn all() -> [ConfusionLevel; 4] {
+        [
+            ConfusionLevel::Iid,
+            ConfusionLevel::C1,
+            ConfusionLevel::C2,
+            ConfusionLevel::C3,
+        ]
+    }
+}
+
+impl std::fmt::Display for ConfusionLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ConfusionLevel::Iid => "IID",
+            ConfusionLevel::C1 => "C1",
+            ConfusionLevel::C2 => "C2",
+            ConfusionLevel::C3 => "C3",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Splits uniformly at random into `n_parts` near-equal shards.
+///
+/// # Panics
+///
+/// Panics when `n_parts` is zero.
+pub fn partition_iid(ds: &Dataset, n_parts: usize, rng: &mut impl Rng) -> Vec<Dataset> {
+    assert!(n_parts > 0, "n_parts must be positive");
+    let mut idx: Vec<usize> = (0..ds.len()).collect();
+    idx.shuffle(rng);
+    let mut parts: Vec<Vec<usize>> = vec![Vec::new(); n_parts];
+    for (i, &e) in idx.iter().enumerate() {
+        parts[i % n_parts].push(e);
+    }
+    parts.iter().map(|p| ds.subset(p)).collect()
+}
+
+/// Classic shard-based non-IID split: each part receives examples from at
+/// most `classes_per_part` classes.
+///
+/// # Panics
+///
+/// Panics when `n_parts` or `classes_per_part` is zero.
+pub fn partition_shards(
+    ds: &Dataset,
+    n_parts: usize,
+    classes_per_part: usize,
+    rng: &mut impl Rng,
+) -> Vec<Dataset> {
+    assert!(n_parts > 0 && classes_per_part > 0, "degenerate shard spec");
+    let classes = ds.num_classes();
+    // Assign each part a set of classes (cyclic over a shuffled class list
+    // so every class is used when possible).
+    let mut class_order: Vec<usize> = (0..classes).collect();
+    class_order.shuffle(rng);
+    let mut part_classes: Vec<Vec<usize>> = vec![Vec::new(); n_parts];
+    let mut cursor = 0;
+    for pc in &mut part_classes {
+        for _ in 0..classes_per_part {
+            pc.push(class_order[cursor % classes]);
+            cursor += 1;
+        }
+    }
+    // Per class, the list of owning parts; spread that class's examples
+    // across its owners.
+    let mut owners: Vec<Vec<usize>> = vec![Vec::new(); classes];
+    for (p, pc) in part_classes.iter().enumerate() {
+        for &c in pc {
+            owners[c].push(p);
+        }
+    }
+    let mut parts: Vec<Vec<usize>> = vec![Vec::new(); n_parts];
+    let mut per_class_counter = vec![0usize; classes];
+    for i in 0..ds.len() {
+        let c = ds.get(i).1;
+        if owners[c].is_empty() {
+            continue; // class not assigned anywhere (classes > n_parts * cpp)
+        }
+        let o = owners[c][per_class_counter[c] % owners[c].len()];
+        per_class_counter[c] += 1;
+        parts[o].push(i);
+    }
+    parts.iter().map(|p| ds.subset(p)).collect()
+}
+
+/// Samples a Dirichlet(α,…,α) vector of length `k` by normalizing Gamma
+/// draws (Marsaglia–Tsang for α ≥ 1, boosted for α < 1).
+fn dirichlet(alpha: f64, k: usize, rng: &mut impl Rng) -> Vec<f64> {
+    let mut draws: Vec<f64> = (0..k).map(|_| gamma_sample(alpha, rng)).collect();
+    let sum: f64 = draws.iter().sum();
+    if sum <= 0.0 {
+        return vec![1.0 / k as f64; k];
+    }
+    for d in &mut draws {
+        *d /= sum;
+    }
+    draws
+}
+
+fn gamma_sample(alpha: f64, rng: &mut impl Rng) -> f64 {
+    if alpha < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) * U^{1/a}.
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        return gamma_sample(alpha + 1.0, rng) * u.powf(1.0 / alpha);
+    }
+    // Marsaglia–Tsang squeeze method.
+    let d = alpha - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x: f64 = {
+            // Standard normal via Box–Muller.
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        };
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// Dirichlet label-skew split: for each class, proportions over parts are
+/// drawn from `Dirichlet(alpha)`; smaller `alpha` concentrates each class
+/// on fewer devices.
+///
+/// # Panics
+///
+/// Panics when `n_parts` is zero or `alpha` is not positive.
+pub fn partition_dirichlet(
+    ds: &Dataset,
+    n_parts: usize,
+    alpha: f64,
+    rng: &mut impl Rng,
+) -> Vec<Dataset> {
+    assert!(n_parts > 0, "n_parts must be positive");
+    assert!(alpha > 0.0, "alpha must be positive");
+    let classes = ds.num_classes();
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); classes];
+    for i in 0..ds.len() {
+        by_class[ds.get(i).1].push(i);
+    }
+    let mut parts: Vec<Vec<usize>> = vec![Vec::new(); n_parts];
+    for mut idxs in by_class {
+        idxs.shuffle(rng);
+        let props = dirichlet(alpha, n_parts, rng);
+        // Cumulative allocation keeps counts exact.
+        let n = idxs.len();
+        let mut start = 0usize;
+        let mut acc = 0.0f64;
+        for (p, &w) in props.iter().enumerate() {
+            acc += w;
+            let end = if p + 1 == n_parts {
+                n
+            } else {
+                ((n as f64) * acc).round() as usize
+            };
+            let end = end.clamp(start, n);
+            parts[p].extend_from_slice(&idxs[start..end]);
+            start = end;
+        }
+    }
+    parts.iter().map(|p| ds.subset(p)).collect()
+}
+
+/// Splits according to a [`ConfusionLevel`] (IID or Dirichlet at the
+/// level's α).
+pub fn partition_confusion(
+    ds: &Dataset,
+    n_parts: usize,
+    level: ConfusionLevel,
+    rng: &mut impl Rng,
+) -> Vec<Dataset> {
+    match level {
+        ConfusionLevel::Iid => partition_iid(ds, n_parts, rng),
+        other => partition_dirichlet(ds, n_parts, other.dirichlet_alpha(), rng),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{generate, SyntheticSpec};
+    use acme_tensor::SmallRng64;
+
+    fn toy() -> Dataset {
+        generate(
+            &SyntheticSpec::tiny().with_per_class(20),
+            &mut SmallRng64::new(0),
+        )
+    }
+
+    fn label_entropy(ds: &Dataset) -> f64 {
+        let mut counts = vec![0usize; ds.num_classes()];
+        for &l in ds.labels() {
+            counts[l] += 1;
+        }
+        let n = ds.len() as f64;
+        counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / n;
+                -p * p.ln()
+            })
+            .sum()
+    }
+
+    #[test]
+    fn iid_split_is_near_equal_and_complete() {
+        let ds = toy();
+        let parts = partition_iid(&ds, 5, &mut SmallRng64::new(1));
+        assert_eq!(parts.len(), 5);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, ds.len());
+        let max = parts.iter().map(|p| p.len()).max().unwrap();
+        let min = parts.iter().map(|p| p.len()).min().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn shards_limit_classes_per_part() {
+        let ds = toy();
+        let parts = partition_shards(&ds, 4, 2, &mut SmallRng64::new(2));
+        for p in &parts {
+            let mut classes: Vec<usize> = p.labels().to_vec();
+            classes.sort_unstable();
+            classes.dedup();
+            assert!(classes.len() <= 2, "part has {} classes", classes.len());
+        }
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, ds.len());
+    }
+
+    #[test]
+    fn dirichlet_preserves_all_examples() {
+        let ds = toy();
+        let parts = partition_dirichlet(&ds, 5, 0.5, &mut SmallRng64::new(3));
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, ds.len());
+    }
+
+    #[test]
+    fn smaller_alpha_is_more_skewed() {
+        let ds = generate(
+            &SyntheticSpec::tiny().with_classes(8).with_per_class(30),
+            &mut SmallRng64::new(7),
+        );
+        let avg_entropy = |alpha: f64, seed: u64| {
+            let parts = partition_dirichlet(&ds, 4, alpha, &mut SmallRng64::new(seed));
+            parts
+                .iter()
+                .filter(|p| !p.is_empty())
+                .map(|p| label_entropy(p))
+                .sum::<f64>()
+                / parts.len() as f64
+        };
+        // Average over several seeds for stability.
+        let skewed: f64 = (0..5).map(|s| avg_entropy(0.1, s)).sum::<f64>() / 5.0;
+        let uniform: f64 = (0..5).map(|s| avg_entropy(100.0, s)).sum::<f64>() / 5.0;
+        assert!(skewed < uniform, "skewed {skewed} vs uniform {uniform}");
+    }
+
+    #[test]
+    fn confusion_levels_are_ordered() {
+        assert!(ConfusionLevel::C1.dirichlet_alpha() > ConfusionLevel::C2.dirichlet_alpha());
+        assert!(ConfusionLevel::C2.dirichlet_alpha() > ConfusionLevel::C3.dirichlet_alpha());
+        assert_eq!(ConfusionLevel::all().len(), 4);
+        assert_eq!(ConfusionLevel::C2.to_string(), "C2");
+    }
+
+    #[test]
+    fn partition_confusion_dispatches() {
+        let ds = toy();
+        for level in ConfusionLevel::all() {
+            let parts = partition_confusion(&ds, 3, level, &mut SmallRng64::new(5));
+            assert_eq!(parts.iter().map(|p| p.len()).sum::<usize>(), ds.len());
+        }
+    }
+
+    #[test]
+    fn gamma_sampler_has_right_mean() {
+        let mut rng = SmallRng64::new(11);
+        for &alpha in &[0.5f64, 1.0, 3.0] {
+            let n = 4000;
+            let mean: f64 = (0..n).map(|_| gamma_sample(alpha, &mut rng)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - alpha).abs() < 0.15 * alpha.max(1.0),
+                "alpha {alpha} mean {mean}"
+            );
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Link model: estimated wall-clock time of a metered transfer schedule.
+//!
+//! The paper reports upload *volume* (Table I); this module extends the
+//! accounting with a simple bandwidth/latency link model so the same
+//! ledger can also answer "how long would this schedule take" — the
+//! question the paper's latency-motivated introduction raises.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ledger::TransferReport;
+
+/// Bandwidth/latency parameters of one link class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Usable bandwidth in bytes per second.
+    pub bandwidth_bps: f64,
+    /// Per-message round-trip setup latency in seconds.
+    pub rtt_seconds: f64,
+}
+
+impl Link {
+    /// Time to move `bytes` over this link in one message.
+    pub fn transfer_seconds(&self, bytes: u64) -> f64 {
+        self.rtt_seconds + bytes as f64 / self.bandwidth_bps.max(1.0)
+    }
+}
+
+/// The three-tier topology's link classes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkModel {
+    /// Device ↔ edge links (LAN-ish).
+    pub device_edge: Link,
+    /// Edge ↔ cloud links (WAN-ish).
+    pub edge_cloud: Link,
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        LinkModel {
+            // 100 Mbit/s LAN with 5 ms RTT.
+            device_edge: Link {
+                bandwidth_bps: 12.5e6,
+                rtt_seconds: 0.005,
+            },
+            // 20 Mbit/s WAN with 40 ms RTT.
+            edge_cloud: Link {
+                bandwidth_bps: 2.5e6,
+                rtt_seconds: 0.040,
+            },
+        }
+    }
+}
+
+impl LinkModel {
+    /// Sequential wall-clock estimate of an entire transfer report,
+    /// attributing device-involved message kinds to the device↔edge link
+    /// and the rest to edge↔cloud. This is an upper bound (no link-level
+    /// parallelism); divide by the fleet's parallel width for the usual
+    /// lower bound.
+    pub fn sequential_seconds(&self, report: &TransferReport) -> f64 {
+        report
+            .per_kind
+            .iter()
+            .map(|row| {
+                let link = match row.kind.as_str() {
+                    "header-spec" | "importance-upload" | "personalized-importance" => {
+                        &self.device_edge
+                    }
+                    // Raw-data uploads go straight to the cloud in the
+                    // centralized baseline.
+                    _ => &self.edge_cloud,
+                };
+                row.messages as f64 * link.rtt_seconds
+                    + row.bytes as f64 / link.bandwidth_bps.max(1.0)
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::{KindRow, TransferReport};
+
+    fn report(kind: &str, messages: u64, bytes: u64) -> TransferReport {
+        TransferReport {
+            messages,
+            total_bytes: bytes,
+            uplink_bytes: bytes,
+            per_kind: vec![KindRow {
+                kind: kind.to_string(),
+                messages,
+                bytes,
+            }],
+        }
+    }
+
+    #[test]
+    fn transfer_time_has_rtt_floor() {
+        let link = Link {
+            bandwidth_bps: 1e6,
+            rtt_seconds: 0.01,
+        };
+        assert!(link.transfer_seconds(0) >= 0.01);
+        assert!((link.transfer_seconds(1_000_000) - 1.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn device_messages_use_lan_link() {
+        let model = LinkModel::default();
+        let lan = model.sequential_seconds(&report("importance-upload", 10, 1_000_000));
+        let wan = model.sequential_seconds(&report("raw-data-upload", 10, 1_000_000));
+        assert!(lan < wan, "LAN must be faster: {lan} vs {wan}");
+    }
+
+    #[test]
+    fn acme_beats_centralized_in_time_too() {
+        use crate::protocol::{centralized_transfers, run_acme_protocol, ProtocolConfig};
+        use acme_energy::Fleet;
+        let fleet = Fleet::paper_default(2, 5);
+        let model = LinkModel::default();
+        let acme = run_acme_protocol(&fleet, &ProtocolConfig::default());
+        let cs = centralized_transfers(&fleet, 500, 3072, 1_000_000);
+        // The CS downloads full models too, so compare total schedules.
+        let t_acme = model.sequential_seconds(&acme.report);
+        let t_cs = model.sequential_seconds(&cs);
+        assert!(t_acme < t_cs, "acme {t_acme}s vs cs {t_cs}s");
+    }
+
+    #[test]
+    fn zero_bandwidth_does_not_divide_by_zero() {
+        let link = Link {
+            bandwidth_bps: 0.0,
+            rtt_seconds: 0.0,
+        };
+        assert!(link.transfer_seconds(100).is_finite());
+    }
+}

@@ -1,0 +1,195 @@
+//! Thread-safe transfer metering for Table I's cost-efficiency analysis.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::message::Envelope;
+
+#[derive(Debug, Default, Clone)]
+struct Totals {
+    messages: u64,
+    bytes: u64,
+    uplink_bytes: u64,
+    per_kind: BTreeMap<&'static str, (u64, u64)>,
+}
+
+/// Accumulates message counts and byte volumes across all network links.
+/// Shared by reference between every node thread.
+#[derive(Debug, Default)]
+pub struct Ledger {
+    totals: Mutex<Totals>,
+}
+
+impl Ledger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Ledger::default()
+    }
+
+    /// Records one envelope.
+    pub fn record(&self, env: &Envelope) {
+        let bytes = env.payload.wire_bytes();
+        let mut t = self.totals.lock();
+        t.messages += 1;
+        t.bytes += bytes;
+        if env.is_uplink() {
+            t.uplink_bytes += bytes;
+        }
+        let e = t.per_kind.entry(env.payload.kind()).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += bytes;
+    }
+
+    /// Total bytes over all links.
+    pub fn total_bytes(&self) -> u64 {
+        self.totals.lock().bytes
+    }
+
+    /// Bytes flowing toward the cloud — the paper's "upload data" metric.
+    pub fn uplink_bytes(&self) -> u64 {
+        self.totals.lock().uplink_bytes
+    }
+
+    /// Total message count.
+    pub fn message_count(&self) -> u64 {
+        self.totals.lock().messages
+    }
+
+    /// Snapshot for reporting.
+    pub fn report(&self) -> TransferReport {
+        let t = self.totals.lock();
+        TransferReport {
+            messages: t.messages,
+            total_bytes: t.bytes,
+            uplink_bytes: t.uplink_bytes,
+            per_kind: t
+                .per_kind
+                .iter()
+                .map(|(&k, &(c, b))| KindRow {
+                    kind: k.to_string(),
+                    messages: c,
+                    bytes: b,
+                })
+                .collect(),
+        }
+    }
+
+    /// Clears all counters.
+    pub fn reset(&self) {
+        *self.totals.lock() = Totals::default();
+    }
+}
+
+/// Per-kind breakdown row of a [`TransferReport`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KindRow {
+    /// Payload kind label.
+    pub kind: String,
+    /// Messages of this kind.
+    pub messages: u64,
+    /// Bytes of this kind.
+    pub bytes: u64,
+}
+
+/// Immutable snapshot of a [`Ledger`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransferReport {
+    /// Total messages.
+    pub messages: u64,
+    /// Total bytes.
+    pub total_bytes: u64,
+    /// Bytes flowing toward the cloud.
+    pub uplink_bytes: u64,
+    /// Per-kind breakdown.
+    pub per_kind: Vec<KindRow>,
+}
+
+impl TransferReport {
+    /// Upload volume in megabytes (the unit of Table I).
+    pub fn uplink_megabytes(&self) -> f64 {
+        self.uplink_bytes as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{NodeId, Payload};
+    use acme_energy::{DeviceId, EdgeId};
+
+    fn env(up: bool, payload: Payload) -> Envelope {
+        if up {
+            Envelope {
+                from: NodeId::Device(DeviceId(0)),
+                to: NodeId::Edge(EdgeId(0)),
+                payload,
+            }
+        } else {
+            Envelope {
+                from: NodeId::Cloud,
+                to: NodeId::Edge(EdgeId(0)),
+                payload,
+            }
+        }
+    }
+
+    #[test]
+    fn records_totals_and_direction() {
+        let ledger = Ledger::new();
+        ledger.record(&env(
+            true,
+            Payload::ImportanceUpload {
+                values: vec![0.0; 4],
+            },
+        ));
+        ledger.record(&env(false, Payload::Ack));
+        assert_eq!(ledger.message_count(), 2);
+        assert_eq!(ledger.total_bytes(), (16 + 16) + 16);
+        assert_eq!(ledger.uplink_bytes(), 32);
+    }
+
+    #[test]
+    fn report_breaks_down_by_kind() {
+        let ledger = Ledger::new();
+        for _ in 0..3 {
+            ledger.record(&env(true, Payload::Ack));
+        }
+        ledger.record(&env(true, Payload::ImportanceUpload { values: vec![0.0] }));
+        let report = ledger.report();
+        assert_eq!(report.messages, 4);
+        let ack = report.per_kind.iter().find(|r| r.kind == "ack").unwrap();
+        assert_eq!(ack.messages, 3);
+        assert!((report.uplink_megabytes() - report.uplink_bytes as f64 / 1e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let ledger = Ledger::new();
+        ledger.record(&env(true, Payload::Ack));
+        ledger.reset();
+        assert_eq!(ledger.total_bytes(), 0);
+        assert_eq!(ledger.message_count(), 0);
+    }
+
+    #[test]
+    fn ledger_is_thread_safe() {
+        use std::sync::Arc;
+        let ledger = Arc::new(Ledger::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let l = Arc::clone(&ledger);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        l.record(&env(true, Payload::Ack));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(ledger.message_count(), 800);
+    }
+}

@@ -1,0 +1,49 @@
+//! # acme-distsys
+//!
+//! The bidirectional single-loop distributed system of ACME (§II-A):
+//! a cloud server, a cluster of edge servers, and partitioned devices
+//! exchanging typed, size-metered messages.
+//!
+//! Two layers are provided:
+//!
+//! * **Transport** — [`Network`] routes [`Envelope`]s between [`NodeId`]s
+//!   over crossbeam channels while a shared [`Ledger`] meters every
+//!   message's [`Payload::wire_bytes`]. This is what Table I's
+//!   upload-volume comparison is measured on.
+//! * **Protocol** — [`protocol::run_acme_protocol`] executes the paper's
+//!   schedule (edge attribute upload → cloud backbone assignment → edge
+//!   header distribution → `T` importance-aggregation loop rounds) with
+//!   pluggable compute hooks, spawning one thread per node;
+//!   [`protocol::centralized_transfers`] models the centralized-system
+//!   baseline in which devices ship raw data to the cloud.
+//!
+//! ```
+//! use acme_distsys::{Ledger, Network, NodeId, Payload};
+//! use acme_energy::EdgeId;
+//!
+//! let network = Network::new();
+//! let cloud_rx = network.register(NodeId::Cloud);
+//! let _edge_rx = network.register(NodeId::Edge(EdgeId(0)));
+//! network
+//!     .send(NodeId::Edge(EdgeId(0)), NodeId::Cloud, Payload::AttributeReport {
+//!         device_count: 5,
+//!         min_storage: 1_000_000,
+//!         min_gpu: 3.0,
+//!         max_gpu: 7.0,
+//!     })
+//!     .unwrap();
+//! let env = cloud_rx.recv().unwrap();
+//! assert_eq!(env.from, NodeId::Edge(EdgeId(0)));
+//! assert!(network.ledger().total_bytes() > 0);
+//! ```
+
+mod latency;
+mod ledger;
+mod message;
+mod network;
+pub mod protocol;
+
+pub use latency::{Link, LinkModel};
+pub use ledger::{Ledger, TransferReport};
+pub use message::{Envelope, NodeId, Payload};
+pub use network::{Network, SendError};

@@ -1,0 +1,228 @@
+//! Typed protocol messages with explicit wire-size accounting.
+
+use acme_energy::{DeviceId, EdgeId};
+use serde::{Deserialize, Serialize};
+
+/// Address of a node in the three-tier hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeId {
+    /// The cloud server `C`.
+    Cloud,
+    /// Edge server `s_s`.
+    Edge(EdgeId),
+    /// Device `n`.
+    Device(DeviceId),
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeId::Cloud => write!(f, "cloud"),
+            NodeId::Edge(e) => write!(f, "{e}"),
+            NodeId::Device(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+/// A protocol message body. Weight payloads are represented by their
+/// parameter counts — the simulation meters bytes without shipping the
+/// actual tensors through channels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Payload {
+    /// Edge → cloud: statistical attributes of the device cluster
+    /// (backbone-customization uplink).
+    AttributeReport {
+        /// `|N_s|`.
+        device_count: usize,
+        /// `min_n C_n` in parameters.
+        min_storage: u64,
+        /// Weakest GPU in the cluster.
+        min_gpu: f64,
+        /// Strongest GPU in the cluster.
+        max_gpu: f64,
+    },
+    /// Cloud → edge: the assigned backbone `δ(θ₀, w, d)` with its
+    /// weights.
+    BackboneAssignment {
+        /// Width factor.
+        w: f64,
+        /// Depth.
+        d: usize,
+        /// Parameters shipped (weights payload, 4 bytes each).
+        param_count: u64,
+    },
+    /// Edge → device: the coarse header architecture and its shared
+    /// weights (plus the backbone reference the device already holds).
+    HeaderSpec {
+        /// The `4B` architecture tokens.
+        tokens: Vec<usize>,
+        /// Module repetitions.
+        u: usize,
+        /// Header weight parameters shipped.
+        param_count: u64,
+    },
+    /// Device → edge (loop uplink): the importance set `Q_n` (Eq. 18).
+    ImportanceUpload {
+        /// Importance scores, one per header parameter.
+        values: Vec<f32>,
+    },
+    /// Edge → device (loop downlink): the personalized set `Q'_n`
+    /// (Eq. 21).
+    PersonalizedImportance {
+        /// Aggregated importance scores.
+        values: Vec<f32>,
+    },
+    /// Device → cloud (centralized baseline only): raw training data.
+    RawDataUpload {
+        /// Sample count.
+        samples: u64,
+        /// Bytes per sample.
+        bytes_per_sample: u64,
+    },
+    /// Control acknowledgement / loop termination.
+    Ack,
+}
+
+impl Payload {
+    /// Bytes this message occupies on the wire. Weights and importance
+    /// values are 4-byte floats; architecture tokens 2 bytes; attribute
+    /// scalars 8 bytes; a 16-byte routing header is charged per message.
+    pub fn wire_bytes(&self) -> u64 {
+        const HEADER: u64 = 16;
+        HEADER
+            + match self {
+                Payload::AttributeReport { .. } => 4 * 8,
+                Payload::BackboneAssignment { param_count, .. } => 16 + 4 * param_count,
+                Payload::HeaderSpec {
+                    tokens,
+                    param_count,
+                    ..
+                } => 8 + 2 * tokens.len() as u64 + 4 * param_count,
+                Payload::ImportanceUpload { values }
+                | Payload::PersonalizedImportance { values } => 4 * values.len() as u64,
+                Payload::RawDataUpload {
+                    samples,
+                    bytes_per_sample,
+                } => samples * bytes_per_sample,
+                Payload::Ack => 0,
+            }
+    }
+
+    /// Short kind label used by the ledger's per-kind breakdown.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Payload::AttributeReport { .. } => "attribute-report",
+            Payload::BackboneAssignment { .. } => "backbone-assignment",
+            Payload::HeaderSpec { .. } => "header-spec",
+            Payload::ImportanceUpload { .. } => "importance-upload",
+            Payload::PersonalizedImportance { .. } => "personalized-importance",
+            Payload::RawDataUpload { .. } => "raw-data-upload",
+            Payload::Ack => "ack",
+        }
+    }
+}
+
+/// A routed message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Envelope {
+    /// Sender.
+    pub from: NodeId,
+    /// Recipient.
+    pub to: NodeId,
+    /// Body.
+    pub payload: Payload,
+}
+
+impl Envelope {
+    /// Whether this transfer flows toward the cloud (device → edge or
+    /// edge → cloud), i.e. counts as *upload* in Table I.
+    pub fn is_uplink(&self) -> bool {
+        matches!(
+            (&self.from, &self.to),
+            (NodeId::Device(_), NodeId::Edge(_))
+                | (NodeId::Edge(_), NodeId::Cloud)
+                | (NodeId::Device(_), NodeId::Cloud)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bytes_formulas() {
+        let attr = Payload::AttributeReport {
+            device_count: 5,
+            min_storage: 1,
+            min_gpu: 1.0,
+            max_gpu: 2.0,
+        };
+        assert_eq!(attr.wire_bytes(), 16 + 32);
+        let bb = Payload::BackboneAssignment {
+            w: 1.0,
+            d: 12,
+            param_count: 100,
+        };
+        assert_eq!(bb.wire_bytes(), 16 + 16 + 400);
+        let hs = Payload::HeaderSpec {
+            tokens: vec![0; 12],
+            u: 2,
+            param_count: 10,
+        };
+        assert_eq!(hs.wire_bytes(), 16 + 8 + 24 + 40);
+        let imp = Payload::ImportanceUpload {
+            values: vec![0.0; 7],
+        };
+        assert_eq!(imp.wire_bytes(), 16 + 28);
+        let raw = Payload::RawDataUpload {
+            samples: 10,
+            bytes_per_sample: 3072,
+        };
+        assert_eq!(raw.wire_bytes(), 16 + 30720);
+        assert_eq!(Payload::Ack.wire_bytes(), 16);
+    }
+
+    #[test]
+    fn uplink_classification() {
+        use acme_energy::{DeviceId, EdgeId};
+        let up = Envelope {
+            from: NodeId::Device(DeviceId(0)),
+            to: NodeId::Edge(EdgeId(0)),
+            payload: Payload::Ack,
+        };
+        assert!(up.is_uplink());
+        let down = Envelope {
+            from: NodeId::Cloud,
+            to: NodeId::Edge(EdgeId(0)),
+            payload: Payload::Ack,
+        };
+        assert!(!down.is_uplink());
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let kinds = [
+            Payload::Ack.kind(),
+            Payload::ImportanceUpload { values: vec![] }.kind(),
+            Payload::PersonalizedImportance { values: vec![] }.kind(),
+            Payload::RawDataUpload {
+                samples: 0,
+                bytes_per_sample: 0,
+            }
+            .kind(),
+        ];
+        let mut unique = kinds.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), kinds.len());
+    }
+
+    #[test]
+    fn node_display() {
+        use acme_energy::{DeviceId, EdgeId};
+        assert_eq!(NodeId::Cloud.to_string(), "cloud");
+        assert_eq!(NodeId::Edge(EdgeId(3)).to_string(), "edge-3");
+        assert_eq!(NodeId::Device(DeviceId(9)).to_string(), "device-9");
+    }
+}

@@ -1,0 +1,162 @@
+//! Channel-based message routing between node threads.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+
+use crate::ledger::Ledger;
+use crate::message::{Envelope, NodeId, Payload};
+
+/// Error returned by [`Network::send`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SendError {
+    /// The recipient was never registered.
+    UnknownNode(NodeId),
+    /// The recipient's receiver was dropped.
+    Disconnected(NodeId),
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            SendError::Disconnected(n) => write!(f, "node {n} disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// In-process message fabric of the three-tier hierarchy: registration
+/// hands each node a private receiver; every send is metered by the
+/// shared [`Ledger`] before delivery.
+///
+/// `Network` is cheaply cloneable (`Arc` internals) so node threads can
+/// each hold a handle.
+#[derive(Debug, Clone, Default)]
+pub struct Network {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    ledger: Arc<Ledger>,
+    routes: RwLock<HashMap<NodeId, Sender<Envelope>>>,
+}
+
+impl Network {
+    /// Creates an empty fabric.
+    pub fn new() -> Self {
+        Network::default()
+    }
+
+    /// Registers a node, returning its inbox. Re-registering replaces the
+    /// previous route (the old receiver stops receiving).
+    pub fn register(&self, node: NodeId) -> Receiver<Envelope> {
+        let (tx, rx) = unbounded();
+        self.inner.routes.write().insert(node, tx);
+        rx
+    }
+
+    /// Sends `payload` from `from` to `to`, metering it in the ledger.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] when the recipient is unknown or its inbox
+    /// was dropped.
+    pub fn send(&self, from: NodeId, to: NodeId, payload: Payload) -> Result<(), SendError> {
+        let env = Envelope { from, to, payload };
+        let tx = {
+            let routes = self.inner.routes.read();
+            routes.get(&to).cloned().ok_or(SendError::UnknownNode(to))?
+        };
+        self.inner.ledger.record(&env);
+        tx.send(env).map_err(|_| SendError::Disconnected(to))
+    }
+
+    /// The shared transfer ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.inner.ledger
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.inner.routes.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acme_energy::{DeviceId, EdgeId};
+
+    #[test]
+    fn delivers_and_meters() {
+        let net = Network::new();
+        let rx = net.register(NodeId::Cloud);
+        net.register(NodeId::Edge(EdgeId(0)));
+        net.send(NodeId::Edge(EdgeId(0)), NodeId::Cloud, Payload::Ack)
+            .unwrap();
+        let env = rx.recv().unwrap();
+        assert_eq!(env.payload, Payload::Ack);
+        assert_eq!(net.ledger().message_count(), 1);
+        assert_eq!(net.node_count(), 2);
+    }
+
+    #[test]
+    fn unknown_recipient_errors_without_metering() {
+        let net = Network::new();
+        let err = net.send(NodeId::Cloud, NodeId::Device(DeviceId(0)), Payload::Ack);
+        assert_eq!(
+            err,
+            Err(SendError::UnknownNode(NodeId::Device(DeviceId(0))))
+        );
+        assert_eq!(net.ledger().message_count(), 0);
+    }
+
+    #[test]
+    fn disconnected_recipient_errors() {
+        let net = Network::new();
+        let rx = net.register(NodeId::Cloud);
+        drop(rx);
+        let err = net.send(NodeId::Cloud, NodeId::Cloud, Payload::Ack);
+        assert_eq!(err, Err(SendError::Disconnected(NodeId::Cloud)));
+    }
+
+    #[test]
+    fn cross_thread_roundtrip() {
+        let net = Network::new();
+        let cloud_rx = net.register(NodeId::Cloud);
+        let edge_rx = net.register(NodeId::Edge(EdgeId(0)));
+        let net2 = net.clone();
+        let t = std::thread::spawn(move || {
+            // Edge thread: wait for assignment, reply with ack.
+            let env = edge_rx.recv().unwrap();
+            assert!(matches!(env.payload, Payload::BackboneAssignment { .. }));
+            net2.send(NodeId::Edge(EdgeId(0)), NodeId::Cloud, Payload::Ack)
+                .unwrap();
+        });
+        net.send(
+            NodeId::Cloud,
+            NodeId::Edge(EdgeId(0)),
+            Payload::BackboneAssignment {
+                w: 1.0,
+                d: 6,
+                param_count: 10,
+            },
+        )
+        .unwrap();
+        let reply = cloud_rx.recv().unwrap();
+        assert_eq!(reply.payload, Payload::Ack);
+        t.join().unwrap();
+        assert_eq!(net.ledger().message_count(), 2);
+    }
+
+    #[test]
+    fn send_error_display() {
+        let e = SendError::UnknownNode(NodeId::Cloud);
+        assert!(e.to_string().contains("unknown"));
+    }
+}

@@ -1,0 +1,75 @@
+//! Concurrency stress tests of the network fabric and protocol driver.
+
+use std::sync::Arc;
+use std::thread;
+
+use acme_distsys::protocol::{run_acme_protocol, ProtocolConfig};
+use acme_distsys::{Network, NodeId, Payload};
+use acme_energy::{DeviceId, EdgeId, Fleet};
+
+#[test]
+fn many_senders_one_receiver_is_lossless() {
+    let net = Network::new();
+    let rx = net.register(NodeId::Cloud);
+    let senders = 8;
+    let per_sender = 200;
+    let mut handles = Vec::new();
+    for s in 0..senders {
+        let net = net.clone();
+        net.register(NodeId::Device(DeviceId(s)));
+        handles.push(thread::spawn(move || {
+            for _ in 0..per_sender {
+                net.send(NodeId::Device(DeviceId(s)), NodeId::Cloud, Payload::Ack)
+                    .expect("send");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut received = 0;
+    while rx.try_recv().is_ok() {
+        received += 1;
+    }
+    assert_eq!(received, senders * per_sender);
+    assert_eq!(net.ledger().message_count(), (senders * per_sender) as u64);
+}
+
+#[test]
+fn concurrent_protocol_runs_are_isolated() {
+    // Two protocol runs on separate networks must not interfere (each
+    // spawns its own node threads).
+    let fleet = Arc::new(Fleet::paper_default(2, 3));
+    let cfg = ProtocolConfig {
+        loop_rounds: 2,
+        ..ProtocolConfig::default()
+    };
+    let f1 = Arc::clone(&fleet);
+    let c1 = cfg.clone();
+    let h = thread::spawn(move || run_acme_protocol(&f1, &c1));
+    let a = run_acme_protocol(&fleet, &cfg);
+    let b = h.join().unwrap();
+    assert_eq!(a.report.total_bytes, b.report.total_bytes);
+    assert_eq!(a.report.messages, b.report.messages);
+}
+
+#[test]
+fn ledger_totals_match_per_kind_sum() {
+    let fleet = Fleet::paper_default(3, 4);
+    let out = run_acme_protocol(&fleet, &ProtocolConfig::default());
+    let kind_bytes: u64 = out.report.per_kind.iter().map(|k| k.bytes).sum();
+    let kind_msgs: u64 = out.report.per_kind.iter().map(|k| k.messages).sum();
+    assert_eq!(kind_bytes, out.report.total_bytes);
+    assert_eq!(kind_msgs, out.report.messages);
+}
+
+#[test]
+fn reregistration_replaces_route() {
+    let net = Network::new();
+    let old_rx = net.register(NodeId::Edge(EdgeId(0)));
+    let new_rx = net.register(NodeId::Edge(EdgeId(0)));
+    net.send(NodeId::Cloud, NodeId::Edge(EdgeId(0)), Payload::Ack)
+        .unwrap();
+    assert!(old_rx.try_recv().is_err());
+    assert!(new_rx.try_recv().is_ok());
+}

@@ -1,0 +1,267 @@
+//! The LSTM controller (§III-C2): samples architecture token sequences
+//! and learns with REINFORCE + a moving-average baseline.
+
+use acme_nn::{clip_grad_norm, Adam, EmbeddingLayer, Linear, LstmCell, Optimizer, ParamSet};
+use acme_tensor::{Graph, SmallRng64, Var};
+use rand::Rng;
+
+use crate::ops::OpKind;
+use crate::space::{BlockSpec, HeaderArch};
+
+/// Controller hyperparameters. The paper follows Zoph et al. / Pham et
+/// al.: a single LSTM layer with 100 hidden units.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerConfig {
+    /// Blocks per underlying module (`B`).
+    pub num_blocks: usize,
+    /// Module repetitions (`U`) of emitted architectures.
+    pub u: usize,
+    /// LSTM hidden units.
+    pub hidden: usize,
+    /// Embedding width of decision tokens.
+    pub embed_dim: usize,
+    /// Moving-average decay of the REINFORCE baseline.
+    pub baseline_decay: f32,
+    /// Learning rate of the controller's Adam optimizer.
+    pub lr: f32,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            num_blocks: 3,
+            u: 2,
+            hidden: 100,
+            embed_dim: 16,
+            baseline_decay: 0.9,
+            lr: 5e-3,
+        }
+    }
+}
+
+/// The architecture-sampling LSTM. Decisions alternate
+/// `in1, in2, op1, op2` per block (sequence length `4B`); input
+/// selections are masked to the `b + 2` legal choices of block `b`.
+#[derive(Debug)]
+pub struct Controller {
+    cell: LstmCell,
+    embed: EmbeddingLayer,
+    input_head: Linear,
+    op_head: Linear,
+    config: ControllerConfig,
+    baseline: Option<f32>,
+    opt: Adam,
+    steps: usize,
+}
+
+impl Controller {
+    /// Registers the controller's parameters in `ps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a zero-block configuration.
+    pub fn new(ps: &mut ParamSet, config: ControllerConfig, rng: &mut impl Rng) -> Self {
+        assert!(config.num_blocks > 0, "controller needs at least one block");
+        let num_ops = OpKind::all().len();
+        let max_inputs = config.num_blocks + 1;
+        // Token vocabulary: one start token + the largest decision space.
+        let vocab = 1 + max_inputs.max(num_ops);
+        let cell = LstmCell::new(ps, "ctrl.lstm", config.embed_dim, config.hidden, rng);
+        let embed = EmbeddingLayer::new(ps, "ctrl.embed", vocab, config.embed_dim, rng);
+        let input_head = Linear::new(ps, "ctrl.in_head", config.hidden, max_inputs, rng);
+        let op_head = Linear::new(ps, "ctrl.op_head", config.hidden, num_ops, rng);
+        let opt = Adam::new(config.lr);
+        Controller {
+            cell,
+            embed,
+            input_head,
+            op_head,
+            config,
+            baseline: None,
+            opt,
+            steps: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    /// The current REINFORCE baseline, if any reward has been observed.
+    pub fn baseline(&self) -> Option<f32> {
+        self.baseline
+    }
+
+    /// Number of REINFORCE updates applied.
+    pub fn updates(&self) -> usize {
+        self.steps
+    }
+
+    /// Samples one architecture, returning it together with the summed
+    /// log-probability node (differentiable w.r.t. the controller
+    /// parameters bound in `g`). Pass `greedy = true` for argmax decoding
+    /// instead of sampling.
+    pub fn sample(
+        &self,
+        g: &mut Graph,
+        ps: &ParamSet,
+        rng: &mut SmallRng64,
+        greedy: bool,
+    ) -> (HeaderArch, Var) {
+        let (mut h, mut c) = self.cell.zero_state(g, 1);
+        let mut prev_token = 0usize; // start token
+        let mut logp_total: Option<Var> = None;
+        let mut blocks = Vec::with_capacity(self.config.num_blocks);
+        for b in 0..self.config.num_blocks {
+            let mut decisions = [0usize; 4];
+            for (slot, d) in decisions.iter_mut().enumerate() {
+                let x = self.embed.forward(g, ps, &[prev_token]);
+                let (h2, c2) = self.cell.step(g, ps, x, h, c);
+                h = h2;
+                c = c2;
+                let is_input = slot < 2;
+                let logits = if is_input {
+                    let full = self.input_head.forward(g, ps, h);
+                    // Mask to the b + 2 legal input selectors.
+                    g.slice_axis(full, 1, 0, b + 2)
+                } else {
+                    self.op_head.forward(g, ps, h)
+                };
+                let logprobs = g.log_softmax_last(logits);
+                let probs = g.value(logprobs).map(f32::exp);
+                let choice = if greedy {
+                    probs.argmax()
+                } else {
+                    sample_categorical(probs.data(), rng)
+                };
+                *d = choice;
+                let chosen = g.slice_axis(logprobs, 1, choice, 1);
+                let chosen = g.sum_all(chosen);
+                logp_total = Some(match logp_total {
+                    Some(acc) => g.add(acc, chosen),
+                    None => chosen,
+                });
+                // Next LSTM input embeds this decision (offset past the
+                // start token).
+                prev_token = 1 + choice;
+            }
+            blocks.push(BlockSpec {
+                in1: decisions[0],
+                in2: decisions[1],
+                op1: OpKind::from_index(decisions[2]),
+                op2: OpKind::from_index(decisions[3]),
+            });
+        }
+        (
+            HeaderArch::new(blocks, self.config.u),
+            logp_total.expect("at least one decision"),
+        )
+    }
+
+    /// One REINFORCE update: `∇ = -(R - baseline) · ∇ log π(arch)`, with
+    /// the moving-average baseline updated afterwards. `g` must be the
+    /// graph in which [`Controller::sample`] produced `logp`.
+    pub fn reinforce(&mut self, g: &mut Graph, ps: &mut ParamSet, logp: Var, reward: f32) {
+        let advantage = reward - self.baseline.unwrap_or(reward);
+        let loss = g.scale(logp, -advantage);
+        g.backward(loss);
+        clip_grad_norm(g, 1.0);
+        self.opt.step(ps, g);
+        let decay = self.config.baseline_decay;
+        self.baseline = Some(match self.baseline {
+            Some(b) => decay * b + (1.0 - decay) * reward,
+            None => reward,
+        });
+        self.steps += 1;
+    }
+}
+
+/// Samples an index from unnormalized probabilities.
+fn sample_categorical(probs: &[f32], rng: &mut impl Rng) -> usize {
+    let total: f32 = probs.iter().sum();
+    let mut t = rng.gen_range(0.0..total.max(f32::MIN_POSITIVE));
+    for (i, &p) in probs.iter().enumerate() {
+        if t < p {
+            return i;
+        }
+        t -= p;
+    }
+    probs.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Controller, ParamSet, SmallRng64) {
+        let mut rng = SmallRng64::new(0);
+        let mut ps = ParamSet::new();
+        let ctrl = Controller::new(
+            &mut ps,
+            ControllerConfig {
+                num_blocks: 3,
+                ..ControllerConfig::default()
+            },
+            &mut rng,
+        );
+        (ctrl, ps, rng)
+    }
+
+    #[test]
+    fn samples_are_valid_architectures() {
+        let (ctrl, ps, mut rng) = setup();
+        for _ in 0..20 {
+            let mut g = Graph::new();
+            let (arch, logp) = ctrl.sample(&mut g, &ps, &mut rng, false);
+            assert_eq!(arch.blocks().len(), 3);
+            assert!(g.value(logp).item() <= 0.0, "log-prob must be nonpositive");
+        }
+    }
+
+    #[test]
+    fn greedy_decode_is_deterministic() {
+        let (ctrl, ps, mut rng) = setup();
+        let mut g1 = Graph::new();
+        let (a1, _) = ctrl.sample(&mut g1, &ps, &mut rng, true);
+        let mut g2 = Graph::new();
+        let (a2, _) = ctrl.sample(&mut g2, &ps, &mut rng, true);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn reinforce_shifts_policy_toward_rewarded_arch() {
+        // Reward architectures whose first decision is input 0; after
+        // training, greedy decode should pick in1 == 0.
+        let (mut ctrl, mut ps, mut rng) = setup();
+        for _ in 0..60 {
+            let mut g = Graph::new();
+            let (arch, logp) = ctrl.sample(&mut g, &ps, &mut rng, false);
+            let reward = if arch.blocks()[0].in1 == 0 { 1.0 } else { 0.0 };
+            ctrl.reinforce(&mut g, &mut ps, logp, reward);
+        }
+        let mut g = Graph::new();
+        let (arch, _) = ctrl.sample(&mut g, &ps, &mut rng, true);
+        assert_eq!(
+            arch.blocks()[0].in1,
+            0,
+            "policy should prefer rewarded choice"
+        );
+        assert!(ctrl.baseline().unwrap() > 0.0);
+        assert_eq!(ctrl.updates(), 60);
+    }
+
+    #[test]
+    fn categorical_sampler_respects_support() {
+        let mut rng = SmallRng64::new(1);
+        for _ in 0..50 {
+            let i = sample_categorical(&[0.0, 1.0, 0.0], &mut rng);
+            assert_eq!(i, 1);
+        }
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[sample_categorical(&[0.3, 0.3, 0.4], &mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

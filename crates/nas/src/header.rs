@@ -1,0 +1,191 @@
+//! A sampled child model materialized as a [`Header`]: the block DAG
+//! evaluated over shared supernet weights.
+
+use acme_nn::{ParamId, ParamSet};
+use acme_tensor::{Graph, Var};
+use acme_vit::headers::Header;
+use acme_vit::Features;
+
+use crate::shared::SharedParams;
+use crate::space::HeaderArch;
+
+/// A NAS-generated header: a [`HeaderArch`] wired over [`SharedParams`].
+///
+/// During the search many `NasHeader`s share one supernet; the final
+/// selected child keeps its own clone (layers hold parameter ids, so the
+/// clone is cheap) and is what the edge server distributes to devices.
+#[derive(Debug, Clone)]
+pub struct NasHeader {
+    arch: HeaderArch,
+    shared: SharedParams,
+}
+
+impl NasHeader {
+    /// Binds an architecture to supernet weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the architecture needs more blocks than the supernet
+    /// provides.
+    pub fn new(arch: HeaderArch, shared: SharedParams) -> Self {
+        assert!(
+            arch.blocks().len() <= shared.num_blocks(),
+            "architecture has {} blocks, supernet only {}",
+            arch.blocks().len(),
+            shared.num_blocks()
+        );
+        NasHeader { arch, shared }
+    }
+
+    /// The wired architecture.
+    pub fn arch(&self) -> &HeaderArch {
+        &self.arch
+    }
+
+    /// The underlying supernet.
+    pub fn shared(&self) -> &SharedParams {
+        &self.shared
+    }
+
+    /// Converts a token sequence `[batch, tokens, dim]` (with leading
+    /// [CLS]) into a `[batch, dim, grid, grid]` feature map.
+    fn tokens_to_map(&self, g: &mut Graph, tokens: Var) -> Var {
+        let s = g.shape(tokens).to_vec();
+        let (b, d) = (s[0], s[2]);
+        let grid = self.shared.grid();
+        let patches = g.slice_axis(tokens, 1, 1, grid * grid);
+        let chan = g.permute(patches, &[0, 2, 1]);
+        g.reshape(chan, &[b, d, grid, grid])
+    }
+}
+
+impl Header for NasHeader {
+    fn forward(&self, g: &mut Graph, ps: &ParamSet, features: &Features) -> Var {
+        let raw_backbone = self.tokens_to_map(g, features.tokens);
+        let raw_penult = self.tokens_to_map(g, features.penultimate);
+        // Shared 1x1 adapters take the maps into the header\'s operating
+        // width.
+        let backbone_map = self.shared.project_input(g, ps, raw_backbone);
+        let penult_map = self.shared.project_input(g, ps, raw_penult);
+        let mut module_input = backbone_map;
+        for u in 0..self.arch.u() {
+            // Input set per block: [module input, auxiliary, blocks...].
+            // The auxiliary input is the penultimate backbone layer for
+            // the first module and the projected backbone map afterwards.
+            let aux = if u == 0 { penult_map } else { backbone_map };
+            let mut outputs = vec![module_input, aux];
+            for (b, blk) in self.arch.blocks().iter().enumerate() {
+                let x1 = outputs[blk.in1];
+                let x2 = outputs[blk.in2];
+                let a = self.shared.apply_op(g, ps, b, 0, blk.op1, x1);
+                let c = self.shared.apply_op(g, ps, b, 1, blk.op2, x2);
+                outputs.push(g.add(a, c));
+            }
+            module_input = *outputs.last().expect("at least one block");
+        }
+        self.shared.classify(g, ps, module_input, features.cls)
+    }
+
+    fn param_ids(&self) -> Vec<ParamId> {
+        // Only the weights the wired child actually touches.
+        let mut ids = Vec::new();
+        let probe_ops: Vec<(usize, usize, crate::ops::OpKind)> = self
+            .arch
+            .blocks()
+            .iter()
+            .enumerate()
+            .flat_map(|(b, blk)| [(b, 0, blk.op1), (b, 1, blk.op2)])
+            .collect();
+        for (b, s, op) in probe_ops {
+            if op.is_learned() {
+                ids.extend(self.shared.op_param_ids(b, s, op));
+            }
+        }
+        ids.extend(self.shared.tail_param_ids());
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    fn name(&self) -> &str {
+        "nas"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::OpKind;
+    use crate::space::BlockSpec;
+    use acme_tensor::{randn, SmallRng64};
+    use acme_vit::{Vit, VitConfig};
+
+    fn setup() -> (Vit, ParamSet, SharedParams, SmallRng64) {
+        let mut rng = SmallRng64::new(0);
+        let cfg = VitConfig::tiny(5);
+        let mut ps = ParamSet::new();
+        let vit = Vit::new(&mut ps, &cfg, &mut rng);
+        let shared = SharedParams::new(&mut ps, "sn", 3, cfg.dim, cfg.grid(), 5, &mut rng);
+        (vit, ps, shared, rng)
+    }
+
+    #[test]
+    fn nas_header_produces_logits_for_random_archs() {
+        let (vit, ps, shared, mut rng) = setup();
+        let images = randn(&[2, 1, 8, 8], &mut rng);
+        for _ in 0..10 {
+            let arch = HeaderArch::random(3, 2, &mut rng);
+            let header = NasHeader::new(arch, shared.clone());
+            let mut g = Graph::new();
+            let f = vit.forward(&mut g, &ps, &images);
+            let logits = header.forward(&mut g, &ps, &f);
+            assert_eq!(g.shape(logits), &[2, 5]);
+            assert!(g.value(logits).data().iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn param_ids_reflect_used_ops_only() {
+        let (_, _, shared, _) = setup();
+        let identity_only = HeaderArch::new(
+            vec![BlockSpec {
+                in1: 0,
+                in2: 1,
+                op1: OpKind::Identity,
+                op2: OpKind::AvgPool,
+            }],
+            1,
+        );
+        let convy = HeaderArch::new(
+            vec![BlockSpec {
+                in1: 0,
+                in2: 1,
+                op1: OpKind::Conv5,
+                op2: OpKind::Conv3,
+            }],
+            1,
+        );
+        let h1 = NasHeader::new(identity_only, shared.clone());
+        let h2 = NasHeader::new(convy, shared.clone());
+        assert!(h1.param_ids().len() < h2.param_ids().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "supernet only")]
+    fn rejects_oversized_arch() {
+        let (_, _, shared, mut rng) = setup();
+        NasHeader::new(HeaderArch::random(10, 1, &mut rng), shared);
+    }
+
+    #[test]
+    fn deeper_u_reuses_same_weights() {
+        // U=1 vs U=3 share identical parameter sets (layer stacking with
+        // shared weights).
+        let (_, _, shared, mut rng) = setup();
+        let arch1 = HeaderArch::random(2, 1, &mut rng);
+        let arch3 = HeaderArch::new(arch1.blocks().to_vec(), 3);
+        let h1 = NasHeader::new(arch1, shared.clone());
+        let h3 = NasHeader::new(arch3, shared);
+        assert_eq!(h1.param_ids(), h3.param_ids());
+    }
+}

@@ -1,0 +1,153 @@
+//! The candidate operation set `Ô` of the header search space.
+
+use acme_tensor::{Graph, Var};
+
+/// A candidate operation applied to a `[batch, dim, g, g]` feature map.
+/// All operations preserve the map's shape, so any block wiring is legal
+/// without the 1×1 adapter convolutions the paper inserts for mismatched
+/// dimensions (a uniform-width simplification documented in DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// 1×1 convolution + ReLU (learned, shared).
+    Conv1,
+    /// 3×3 same-padded convolution + ReLU (learned, shared).
+    Conv3,
+    /// 5×5 same-padded convolution + ReLU (learned, shared).
+    Conv5,
+    /// Pass-through.
+    Identity,
+    /// Learned stride-2 1×1 convolution followed by nearest-neighbor
+    /// upsampling back to the original resolution.
+    Downsample,
+    /// 2×2 average pooling + nearest-neighbor upsampling.
+    AvgPool,
+    /// 2×2 max pooling + nearest-neighbor upsampling.
+    MaxPool,
+}
+
+impl OpKind {
+    /// The full operation set (the paper's §IV-A candidate list).
+    pub fn all() -> [OpKind; 7] {
+        [
+            OpKind::Conv1,
+            OpKind::Conv3,
+            OpKind::Conv5,
+            OpKind::Identity,
+            OpKind::Downsample,
+            OpKind::AvgPool,
+            OpKind::MaxPool,
+        ]
+    }
+
+    /// Index of this op inside [`OpKind::all`].
+    pub fn index(self) -> usize {
+        OpKind::all()
+            .iter()
+            .position(|&o| o == self)
+            .expect("op in catalogue")
+    }
+
+    /// Inverse of [`OpKind::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics for an out-of-range index.
+    pub fn from_index(i: usize) -> OpKind {
+        OpKind::all()[i]
+    }
+
+    /// Whether the operation owns learnable weights in the supernet.
+    pub fn is_learned(self) -> bool {
+        matches!(
+            self,
+            OpKind::Conv1 | OpKind::Conv3 | OpKind::Conv5 | OpKind::Downsample
+        )
+    }
+
+    /// Kernel size of the learned convolution, if any.
+    pub fn kernel(self) -> Option<usize> {
+        match self {
+            OpKind::Conv1 => Some(1),
+            OpKind::Conv3 => Some(3),
+            OpKind::Conv5 => Some(5),
+            OpKind::Downsample => Some(1),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for OpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            OpKind::Conv1 => "conv1",
+            OpKind::Conv3 => "conv3",
+            OpKind::Conv5 => "conv5",
+            OpKind::Identity => "identity",
+            OpKind::Downsample => "downsample",
+            OpKind::AvgPool => "avgpool",
+            OpKind::MaxPool => "maxpool",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Nearest-neighbor 2× upsampling of a `[b, c, h, w]` map, composed from
+/// reshape + concat (each pixel becomes a 2×2 block).
+pub(crate) fn upsample2(g: &mut Graph, x: Var) -> Var {
+    let s = g.shape(x).to_vec();
+    let (b, c, h, w) = (s[0], s[1], s[2], s[3]);
+    // [b,c,h,w] -> [b,c,h,1,w,1]
+    let x6 = g.reshape(x, &[b, c, h, 1, w, 1]);
+    let rows = g.concat(&[x6, x6], 3); // [b,c,h,2,w,1]
+    let cells = g.concat(&[rows, rows], 5); // [b,c,h,2,w,2]
+    g.reshape(cells, &[b, c, 2 * h, 2 * w])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acme_tensor::Array;
+
+    #[test]
+    fn catalogue_roundtrip() {
+        for (i, op) in OpKind::all().into_iter().enumerate() {
+            assert_eq!(op.index(), i);
+            assert_eq!(OpKind::from_index(i), op);
+        }
+        assert_eq!(OpKind::all().len(), 7);
+    }
+
+    #[test]
+    fn learned_flags_match_kernels() {
+        for op in OpKind::all() {
+            assert_eq!(op.is_learned(), op.kernel().is_some());
+        }
+        assert_eq!(OpKind::Conv5.kernel(), Some(5));
+        assert_eq!(OpKind::Identity.kernel(), None);
+    }
+
+    #[test]
+    fn upsample_duplicates_pixels() {
+        let mut g = Graph::new();
+        let x = g.leaf(Array::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap());
+        let y = upsample2(&mut g, x);
+        assert_eq!(g.shape(y), &[1, 1, 4, 4]);
+        let d = g.value(y).data();
+        // Row 0: 1 1 2 2, row 1: 1 1 2 2, row 2: 3 3 4 4, row 3: 3 3 4 4.
+        assert_eq!(
+            d,
+            &[1.0, 1.0, 2.0, 2.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0, 3.0, 3.0, 4.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn upsample_is_differentiable() {
+        let mut g = Graph::new();
+        let x = g.leaf(Array::ones(&[1, 1, 2, 2]));
+        let y = upsample2(&mut g, x);
+        let s = g.sum_all(y);
+        g.backward(s);
+        // Each input pixel feeds 4 outputs.
+        assert_eq!(g.grad(x).unwrap().data(), &[4.0, 4.0, 4.0, 4.0]);
+    }
+}

@@ -1,0 +1,250 @@
+//! Multi-head self-attention with per-head masking.
+
+use acme_tensor::{Array, Graph, Var};
+use rand::Rng;
+
+use crate::linear::Linear;
+use crate::param::{ParamId, ParamSet};
+
+/// Multi-head self-attention over `[batch, tokens, dim]`.
+///
+/// The per-head mask hook implements the paper's head-importance protocol
+/// (Eqs. 6–8): passing a mask with one head zeroed evaluates
+/// `F(O_{h=0})`, and the gradient of the unmasked loss w.r.t. the mask is
+/// exactly `∂F/∂O_h · O_h` (the first-order Taylor importance).
+#[derive(Debug, Clone)]
+pub struct MultiHeadSelfAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    heads: usize,
+    head_dim: usize,
+    dim: usize,
+}
+
+impl MultiHeadSelfAttention {
+    /// Builds attention with `heads` heads over width `dim`, with
+    /// `head_dim = dim / heads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dim` is not divisible by `heads`.
+    pub fn new(
+        ps: &mut ParamSet,
+        name: &str,
+        dim: usize,
+        heads: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(
+            heads > 0 && dim.is_multiple_of(heads),
+            "dim {dim} not divisible by heads {heads}"
+        );
+        Self::with_head_dim(ps, name, dim, heads, dim / heads, rng)
+    }
+
+    /// Builds attention whose inner width `heads * head_dim` may differ
+    /// from the model width `dim` — the shape produced by physically
+    /// removing heads (the paper's width pruning, §III-B1).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `heads` or `head_dim` is zero.
+    pub fn with_head_dim(
+        ps: &mut ParamSet,
+        name: &str,
+        dim: usize,
+        heads: usize,
+        head_dim: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(
+            heads > 0 && head_dim > 0,
+            "heads and head_dim must be positive"
+        );
+        let inner = heads * head_dim;
+        MultiHeadSelfAttention {
+            wq: Linear::new(ps, &format!("{name}.wq"), dim, inner, rng),
+            wk: Linear::new(ps, &format!("{name}.wk"), dim, inner, rng),
+            wv: Linear::new(ps, &format!("{name}.wv"), dim, inner, rng),
+            wo: Linear::new(ps, &format!("{name}.wo"), inner, dim, rng),
+            heads,
+            head_dim,
+            dim,
+        }
+    }
+
+    /// Standard forward over `[batch, tokens, dim]`.
+    pub fn forward(&self, g: &mut Graph, ps: &ParamSet, x: Var) -> Var {
+        self.forward_masked(g, ps, x, None)
+    }
+
+    /// Forward with an optional multiplicative per-head mask
+    /// (`mask.len() == heads`). The mask is applied to each head's output
+    /// `O_h` before the output projection. Passing a *leaf* mask instead is
+    /// possible through [`MultiHeadSelfAttention::forward_with_mask_var`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when input is not `[batch, tokens, dim]` or mask length is
+    /// not `heads`.
+    pub fn forward_masked(
+        &self,
+        g: &mut Graph,
+        ps: &ParamSet,
+        x: Var,
+        mask: Option<&[f32]>,
+    ) -> Var {
+        let mask_var = mask.map(|m| {
+            assert_eq!(m.len(), self.heads, "head mask length");
+            let arr = Array::from_vec(m.to_vec(), &[1, self.heads, 1, 1]).expect("mask shape");
+            g.constant(arr)
+        });
+        self.forward_inner(g, ps, x, mask_var)
+    }
+
+    /// Forward with a head mask that is itself a graph variable shaped
+    /// `[1, heads, 1, 1]`; its gradient after backward is the per-head
+    /// Taylor importance numerator `∂F/∂O_h · O_h` summed over positions.
+    pub fn forward_with_mask_var(&self, g: &mut Graph, ps: &ParamSet, x: Var, mask: Var) -> Var {
+        self.forward_inner(g, ps, x, Some(mask))
+    }
+
+    fn forward_inner(&self, g: &mut Graph, ps: &ParamSet, x: Var, mask: Option<Var>) -> Var {
+        let shape = g.shape(x).to_vec();
+        assert_eq!(
+            shape.len(),
+            3,
+            "attention input must be [batch, tokens, dim]"
+        );
+        let (b, t, d) = (shape[0], shape[1], shape[2]);
+        assert_eq!(d, self.dim, "attention width mismatch");
+        let dh = self.head_dim;
+        let inner = self.heads * dh;
+        let flat = g.reshape(x, &[b * t, d]);
+        // [B*T, inner] -> [B, h, T, dh]
+        let to_heads = |g: &mut Graph, v: Var| {
+            let v = g.reshape(v, &[b, t, self.heads, dh]);
+            g.permute(v, &[0, 2, 1, 3])
+        };
+        let q = self.wq.forward(g, ps, flat);
+        let q = to_heads(g, q);
+        let k = self.wk.forward(g, ps, flat);
+        let k = to_heads(g, k);
+        let v = self.wv.forward(g, ps, flat);
+        let v = to_heads(g, v);
+        let kt = g.permute(k, &[0, 1, 3, 2]);
+        let scores = g.batch_matmul(q, kt);
+        let scores = g.scale(scores, 1.0 / (dh as f32).sqrt());
+        let attn = g.softmax_last(scores);
+        let mut out = g.batch_matmul(attn, v); // [B, h, T, dh]
+        if let Some(m) = mask {
+            out = g.mul(out, m);
+        }
+        let out = g.permute(out, &[0, 2, 1, 3]); // [B, T, h, dh]
+        let out = g.reshape(out, &[b * t, inner]);
+        let out = self.wo.forward(g, ps, out);
+        g.reshape(out, &[b, t, d])
+    }
+
+    /// Number of attention heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Per-head width.
+    pub fn head_dim(&self) -> usize {
+        self.head_dim
+    }
+
+    /// Model width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// All parameter ids (q, k, v, o weights and biases).
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        let mut ids = Vec::with_capacity(8);
+        for l in [&self.wq, &self.wk, &self.wv, &self.wo] {
+            ids.extend(l.param_ids());
+        }
+        ids
+    }
+
+    /// Projection layers `(wq, wk, wv, wo)` for structured pruning.
+    pub fn projections(&self) -> [&Linear; 4] {
+        [&self.wq, &self.wk, &self.wv, &self.wo]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acme_tensor::{randn, SmallRng64};
+
+    #[test]
+    fn output_shape_matches_input() {
+        let mut rng = SmallRng64::new(0);
+        let mut ps = ParamSet::new();
+        let attn = MultiHeadSelfAttention::new(&mut ps, "attn", 8, 2, &mut rng);
+        let mut g = Graph::new();
+        let x = g.constant(randn(&[2, 5, 8], &mut rng));
+        let y = attn.forward(&mut g, &ps, x);
+        assert_eq!(g.shape(y), &[2, 5, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn rejects_indivisible_heads() {
+        let mut rng = SmallRng64::new(0);
+        let mut ps = ParamSet::new();
+        MultiHeadSelfAttention::new(&mut ps, "attn", 7, 2, &mut rng);
+    }
+
+    #[test]
+    fn unit_mask_is_identity() {
+        let mut rng = SmallRng64::new(1);
+        let mut ps = ParamSet::new();
+        let attn = MultiHeadSelfAttention::new(&mut ps, "attn", 8, 4, &mut rng);
+        let mut g = Graph::new();
+        let x = g.constant(randn(&[1, 3, 8], &mut rng));
+        let plain = attn.forward(&mut g, &ps, x);
+        let masked = attn.forward_masked(&mut g, &ps, x, Some(&[1.0; 4]));
+        for (a, b) in g.value(plain).data().iter().zip(g.value(masked).data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn zero_mask_removes_all_value_paths() {
+        let mut rng = SmallRng64::new(2);
+        let mut ps = ParamSet::new();
+        let attn = MultiHeadSelfAttention::new(&mut ps, "attn", 8, 2, &mut rng);
+        // Zero the output bias so a fully masked attention yields exactly 0.
+        let ids = attn.param_ids();
+        ps.value_mut(ids[7]).map_in_place(|_| 0.0); // wo bias
+        let mut g = Graph::new();
+        let x = g.constant(randn(&[1, 3, 8], &mut rng));
+        let y = attn.forward_masked(&mut g, &ps, x, Some(&[0.0, 0.0]));
+        assert!(g.value(y).data().iter().all(|v| v.abs() < 1e-6));
+    }
+
+    #[test]
+    fn mask_var_gradient_is_finite_and_nonzero() {
+        let mut rng = SmallRng64::new(3);
+        let mut ps = ParamSet::new();
+        let attn = MultiHeadSelfAttention::new(&mut ps, "attn", 8, 2, &mut rng);
+        let mut g = Graph::new();
+        let x = g.constant(randn(&[2, 4, 8], &mut rng));
+        let mask = g.leaf(Array::ones(&[1, 2, 1, 1]));
+        let y = attn.forward_with_mask_var(&mut g, &ps, x, mask);
+        let t = g.pow_scalar(y, 2.0);
+        let loss = g.mean_all(t);
+        g.backward(loss);
+        let mg = g.grad(mask).expect("mask grad");
+        assert_eq!(mg.shape(), &[1, 2, 1, 1]);
+        assert!(mg.data().iter().all(|v| v.is_finite()));
+        assert!(mg.sq_norm() > 0.0);
+    }
+}

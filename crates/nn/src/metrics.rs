@@ -1,0 +1,39 @@
+//! Classification metrics.
+
+use acme_tensor::Array;
+
+/// Fraction of rows of `logits` (`[batch, classes]`) whose argmax equals
+/// the target label.
+///
+/// # Panics
+///
+/// Panics when `logits` is not 2-D or `targets.len()` differs from the
+/// batch size.
+pub fn accuracy(logits: &Array, targets: &[usize]) -> f32 {
+    let preds = logits.argmax_rows().expect("accuracy expects 2-D logits");
+    assert_eq!(preds.len(), targets.len(), "accuracy target count");
+    if targets.is_empty() {
+        return 0.0;
+    }
+    let correct = preds.iter().zip(targets).filter(|(p, t)| p == t).count();
+    correct as f32 / targets.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_and_zero() {
+        let logits = Array::from_vec(vec![0.9, 0.1, 0.2, 0.8], &[2, 2]).unwrap();
+        assert_eq!(accuracy(&logits, &[0, 1]), 1.0);
+        assert_eq!(accuracy(&logits, &[1, 0]), 0.0);
+        assert_eq!(accuracy(&logits, &[0, 0]), 0.5);
+    }
+
+    #[test]
+    fn empty_batch_is_zero() {
+        let logits = Array::zeros(&[0, 3]);
+        assert_eq!(accuracy(&logits, &[]), 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Learning-rate schedules for the training loops.
+
+/// A learning-rate schedule evaluated per optimization step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// The base rate throughout.
+    Constant,
+    /// Linear warmup over `warmup_steps`, then cosine decay to
+    /// `floor_frac · base` at the final step.
+    Cosine {
+        /// Steps of linear warmup from 0 to the base rate.
+        warmup_steps: usize,
+        /// Final rate as a fraction of the base rate.
+        floor_frac: f32,
+    },
+    /// Multiply the rate by `gamma` every `every` steps.
+    Step {
+        /// Interval between decays.
+        every: usize,
+        /// Multiplicative decay factor.
+        gamma: f32,
+    },
+}
+
+impl Default for LrSchedule {
+    fn default() -> Self {
+        LrSchedule::Constant
+    }
+}
+
+impl LrSchedule {
+    /// The learning rate at `step` of `total_steps`, given the base rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `total_steps` is zero for the cosine schedule.
+    pub fn lr_at(&self, base: f32, step: usize, total_steps: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant => base,
+            LrSchedule::Cosine {
+                warmup_steps,
+                floor_frac,
+            } => {
+                assert!(total_steps > 0, "cosine schedule needs a horizon");
+                if warmup_steps > 0 && step < warmup_steps {
+                    return base * (step + 1) as f32 / warmup_steps as f32;
+                }
+                let progress = (step.saturating_sub(warmup_steps)) as f32
+                    / (total_steps.saturating_sub(warmup_steps)).max(1) as f32;
+                let progress = progress.clamp(0.0, 1.0);
+                let floor = base * floor_frac;
+                floor + 0.5 * (base - floor) * (1.0 + (std::f32::consts::PI * progress).cos())
+            }
+            LrSchedule::Step { every, gamma } => {
+                let decays = if every == 0 { 0 } else { step / every };
+                base * gamma.powi(decays as i32)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant;
+        assert_eq!(s.lr_at(0.1, 0, 100), 0.1);
+        assert_eq!(s.lr_at(0.1, 99, 100), 0.1);
+    }
+
+    #[test]
+    fn cosine_warms_up_then_decays() {
+        let s = LrSchedule::Cosine {
+            warmup_steps: 10,
+            floor_frac: 0.1,
+        };
+        let base = 1.0;
+        // Warmup is increasing.
+        assert!(s.lr_at(base, 0, 100) < s.lr_at(base, 5, 100));
+        assert!(s.lr_at(base, 9, 100) <= base);
+        // Peak right after warmup.
+        let peak = s.lr_at(base, 10, 100);
+        assert!((peak - base).abs() < 1e-4);
+        // Monotone decay afterwards.
+        assert!(s.lr_at(base, 50, 100) < peak);
+        let end = s.lr_at(base, 100, 100);
+        assert!((end - 0.1).abs() < 1e-4, "floor {end}");
+        // Beyond the horizon clamps at the floor.
+        assert!((s.lr_at(base, 500, 100) - 0.1).abs() < 1e-4);
+    }
+
+    #[test]
+    fn step_decays_by_gamma() {
+        let s = LrSchedule::Step {
+            every: 10,
+            gamma: 0.5,
+        };
+        assert_eq!(s.lr_at(1.0, 0, 0), 1.0);
+        assert_eq!(s.lr_at(1.0, 9, 0), 1.0);
+        assert_eq!(s.lr_at(1.0, 10, 0), 0.5);
+        assert_eq!(s.lr_at(1.0, 25, 0), 0.25);
+        // every == 0 never decays.
+        let never = LrSchedule::Step {
+            every: 0,
+            gamma: 0.5,
+        };
+        assert_eq!(never.lr_at(1.0, 100, 0), 1.0);
+    }
+}

@@ -1,0 +1,408 @@
+//! The owned, row-major `f32` tensor type.
+
+use crate::error::{Result, TensorError};
+use crate::shape::{strides_for, volume};
+
+/// An owned n-dimensional `f32` tensor stored in row-major order.
+///
+/// `Array` is the plain-value substrate under the autograd [`Graph`]: all
+/// differentiable ops take and produce `Array` values internally. It is
+/// deliberately simple — contiguous storage, owned data — which keeps the
+/// distributed-system simulation `Send` without synchronization.
+///
+/// [`Graph`]: crate::Graph
+#[derive(Debug, Clone, PartialEq)]
+pub struct Array {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Array {
+    /// Creates an array from a flat buffer and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when `data.len()` is not the
+    /// product of `shape`.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self> {
+        let expected = volume(shape);
+        if data.len() != expected {
+            return Err(TensorError::LengthMismatch {
+                expected,
+                actual: data.len(),
+            });
+        }
+        Ok(Array {
+            shape: shape.to_vec(),
+            data,
+        })
+    }
+
+    /// Creates a zero-filled array.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Array {
+            shape: shape.to_vec(),
+            data: vec![0.0; volume(shape)],
+        }
+    }
+
+    /// Creates a one-filled array.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Creates an array filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        Array {
+            shape: shape.to_vec(),
+            data: vec![value; volume(shape)],
+        }
+    }
+
+    /// Creates a rank-0 (scalar) array.
+    pub fn scalar(value: f32) -> Self {
+        Array {
+            shape: Vec::new(),
+            data: vec![value],
+        }
+    }
+
+    /// Creates a 1-D array from a slice.
+    pub fn from_slice(data: &[f32]) -> Self {
+        Array {
+            shape: vec![data.len()],
+            data: data.to_vec(),
+        }
+    }
+
+    /// The shape of the array.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The number of axes.
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// The total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the array holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the underlying buffer (row-major).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying buffer (row-major).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the array, returning its flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Row-major strides.
+    pub fn strides(&self) -> Vec<usize> {
+        strides_for(&self.shape)
+    }
+
+    /// Returns the single element of a size-1 array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array has more than one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(
+            self.data.len(),
+            1,
+            "item() on array with {} elements",
+            self.data.len()
+        );
+        self.data[0]
+    }
+
+    /// Element access by multi-axis index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index.len() != rank` or any coordinate is out of range.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.flat_index(index)]
+    }
+
+    /// Mutable element access by multi-axis index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index.len() != rank` or any coordinate is out of range.
+    pub fn at_mut(&mut self, index: &[usize]) -> &mut f32 {
+        let i = self.flat_index(index);
+        &mut self.data[i]
+    }
+
+    fn flat_index(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.shape.len(), "index rank mismatch");
+        let strides = self.strides();
+        index
+            .iter()
+            .zip(&self.shape)
+            .zip(&strides)
+            .map(|((&i, &d), &s)| {
+                assert!(i < d, "index {i} out of range for axis of size {d}");
+                i * s
+            })
+            .sum()
+    }
+
+    /// Returns a reshaped copy sharing no storage with `self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if volumes differ.
+    pub fn reshaped(&self, shape: &[usize]) -> Result<Array> {
+        Array::from_vec(self.data.clone(), shape)
+    }
+
+    /// Reshapes in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if volumes differ.
+    pub fn reshape_in_place(&mut self, shape: &[usize]) -> Result<()> {
+        let expected = volume(shape);
+        if self.data.len() != expected {
+            return Err(TensorError::LengthMismatch {
+                expected,
+                actual: self.data.len(),
+            });
+        }
+        self.shape = shape.to_vec();
+        Ok(())
+    }
+
+    /// Applies `f` to every element, returning a new array.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Array {
+        Array {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Sum of all elements (as f64 accumulation for stability).
+    pub fn sum(&self) -> f32 {
+        self.data.iter().map(|&x| x as f64).sum::<f64>() as f32
+    }
+
+    /// Mean of all elements.
+    ///
+    /// Returns 0 for an empty array.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty array.
+    pub fn max(&self) -> f32 {
+        assert!(!self.data.is_empty(), "max() on empty array");
+        self.data.iter().cloned().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty array.
+    pub fn min(&self) -> f32 {
+        assert!(!self.data.is_empty(), "min() on empty array");
+        self.data.iter().cloned().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Index of the maximum element in the flat buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty array.
+    pub fn argmax(&self) -> usize {
+        assert!(!self.data.is_empty(), "argmax() on empty array");
+        self.data
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Squared L2 norm of the buffer.
+    pub fn sq_norm(&self) -> f32 {
+        self.data
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>() as f32
+    }
+
+    /// Per-row argmax for a 2-D array (`[rows, cols]`), useful for
+    /// classification accuracy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-2-D arrays.
+    pub fn argmax_rows(&self) -> Result<Vec<usize>> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+                op: "argmax_rows",
+            });
+        }
+        let (rows, cols) = (self.shape[0], self.shape[1]);
+        let mut out = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = &self.data[r * cols..(r + 1) * cols];
+            let mut best = 0;
+            for (c, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = c;
+                }
+            }
+            out.push(best);
+        }
+        Ok(out)
+    }
+
+    /// Extracts row `r` of a 2-D array as a 1-D array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array is not 2-D or `r` is out of range.
+    pub fn row(&self, r: usize) -> Array {
+        assert_eq!(self.rank(), 2, "row() requires a 2-D array");
+        let cols = self.shape[1];
+        Array {
+            shape: vec![cols],
+            data: self.data[r * cols..(r + 1) * cols].to_vec(),
+        }
+    }
+}
+
+impl Default for Array {
+    fn default() -> Self {
+        Array::scalar(0.0)
+    }
+}
+
+impl std::fmt::Display for Array {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Array{:?}", self.shape)?;
+        if self.data.len() <= 16 {
+            write!(f, " {:?}", self.data)
+        } else {
+            write!(f, " [{} elements]", self.data.len())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Array::from_vec(vec![1.0; 6], &[2, 3]).is_ok());
+        assert!(Array::from_vec(vec![1.0; 5], &[2, 3]).is_err());
+    }
+
+    #[test]
+    fn zeros_ones_full() {
+        assert_eq!(Array::zeros(&[2, 2]).data(), &[0.0; 4]);
+        assert_eq!(Array::ones(&[3]).data(), &[1.0; 3]);
+        assert_eq!(Array::full(&[2], 7.5).data(), &[7.5, 7.5]);
+    }
+
+    #[test]
+    fn scalar_item() {
+        assert_eq!(Array::scalar(3.0).item(), 3.0);
+        assert_eq!(Array::scalar(3.0).rank(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "item()")]
+    fn item_panics_on_multi_element() {
+        Array::ones(&[2]).item();
+    }
+
+    #[test]
+    fn indexing_row_major() {
+        let a = Array::from_vec((0..24).map(|x| x as f32).collect(), &[2, 3, 4]).unwrap();
+        assert_eq!(a.at(&[0, 0, 0]), 0.0);
+        assert_eq!(a.at(&[1, 2, 3]), 23.0);
+        assert_eq!(a.at(&[1, 0, 2]), 14.0);
+    }
+
+    #[test]
+    fn at_mut_writes() {
+        let mut a = Array::zeros(&[2, 2]);
+        *a.at_mut(&[1, 0]) = 5.0;
+        assert_eq!(a.data(), &[0.0, 0.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    fn reshape_checks_volume() {
+        let a = Array::ones(&[2, 3]);
+        assert!(a.reshaped(&[3, 2]).is_ok());
+        assert!(a.reshaped(&[4, 2]).is_err());
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Array::from_slice(&[1.0, -2.0, 3.0]);
+        assert_eq!(a.sum(), 2.0);
+        assert_eq!(a.max(), 3.0);
+        assert_eq!(a.min(), -2.0);
+        assert_eq!(a.argmax(), 2);
+        assert!((a.mean() - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(a.sq_norm(), 14.0);
+    }
+
+    #[test]
+    fn argmax_rows_2d() {
+        let a = Array::from_vec(vec![1.0, 3.0, 2.0, 9.0, 0.0, -1.0], &[2, 3]).unwrap();
+        assert_eq!(a.argmax_rows().unwrap(), vec![1, 0]);
+        assert!(Array::ones(&[3]).argmax_rows().is_err());
+    }
+
+    #[test]
+    fn map_and_row() {
+        let a = Array::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        assert_eq!(a.map(|x| x * 2.0).data(), &[2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(a.row(1).data(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", Array::zeros(&[2])).is_empty());
+        assert!(format!("{}", Array::zeros(&[100])).contains("elements"));
+    }
+}

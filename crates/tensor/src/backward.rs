@@ -1,0 +1,559 @@
+//! Reverse-mode gradient rules for every [`Op`](crate::graph::Op).
+
+use crate::array::Array;
+use crate::conv::{col2im, im2col};
+use crate::graph::{gelu_grad_scalar, Graph, Op, Var};
+use crate::linalg::{invert_perm, matmul_a_bt_kernel, matmul_at_b_kernel, matmul_kernel};
+
+impl Graph {
+    /// Runs the backward sweep from `output`, seeding its gradient with
+    /// ones. Leaf gradients are afterwards available via [`Graph::grad`].
+    ///
+    /// Calling `backward` twice on the same graph accumulates gradients
+    /// (the tape is not consumed).
+    pub fn backward(&mut self, output: Var) {
+        let seed = Array::ones(self.nodes[output.0].value.shape());
+        self.backward_with(output, seed);
+    }
+
+    /// Runs the backward sweep with an explicit output gradient seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `seed`'s shape differs from the output value's shape.
+    pub fn backward_with(&mut self, output: Var, seed: Array) {
+        assert_eq!(
+            seed.shape(),
+            self.nodes[output.0].value.shape(),
+            "backward seed shape mismatch"
+        );
+        self.accumulate(output.0, seed);
+        for id in (0..=output.0).rev() {
+            let Some(grad) = self.nodes[id].grad.clone() else {
+                continue;
+            };
+            // Temporarily take the op to sidestep aliasing between the node
+            // being processed and the parents receiving contributions.
+            let op = std::mem::replace(
+                &mut self.nodes[id].op,
+                Op::Leaf {
+                    requires_grad: false,
+                },
+            );
+            let out_value = self.nodes[id].value.clone();
+            let contributions = self.contributions(&op, &grad, &out_value);
+            self.nodes[id].op = op;
+            for (parent, contrib) in contributions {
+                self.accumulate(parent, contrib);
+            }
+        }
+    }
+
+    fn accumulate(&mut self, id: usize, contrib: Array) {
+        if let Op::Leaf {
+            requires_grad: false,
+        } = self.nodes[id].op
+        {
+            return;
+        }
+        match &mut self.nodes[id].grad {
+            Some(g) => g.add_assign(&contrib),
+            slot @ None => *slot = Some(contrib),
+        }
+    }
+
+    #[allow(clippy::needless_range_loop)] // index loops mirror the math of each rule
+    fn contributions(&self, op: &Op, grad: &Array, out_value: &Array) -> Vec<(usize, Array)> {
+        let val = |v: Var| &self.nodes[v.0].value;
+        match op {
+            Op::Leaf { .. } => Vec::new(),
+            Op::Add(a, b) => vec![
+                (a.0, grad.reduce_to_shape(val(*a).shape())),
+                (b.0, grad.reduce_to_shape(val(*b).shape())),
+            ],
+            Op::Sub(a, b) => vec![
+                (a.0, grad.reduce_to_shape(val(*a).shape())),
+                (b.0, grad.scale(-1.0).reduce_to_shape(val(*b).shape())),
+            ],
+            Op::Mul(a, b) => {
+                let ga = grad
+                    .mul(val(*b))
+                    .expect("mul backward")
+                    .reduce_to_shape(val(*a).shape());
+                let gb = grad
+                    .mul(val(*a))
+                    .expect("mul backward")
+                    .reduce_to_shape(val(*b).shape());
+                vec![(a.0, ga), (b.0, gb)]
+            }
+            Op::Div(a, b) => {
+                let ga = grad
+                    .div(val(*b))
+                    .expect("div backward")
+                    .reduce_to_shape(val(*a).shape());
+                let b2 = val(*b).mul(val(*b)).expect("square");
+                let gb = grad
+                    .mul(val(*a))
+                    .expect("div backward")
+                    .div(&b2)
+                    .expect("div backward")
+                    .scale(-1.0)
+                    .reduce_to_shape(val(*b).shape());
+                vec![(a.0, ga), (b.0, gb)]
+            }
+            Op::Neg(a) => vec![(a.0, grad.scale(-1.0))],
+            Op::Scale(a, c) => vec![(a.0, grad.scale(*c))],
+            Op::AddScalar(a) => vec![(a.0, grad.clone())],
+            Op::PowScalar(a, p) => {
+                let x = val(*a);
+                let mut g = grad.clone();
+                for (gi, &xi) in g.data_mut().iter_mut().zip(x.data()) {
+                    *gi *= p * xi.powf(p - 1.0);
+                }
+                vec![(a.0, g)]
+            }
+            Op::MatMul(a, b) => {
+                let av = val(*a);
+                let bv = val(*b);
+                let (m, k) = (av.shape()[0], av.shape()[1]);
+                let n = bv.shape()[1];
+                // ga = grad @ b^T
+                let mut ga = Array::zeros(&[m, k]);
+                matmul_a_bt_kernel(grad.data(), bv.data(), ga.data_mut(), m, n, k);
+                // gb = a^T @ grad
+                let mut gb = Array::zeros(&[k, n]);
+                matmul_at_b_kernel(av.data(), grad.data(), gb.data_mut(), k, m, n);
+                vec![(a.0, ga), (b.0, gb)]
+            }
+            Op::BatchMatMul(a, b) => {
+                let av = val(*a);
+                let bv = val(*b);
+                let r = av.rank();
+                let batch: usize = av.shape()[..r - 2].iter().product();
+                let (m, k) = (av.shape()[r - 2], av.shape()[r - 1]);
+                let n = bv.shape()[r - 1];
+                let mut ga = Array::zeros(av.shape());
+                let mut gb = Array::zeros(bv.shape());
+                for bi in 0..batch {
+                    let gslice = &grad.data()[bi * m * n..(bi + 1) * m * n];
+                    matmul_a_bt_kernel(
+                        gslice,
+                        &bv.data()[bi * k * n..(bi + 1) * k * n],
+                        &mut ga.data_mut()[bi * m * k..(bi + 1) * m * k],
+                        m,
+                        n,
+                        k,
+                    );
+                    matmul_at_b_kernel(
+                        &av.data()[bi * m * k..(bi + 1) * m * k],
+                        gslice,
+                        &mut gb.data_mut()[bi * k * n..(bi + 1) * k * n],
+                        k,
+                        m,
+                        n,
+                    );
+                }
+                vec![(a.0, ga), (b.0, gb)]
+            }
+            Op::Permute(a, perm) => {
+                vec![(
+                    a.0,
+                    grad.permute(&invert_perm(perm))
+                        .expect("inverse permutation"),
+                )]
+            }
+            Op::Reshape(a, orig) => vec![(a.0, grad.reshaped(orig).expect("reshape backward"))],
+            Op::SumAll(a) => vec![(a.0, Array::full(val(*a).shape(), grad.item()))],
+            Op::MeanAll(a) => {
+                let n = val(*a).len().max(1) as f32;
+                vec![(a.0, Array::full(val(*a).shape(), grad.item() / n))]
+            }
+            Op::SumAxis(a, axis) => {
+                let shape = val(*a).shape();
+                let outer: usize = shape[..*axis].iter().product();
+                let mid = shape[*axis];
+                let inner: usize = shape[*axis + 1..].iter().product();
+                let mut g = Array::zeros(shape);
+                for o in 0..outer {
+                    for m in 0..mid {
+                        for i in 0..inner {
+                            g.data_mut()[(o * mid + m) * inner + i] = grad.data()[o * inner + i];
+                        }
+                    }
+                }
+                vec![(a.0, g)]
+            }
+            Op::Relu(a) => {
+                let mut g = grad.clone();
+                for (gi, &xi) in g.data_mut().iter_mut().zip(val(*a).data()) {
+                    if xi <= 0.0 {
+                        *gi = 0.0;
+                    }
+                }
+                vec![(a.0, g)]
+            }
+            Op::Gelu(a) => {
+                let mut g = grad.clone();
+                for (gi, &xi) in g.data_mut().iter_mut().zip(val(*a).data()) {
+                    *gi *= gelu_grad_scalar(xi);
+                }
+                vec![(a.0, g)]
+            }
+            Op::Tanh(a) => {
+                let mut g = grad.clone();
+                for (gi, &yi) in g.data_mut().iter_mut().zip(out_value.data()) {
+                    *gi *= 1.0 - yi * yi;
+                }
+                vec![(a.0, g)]
+            }
+            Op::Sigmoid(a) => {
+                let mut g = grad.clone();
+                for (gi, &yi) in g.data_mut().iter_mut().zip(out_value.data()) {
+                    *gi *= yi * (1.0 - yi);
+                }
+                vec![(a.0, g)]
+            }
+            Op::Exp(a) => {
+                let mut g = grad.clone();
+                for (gi, &yi) in g.data_mut().iter_mut().zip(out_value.data()) {
+                    *gi *= yi;
+                }
+                vec![(a.0, g)]
+            }
+            Op::Ln(a) => {
+                let mut g = grad.clone();
+                for (gi, &xi) in g.data_mut().iter_mut().zip(val(*a).data()) {
+                    *gi /= xi;
+                }
+                vec![(a.0, g)]
+            }
+            Op::SoftmaxLast(a) => {
+                // dx = y * (g - sum(g*y)) per row
+                let y = out_value;
+                let cols = *y.shape().last().unwrap_or(&1);
+                let rows = y.len() / cols.max(1);
+                let mut g = grad.clone();
+                for r in 0..rows {
+                    let ys = &y.data()[r * cols..(r + 1) * cols];
+                    let gs = &mut g.data_mut()[r * cols..(r + 1) * cols];
+                    let dot: f32 = ys.iter().zip(gs.iter()).map(|(&a, &b)| a * b).sum();
+                    for (gi, &yi) in gs.iter_mut().zip(ys) {
+                        *gi = yi * (*gi - dot);
+                    }
+                }
+                vec![(a.0, g)]
+            }
+            Op::LogSoftmaxLast(a) => {
+                // dx = g - softmax * sum(g) per row, softmax = exp(out)
+                let cols = *out_value.shape().last().unwrap_or(&1);
+                let rows = out_value.len() / cols.max(1);
+                let mut g = grad.clone();
+                for r in 0..rows {
+                    let ys = &out_value.data()[r * cols..(r + 1) * cols];
+                    let gs = &mut g.data_mut()[r * cols..(r + 1) * cols];
+                    let gsum: f32 = gs.iter().sum();
+                    for (gi, &yi) in gs.iter_mut().zip(ys) {
+                        *gi -= yi.exp() * gsum;
+                    }
+                }
+                vec![(a.0, g)]
+            }
+            Op::LayerNorm {
+                x,
+                gamma,
+                beta,
+                normalized,
+                inv_std,
+                ..
+            } => {
+                let d = *normalized.shape().last().expect("layer_norm rank");
+                let rows = normalized.len() / d;
+                let gv = val(*gamma);
+                let mut gx = Array::zeros(val(*x).shape());
+                let mut ggamma = Array::zeros(&[d]);
+                let mut gbeta = Array::zeros(&[d]);
+                for r in 0..rows {
+                    let xh = &normalized.data()[r * d..(r + 1) * d];
+                    let go = &grad.data()[r * d..(r + 1) * d];
+                    // Affine gradients.
+                    for i in 0..d {
+                        ggamma.data_mut()[i] += go[i] * xh[i];
+                        gbeta.data_mut()[i] += go[i];
+                    }
+                    // dxh = go * gamma
+                    let dxh: Vec<f32> = (0..d).map(|i| go[i] * gv.data()[i]).collect();
+                    let mean_dxh: f32 = dxh.iter().sum::<f32>() / d as f32;
+                    let mean_dxh_xh: f32 =
+                        dxh.iter().zip(xh).map(|(&a, &b)| a * b).sum::<f32>() / d as f32;
+                    let is = inv_std[r];
+                    let gxs = &mut gx.data_mut()[r * d..(r + 1) * d];
+                    for i in 0..d {
+                        gxs[i] = is * (dxh[i] - mean_dxh - xh[i] * mean_dxh_xh);
+                    }
+                }
+                vec![(x.0, gx), (gamma.0, ggamma), (beta.0, gbeta)]
+            }
+            Op::CrossEntropyLogits {
+                logits,
+                targets,
+                softmax,
+            } => {
+                let (b, c) = (softmax.shape()[0], softmax.shape()[1]);
+                let scale = grad.item() / b as f32;
+                let mut g = softmax.clone();
+                for (r, &t) in targets.iter().enumerate() {
+                    g.data_mut()[r * c + t] -= 1.0;
+                }
+                vec![(logits.0, g.scale(scale))]
+            }
+            Op::MseLoss(a, b) => {
+                let av = val(*a);
+                let bv = val(*b);
+                let n = av.len().max(1) as f32;
+                let d = av
+                    .sub(bv)
+                    .expect("mse backward")
+                    .scale(2.0 * grad.item() / n);
+                vec![(a.0, d.clone()), (b.0, d.scale(-1.0))]
+            }
+            Op::Concat { parts, axis, sizes } => {
+                let chunks = grad.split(*axis, sizes).expect("concat backward split");
+                parts.iter().zip(chunks).map(|(p, c)| (p.0, c)).collect()
+            }
+            Op::SliceAxis {
+                input,
+                axis,
+                start,
+                len,
+            } => {
+                let ishape = val(*input).shape().to_vec();
+                let outer: usize = ishape[..*axis].iter().product();
+                let mid = ishape[*axis];
+                let inner: usize = ishape[*axis + 1..].iter().product();
+                let mut g = Array::zeros(&ishape);
+                for o in 0..outer {
+                    for m in 0..*len {
+                        let src = (o * len + m) * inner;
+                        let dst = (o * mid + start + m) * inner;
+                        g.data_mut()[dst..dst + inner]
+                            .copy_from_slice(&grad.data()[src..src + inner]);
+                    }
+                }
+                vec![(input.0, g)]
+            }
+            Op::Conv2d {
+                input,
+                weight,
+                bias,
+                geom,
+            } => {
+                let g = geom;
+                let (ch, cw) = (g.col_height(), g.col_width());
+                let in_plane = g.in_ch * g.in_h * g.in_w;
+                let iv = val(*input);
+                let wv = val(*weight);
+                let mut gin = Array::zeros(iv.shape());
+                let mut gw = Array::zeros(wv.shape()); // [out_ch, cw] flat
+                let mut gb = bias.map(|_| Array::zeros(&[g.out_ch]));
+                let mut col = vec![0.0f32; ch * cw];
+                let mut gcol = vec![0.0f32; ch * cw];
+                for b in 0..g.batch {
+                    im2col(&iv.data()[b * in_plane..(b + 1) * in_plane], g, &mut col);
+                    // gout for this batch: [out_ch, ch] contiguous
+                    let gout = &grad.data()[b * g.out_ch * ch..(b + 1) * g.out_ch * ch];
+                    // gw[o, c] += sum_yx gout[o, yx] * col[yx, c]
+                    matmul_kernel(gout, &col, gw.data_mut(), g.out_ch, ch, cw);
+                    // gcol[yx, c] = sum_o gout[o, yx] * w[o, c] = gout^T @ w
+                    gcol.iter_mut().for_each(|v| *v = 0.0);
+                    matmul_at_b_kernel(gout, wv.data(), &mut gcol, ch, g.out_ch, cw);
+                    col2im(
+                        &gcol,
+                        g,
+                        &mut gin.data_mut()[b * in_plane..(b + 1) * in_plane],
+                    );
+                    if let Some(gb) = gb.as_mut() {
+                        for o in 0..g.out_ch {
+                            let s: f32 = gout[o * ch..(o + 1) * ch].iter().sum();
+                            gb.data_mut()[o] += s;
+                        }
+                    }
+                }
+                let mut out = vec![(input.0, gin), (weight.0, gw)];
+                if let (Some(b), Some(gb)) = (bias, gb) {
+                    out.push((b.0, gb));
+                }
+                out
+            }
+            Op::MaxPool2d { input, argmax } => {
+                let mut g = Array::zeros(val(*input).shape());
+                for (oi, &ii) in argmax.iter().enumerate() {
+                    g.data_mut()[ii] += grad.data()[oi];
+                }
+                vec![(input.0, g)]
+            }
+            Op::AvgPool2d { input, geom } => {
+                let g2 = geom;
+                let inv = 1.0 / (g2.k * g2.k) as f32;
+                let mut g = Array::zeros(val(*input).shape());
+                let (ih, iw) = (g2.in_h, g2.in_w);
+                for b in 0..g2.batch {
+                    for c in 0..g2.ch {
+                        let base = (b * g2.ch + c) * ih * iw;
+                        for oy in 0..g2.out_h {
+                            for ox in 0..g2.out_w {
+                                let go = grad.data()
+                                    [((b * g2.ch + c) * g2.out_h + oy) * g2.out_w + ox]
+                                    * inv;
+                                for ky in 0..g2.k {
+                                    for kx in 0..g2.k {
+                                        g.data_mut()
+                                            [base + (oy * g2.k + ky) * iw + (ox * g2.k + kx)] += go;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                vec![(input.0, g)]
+            }
+            Op::Embedding { weight, indices } => {
+                let wv = val(*weight);
+                let d = wv.shape()[1];
+                let mut g = Array::zeros(wv.shape());
+                for (r, &i) in indices.iter().enumerate() {
+                    for j in 0..d {
+                        g.data_mut()[i * d + j] += grad.data()[r * d + j];
+                    }
+                }
+                vec![(weight.0, g)]
+            }
+            Op::Dropout { input, mask } => {
+                vec![(input.0, grad.mul(mask).expect("dropout backward"))]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{randn, SmallRng64};
+
+    #[test]
+    fn add_mul_chain_grads() {
+        // s = sum((a + b) * a); ds/da = (a+b) + a = 2a + b; ds/db = a
+        let mut g = Graph::new();
+        let a = g.leaf(Array::from_slice(&[1.0, 2.0]));
+        let b = g.leaf(Array::from_slice(&[3.0, 5.0]));
+        let t = g.add(a, b);
+        let p = g.mul(t, a);
+        let s = g.sum_all(p);
+        g.backward(s);
+        assert_eq!(g.grad(a).unwrap().data(), &[5.0, 9.0]);
+        assert_eq!(g.grad(b).unwrap().data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn broadcast_add_reduces_grad() {
+        let mut g = Graph::new();
+        let a = g.leaf(Array::ones(&[2, 3]));
+        let b = g.leaf(Array::zeros(&[3]));
+        let t = g.add(a, b);
+        let s = g.sum_all(t);
+        g.backward(s);
+        assert_eq!(g.grad(b).unwrap().shape(), &[3]);
+        assert_eq!(g.grad(b).unwrap().data(), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn matmul_grads_match_formula() {
+        let mut rng = SmallRng64::new(0);
+        let mut g = Graph::new();
+        let a = g.leaf(randn(&[3, 4], &mut rng));
+        let b = g.leaf(randn(&[4, 2], &mut rng));
+        let c = g.matmul(a, b);
+        let s = g.sum_all(c);
+        g.backward(s);
+        // ds/da = ones @ b^T
+        let ones = Array::ones(&[3, 2]);
+        let expect_ga = ones.matmul(&g.value(b).transpose2d().unwrap()).unwrap();
+        for (x, y) in g.grad(a).unwrap().data().iter().zip(expect_ga.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn constant_gets_no_grad() {
+        let mut g = Graph::new();
+        let a = g.leaf(Array::from_slice(&[2.0]));
+        let c = g.constant(Array::from_slice(&[3.0]));
+        let p = g.mul(a, c);
+        let s = g.sum_all(p);
+        g.backward(s);
+        assert_eq!(g.grad(a).unwrap().data(), &[3.0]);
+        assert!(g.grad(c).is_none());
+    }
+
+    #[test]
+    fn cross_entropy_grad_is_softmax_minus_onehot() {
+        let mut g = Graph::new();
+        let x = g.leaf(Array::zeros(&[2, 3]));
+        let l = g.cross_entropy_logits(x, &[0, 2]);
+        g.backward(l);
+        let gx = g.grad(x).unwrap();
+        let third = 1.0 / 3.0;
+        let expected = [
+            (third - 1.0) / 2.0,
+            third / 2.0,
+            third / 2.0,
+            third / 2.0,
+            third / 2.0,
+            (third - 1.0) / 2.0,
+        ];
+        for (a, b) in gx.data().iter().zip(&expected) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn relu_masks_gradient() {
+        let mut g = Graph::new();
+        let x = g.leaf(Array::from_slice(&[-1.0, 2.0]));
+        let y = g.relu(x);
+        let s = g.sum_all(y);
+        g.backward(s);
+        assert_eq!(g.grad(x).unwrap().data(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn maxpool_routes_gradient_to_argmax() {
+        let mut g = Graph::new();
+        let x = g.leaf(Array::from_vec(vec![1.0, 2.0, 3.0, 9.0], &[1, 1, 2, 2]).unwrap());
+        let y = g.max_pool2d(x, 2);
+        let s = g.sum_all(y);
+        g.backward(s);
+        assert_eq!(g.grad(x).unwrap().data(), &[0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn embedding_accumulates_repeated_indices() {
+        let mut g = Graph::new();
+        let w = g.leaf(Array::zeros(&[3, 2]));
+        let e = g.embedding(w, &[1, 1, 2]);
+        let s = g.sum_all(e);
+        g.backward(s);
+        assert_eq!(g.grad(w).unwrap().data(), &[0.0, 0.0, 2.0, 2.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn backward_twice_accumulates() {
+        let mut g = Graph::new();
+        let x = g.leaf(Array::from_slice(&[1.0]));
+        let s = g.sum_all(x);
+        g.backward(s);
+        g.backward(s);
+        // Gradients accumulate across backward calls (grad of s seeds again),
+        // and the intermediate node's grad doubles too.
+        assert!(g.grad(x).unwrap().data()[0] >= 2.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Error type for tensor operations.
+
+use std::fmt;
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+/// Error raised by tensor construction or shape-sensitive operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The supplied buffer length does not match the product of the shape.
+    LengthMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements actually supplied.
+        actual: usize,
+    },
+    /// Two operand shapes cannot be combined (broadcast or matmul).
+    ShapeMismatch {
+        /// Left operand shape.
+        lhs: Vec<usize>,
+        /// Right operand shape.
+        rhs: Vec<usize>,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// An axis argument is out of range for the tensor rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// The tensor rank.
+        rank: usize,
+    },
+    /// The operation requires a different rank than the operand has.
+    RankMismatch {
+        /// Required rank.
+        expected: usize,
+        /// Operand rank.
+        actual: usize,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// Generic invalid-argument error with a human readable message.
+    Invalid(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "buffer length {actual} does not match shape volume {expected}"
+                )
+            }
+            TensorError::ShapeMismatch { lhs, rhs, op } => {
+                write!(f, "shapes {lhs:?} and {rhs:?} are incompatible for {op}")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            TensorError::RankMismatch {
+                expected,
+                actual,
+                op,
+            } => {
+                write!(f, "{op} requires rank {expected}, got rank {actual}")
+            }
+            TensorError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = TensorError::LengthMismatch {
+            expected: 6,
+            actual: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains('5') && s.contains('6'));
+        let e = TensorError::ShapeMismatch {
+            lhs: vec![2],
+            rhs: vec![3],
+            op: "add",
+        };
+        assert!(e.to_string().contains("add"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

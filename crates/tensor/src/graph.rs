@@ -1,0 +1,878 @@
+//! The autograd tape: [`Graph`] arena, [`Var`] handles, and forward
+//! builders for every differentiable operation.
+
+use std::collections::HashMap;
+
+use crate::array::Array;
+use crate::conv::{avgpool_forward, im2col, maxpool_forward, ConvGeom, PoolGeom};
+
+/// Handle to a node in a [`Graph`].
+///
+/// `Var` is a cheap copyable index; it is only meaningful together with the
+/// graph that created it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+/// Recorded operation of a node, holding parent ids plus whatever forward
+/// state the backward pass needs.
+#[derive(Debug, Clone)]
+pub(crate) enum Op {
+    /// Input node; `requires_grad` controls whether a gradient is kept.
+    Leaf {
+        requires_grad: bool,
+    },
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Div(Var, Var),
+    Neg(Var),
+    Scale(Var, f32),
+    AddScalar(Var),
+    PowScalar(Var, f32),
+    MatMul(Var, Var),
+    BatchMatMul(Var, Var),
+    Permute(Var, Vec<usize>),
+    Reshape(Var, Vec<usize>),
+    SumAll(Var),
+    MeanAll(Var),
+    SumAxis(Var, usize),
+    Relu(Var),
+    Gelu(Var),
+    Tanh(Var),
+    Sigmoid(Var),
+    Exp(Var),
+    Ln(Var),
+    SoftmaxLast(Var),
+    LogSoftmaxLast(Var),
+    LayerNorm {
+        x: Var,
+        gamma: Var,
+        beta: Var,
+        /// Per-row normalized values `(x - mean) * inv_std`.
+        normalized: Array,
+        /// Per-row `1 / sqrt(var + eps)`.
+        inv_std: Vec<f32>,
+    },
+    CrossEntropyLogits {
+        logits: Var,
+        targets: Vec<usize>,
+        /// Row-wise softmax of the logits, saved for the backward pass.
+        softmax: Array,
+    },
+    MseLoss(Var, Var),
+    Concat {
+        parts: Vec<Var>,
+        axis: usize,
+        sizes: Vec<usize>,
+    },
+    SliceAxis {
+        input: Var,
+        axis: usize,
+        start: usize,
+        len: usize,
+    },
+    Conv2d {
+        input: Var,
+        weight: Var,
+        bias: Option<Var>,
+        geom: ConvGeom,
+    },
+    MaxPool2d {
+        input: Var,
+        argmax: Vec<usize>,
+    },
+    AvgPool2d {
+        input: Var,
+        geom: PoolGeom,
+    },
+    Embedding {
+        weight: Var,
+        indices: Vec<usize>,
+    },
+    Dropout {
+        input: Var,
+        /// Kept-mask already scaled by `1/keep_prob`.
+        mask: Array,
+    },
+}
+
+#[derive(Debug)]
+pub(crate) struct Node {
+    pub value: Array,
+    pub grad: Option<Array>,
+    pub op: Op,
+}
+
+/// A reverse-mode autodiff tape.
+///
+/// Every builder method appends a node holding the forward value and enough
+/// saved state for its backward rule, then returns a [`Var`] handle.
+/// [`Graph::backward`] seeds the output gradient with 1 and sweeps the tape
+/// in reverse; leaf gradients are then available through [`Graph::grad`].
+///
+/// A fresh graph is built per forward/backward step; parameters live
+/// outside the graph and are bound each step via [`Graph::bind_param`].
+///
+/// # Panics
+///
+/// Builder methods panic when operand shapes are incompatible — shapes are
+/// structural programmer errors, not runtime data errors. Each method
+/// documents its requirements.
+#[derive(Debug, Default)]
+pub struct Graph {
+    pub(crate) nodes: Vec<Node>,
+    param_bindings: HashMap<u64, Var>,
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Graph {
+            nodes: Vec::new(),
+            param_bindings: HashMap::new(),
+        }
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Array, op: Op) -> Var {
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Adds a differentiable input node.
+    pub fn leaf(&mut self, value: Array) -> Var {
+        self.push(
+            value,
+            Op::Leaf {
+                requires_grad: true,
+            },
+        )
+    }
+
+    /// Adds a non-differentiable input node (no gradient is accumulated).
+    pub fn constant(&mut self, value: Array) -> Var {
+        self.push(
+            value,
+            Op::Leaf {
+                requires_grad: false,
+            },
+        )
+    }
+
+    /// Binds an external parameter identified by `key`, returning the same
+    /// [`Var`] for repeated bindings of the same key within this graph.
+    ///
+    /// This is the hook used by the `acme-nn` parameter store: after
+    /// [`Graph::backward`], the gradient of each bound parameter can be
+    /// read back via [`Graph::grad`] using the var recorded here. Binding
+    /// the same key twice reuses the node, which is what makes NAS
+    /// parameter sharing (§III-C of the paper) gradient-correct.
+    pub fn bind_param(&mut self, key: u64, value: &Array) -> Var {
+        if let Some(&v) = self.param_bindings.get(&key) {
+            return v;
+        }
+        let v = self.leaf(value.clone());
+        self.param_bindings.insert(key, v);
+        v
+    }
+
+    /// All `(key, var)` parameter bindings recorded by
+    /// [`Graph::bind_param`], in unspecified order.
+    pub fn param_bindings(&self) -> impl Iterator<Item = (u64, Var)> + '_ {
+        self.param_bindings.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// The forward value of `v`.
+    pub fn value(&self, v: Var) -> &Array {
+        &self.nodes[v.0].value
+    }
+
+    /// The accumulated gradient of `v`, if any was produced by
+    /// [`Graph::backward`].
+    pub fn grad(&self, v: Var) -> Option<&Array> {
+        self.nodes[v.0].grad.as_ref()
+    }
+
+    /// Mutable access to the accumulated gradient of `v` (for gradient
+    /// clipping and similar post-backward transforms).
+    pub fn grad_mut(&mut self, v: Var) -> Option<&mut Array> {
+        self.nodes[v.0].grad.as_mut()
+    }
+
+    /// The shape of the forward value of `v`.
+    pub fn shape(&self, v: Var) -> &[usize] {
+        self.nodes[v.0].value.shape()
+    }
+
+    // ---- arithmetic ----
+
+    /// Broadcast addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes cannot broadcast.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self
+            .value(a)
+            .add(self.value(b))
+            .expect("add: incompatible shapes");
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Broadcast subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes cannot broadcast.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self
+            .value(a)
+            .sub(self.value(b))
+            .expect("sub: incompatible shapes");
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Broadcast elementwise multiplication.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes cannot broadcast.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self
+            .value(a)
+            .mul(self.value(b))
+            .expect("mul: incompatible shapes");
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// Broadcast elementwise division.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes cannot broadcast.
+    pub fn div(&mut self, a: Var, b: Var) -> Var {
+        let v = self
+            .value(a)
+            .div(self.value(b))
+            .expect("div: incompatible shapes");
+        self.push(v, Op::Div(a, b))
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&mut self, a: Var) -> Var {
+        let v = self.value(a).scale(-1.0);
+        self.push(v, Op::Neg(a))
+    }
+
+    /// Multiplies by a constant.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let v = self.value(a).scale(c);
+        self.push(v, Op::Scale(a, c))
+    }
+
+    /// Adds a constant.
+    pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        let v = self.value(a).add_scalar(c);
+        self.push(v, Op::AddScalar(a))
+    }
+
+    /// Elementwise power with a constant exponent.
+    pub fn pow_scalar(&mut self, a: Var, p: f32) -> Var {
+        let v = self.value(a).map(|x| x.powf(p));
+        self.push(v, Op::PowScalar(a, p))
+    }
+
+    // ---- linear algebra ----
+
+    /// 2-D matrix multiplication `[m,k] x [k,n] -> [m,n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both operands are 2-D with matching inner dimension.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self
+            .value(a)
+            .matmul(self.value(b))
+            .expect("matmul: incompatible shapes");
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    /// Batched matmul over matching leading dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics when batch or inner dimensions disagree.
+    pub fn batch_matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self
+            .value(a)
+            .batch_matmul(self.value(b))
+            .expect("batch_matmul: incompatible shapes");
+        self.push(v, Op::BatchMatMul(a, b))
+    }
+
+    /// Axis permutation; output axis `i` is input axis `perm[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `perm` is not a permutation of `0..rank`.
+    pub fn permute(&mut self, a: Var, perm: &[usize]) -> Var {
+        let v = self
+            .value(a)
+            .permute(perm)
+            .expect("permute: invalid permutation");
+        self.push(v, Op::Permute(a, perm.to_vec()))
+    }
+
+    /// Reshape to `shape` (same volume).
+    ///
+    /// # Panics
+    ///
+    /// Panics when volumes differ.
+    pub fn reshape(&mut self, a: Var, shape: &[usize]) -> Var {
+        let orig = self.shape(a).to_vec();
+        let v = self
+            .value(a)
+            .reshaped(shape)
+            .expect("reshape: volume mismatch");
+        self.push(v, Op::Reshape(a, orig))
+    }
+
+    // ---- reductions ----
+
+    /// Sum of all elements, producing a scalar node.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let v = Array::scalar(self.value(a).sum());
+        self.push(v, Op::SumAll(a))
+    }
+
+    /// Mean of all elements, producing a scalar node.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let v = Array::scalar(self.value(a).mean());
+        self.push(v, Op::MeanAll(a))
+    }
+
+    /// Sum along one axis (the axis is removed).
+    ///
+    /// # Panics
+    ///
+    /// Panics for an out-of-range axis.
+    pub fn sum_axis(&mut self, a: Var, axis: usize) -> Var {
+        let v = self
+            .value(a)
+            .sum_axis(axis)
+            .expect("sum_axis: axis out of range");
+        self.push(v, Op::SumAxis(a, axis))
+    }
+
+    // ---- activations ----
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a))
+    }
+
+    /// GELU with the tanh approximation.
+    pub fn gelu(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(gelu_scalar);
+        self.push(v, Op::Gelu(a))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::tanh);
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::exp);
+        self.push(v, Op::Exp(a))
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::ln);
+        self.push(v, Op::Ln(a))
+    }
+
+    /// Softmax over the last axis.
+    pub fn softmax_last(&mut self, a: Var) -> Var {
+        let v = self.value(a).softmax_last();
+        self.push(v, Op::SoftmaxLast(a))
+    }
+
+    /// Log-softmax over the last axis (numerically stable).
+    pub fn log_softmax_last(&mut self, a: Var) -> Var {
+        let x = self.value(a);
+        let cols = *x.shape().last().unwrap_or(&1);
+        let rows = x.len() / cols.max(1);
+        let mut v = x.clone();
+        for r in 0..rows {
+            let row = &mut v.data_mut()[r * cols..(r + 1) * cols];
+            let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let lse = m + row.iter().map(|&x| (x - m).exp()).sum::<f32>().ln();
+            for e in row.iter_mut() {
+                *e -= lse;
+            }
+        }
+        self.push(v, Op::LogSoftmaxLast(a))
+    }
+
+    // ---- normalization ----
+
+    /// Layer normalization over the last axis with affine parameters.
+    ///
+    /// `gamma` and `beta` must be 1-D of length equal to the last axis of
+    /// `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the affine parameter shapes do not match the last axis.
+    pub fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Var {
+        let xv = self.value(x);
+        let d = *xv.shape().last().expect("layer_norm: scalar input");
+        assert_eq!(self.shape(gamma), &[d], "layer_norm: gamma shape");
+        assert_eq!(self.shape(beta), &[d], "layer_norm: beta shape");
+        let rows = xv.len() / d;
+        let mut normalized = xv.clone();
+        let mut inv_std = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = &mut normalized.data_mut()[r * d..(r + 1) * d];
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let is = 1.0 / (var + eps).sqrt();
+            inv_std.push(is);
+            for v in row.iter_mut() {
+                *v = (*v - mean) * is;
+            }
+        }
+        let gv = self.value(gamma).clone();
+        let bv = self.value(beta).clone();
+        let mut out = normalized.clone();
+        for r in 0..rows {
+            let row = &mut out.data_mut()[r * d..(r + 1) * d];
+            for (i, v) in row.iter_mut().enumerate() {
+                *v = *v * gv.data()[i] + bv.data()[i];
+            }
+        }
+        let _ = eps;
+        self.push(
+            out,
+            Op::LayerNorm {
+                x,
+                gamma,
+                beta,
+                normalized,
+                inv_std,
+            },
+        )
+    }
+
+    // ---- losses ----
+
+    /// Mean cross-entropy of `logits` (`[batch, classes]`) against integer
+    /// `targets`, as a scalar node.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `logits` is 2-D, `targets.len()` equals the batch
+    /// size, and every target is a valid class index.
+    pub fn cross_entropy_logits(&mut self, logits: Var, targets: &[usize]) -> Var {
+        let lv = self.value(logits);
+        assert_eq!(lv.rank(), 2, "cross_entropy_logits: logits must be 2-D");
+        let (b, c) = (lv.shape()[0], lv.shape()[1]);
+        assert_eq!(targets.len(), b, "cross_entropy_logits: target count");
+        assert!(
+            targets.iter().all(|&t| t < c),
+            "cross_entropy_logits: target out of range"
+        );
+        let softmax = lv.softmax_last();
+        let mut loss = 0.0f64;
+        for (r, &t) in targets.iter().enumerate() {
+            loss -= (softmax.data()[r * c + t].max(1e-12) as f64).ln();
+        }
+        let v = Array::scalar((loss / b as f64) as f32);
+        self.push(
+            v,
+            Op::CrossEntropyLogits {
+                logits,
+                targets: targets.to_vec(),
+                softmax,
+            },
+        )
+    }
+
+    /// Mean squared error between two identically shaped tensors, as a
+    /// scalar node.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes differ.
+    pub fn mse_loss(&mut self, a: Var, b: Var) -> Var {
+        assert_eq!(self.shape(a), self.shape(b), "mse_loss: shape mismatch");
+        let diff = self.value(a).sub(self.value(b)).expect("shapes equal");
+        let v = Array::scalar(diff.sq_norm() / diff.len().max(1) as f32);
+        self.push(v, Op::MseLoss(a, b))
+    }
+
+    // ---- structure ----
+
+    /// Concatenation along `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `parts` is empty or shapes are incompatible.
+    pub fn concat(&mut self, parts: &[Var], axis: usize) -> Var {
+        assert!(!parts.is_empty(), "concat: no parts");
+        let arrays: Vec<&Array> = parts.iter().map(|&p| self.value(p)).collect();
+        let sizes: Vec<usize> = arrays.iter().map(|a| a.shape()[axis]).collect();
+        let v = Array::concat(&arrays, axis).expect("concat: incompatible shapes");
+        self.push(
+            v,
+            Op::Concat {
+                parts: parts.to_vec(),
+                axis,
+                sizes,
+            },
+        )
+    }
+
+    /// Copies `len` entries starting at `start` along `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slice range exceeds the axis length.
+    pub fn slice_axis(&mut self, input: Var, axis: usize, start: usize, len: usize) -> Var {
+        let iv = self.value(input);
+        assert!(axis < iv.rank(), "slice_axis: axis out of range");
+        let end = start + len;
+        assert!(end <= iv.shape()[axis], "slice_axis: range out of bounds");
+        let before = start;
+        let after = iv.shape()[axis] - end;
+        let mut sizes = Vec::new();
+        if before > 0 {
+            sizes.push(before);
+        }
+        sizes.push(len);
+        if after > 0 {
+            sizes.push(after);
+        }
+        let parts = iv.split(axis, &sizes).expect("sizes sum to axis length");
+        let v = parts[usize::from(before > 0)].clone();
+        self.push(
+            v,
+            Op::SliceAxis {
+                input,
+                axis,
+                start,
+                len,
+            },
+        )
+    }
+
+    // ---- convolution / pooling ----
+
+    /// 2-D convolution: input `[B,C,H,W]`, weight `[O,C,kh,kw]`, optional
+    /// bias `[O]`, producing `[B,O,H',W']`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid geometry (see [`crate::TensorError`] variants for
+    /// the conditions).
+    #[allow(clippy::needless_range_loop)]
+    pub fn conv2d(
+        &mut self,
+        input: Var,
+        weight: Var,
+        bias: Option<Var>,
+        stride: usize,
+        pad: usize,
+    ) -> Var {
+        let geom = ConvGeom::new(self.shape(input), self.shape(weight), stride, pad)
+            .expect("conv2d: invalid geometry");
+        if let Some(b) = bias {
+            assert_eq!(self.shape(b), &[geom.out_ch], "conv2d: bias shape");
+        }
+        let (ch, cw) = (geom.col_height(), geom.col_width());
+        let in_plane = geom.in_ch * geom.in_h * geom.in_w;
+        let mut out = Array::zeros(&[geom.batch, geom.out_ch, geom.out_h, geom.out_w]);
+        let mut col = vec![0.0f32; ch * cw];
+        // weight viewed as [out_ch, cw]; out rows per batch: col @ w^T -> [ch, out_ch]
+        let wv = self.value(weight).data().to_vec();
+        for b in 0..geom.batch {
+            im2col(
+                &self.value(input).data()[b * in_plane..(b + 1) * in_plane],
+                &geom,
+                &mut col,
+            );
+            // out[b, o, y, x] = sum_c col[yx, c] * w[o, c]
+            let mut tmp = vec![0.0f32; ch * geom.out_ch];
+            crate::linalg::matmul_a_bt_kernel(&col, &wv, &mut tmp, ch, cw, geom.out_ch);
+            let ob = &mut out.data_mut()[b * geom.out_ch * ch..(b + 1) * geom.out_ch * ch];
+            for yx in 0..ch {
+                for o in 0..geom.out_ch {
+                    ob[o * ch + yx] = tmp[yx * geom.out_ch + o];
+                }
+            }
+        }
+        if let Some(bias) = bias {
+            let bv = self.value(bias).data().to_vec();
+            for b in 0..geom.batch {
+                for o in 0..geom.out_ch {
+                    let base = (b * geom.out_ch + o) * ch;
+                    for i in 0..ch {
+                        out.data_mut()[base + i] += bv[o];
+                    }
+                }
+            }
+        }
+        self.push(
+            out,
+            Op::Conv2d {
+                input,
+                weight,
+                bias,
+                geom,
+            },
+        )
+    }
+
+    /// Max pooling with a `k x k` window and stride `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-4-D input or windows larger than the input.
+    pub fn max_pool2d(&mut self, input: Var, k: usize) -> Var {
+        let geom = PoolGeom::new(self.shape(input), k).expect("max_pool2d: invalid geometry");
+        let (out, argmax) = maxpool_forward(self.value(input), &geom);
+        self.push(out, Op::MaxPool2d { input, argmax })
+    }
+
+    /// Average pooling with a `k x k` window and stride `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-4-D input or windows larger than the input.
+    pub fn avg_pool2d(&mut self, input: Var, k: usize) -> Var {
+        let geom = PoolGeom::new(self.shape(input), k).expect("avg_pool2d: invalid geometry");
+        let out = avgpool_forward(self.value(input), &geom);
+        self.push(out, Op::AvgPool2d { input, geom })
+    }
+
+    // ---- lookup / regularization ----
+
+    /// Row lookup: `weight[indices[i], :]` stacked into `[n, d]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `weight` is 2-D and indices are in range.
+    pub fn embedding(&mut self, weight: Var, indices: &[usize]) -> Var {
+        let wv = self.value(weight);
+        assert_eq!(wv.rank(), 2, "embedding: weight must be 2-D");
+        let (v, d) = (wv.shape()[0], wv.shape()[1]);
+        assert!(
+            indices.iter().all(|&i| i < v),
+            "embedding: index out of range"
+        );
+        let mut data = Vec::with_capacity(indices.len() * d);
+        for &i in indices {
+            data.extend_from_slice(&wv.data()[i * d..(i + 1) * d]);
+        }
+        let out = Array::from_vec(data, &[indices.len(), d]).expect("volume matches");
+        self.push(
+            out,
+            Op::Embedding {
+                weight,
+                indices: indices.to_vec(),
+            },
+        )
+    }
+
+    /// Inverted dropout: keeps each element with probability `keep`, scaling
+    /// kept elements by `1/keep`. Pass an externally sampled uniform array
+    /// `u` in `[0,1)` of the same shape to keep the graph deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `keep` is not in `(0, 1]` or `u` shape differs.
+    pub fn dropout(&mut self, input: Var, u: &Array, keep: f32) -> Var {
+        assert!(keep > 0.0 && keep <= 1.0, "dropout: keep must be in (0,1]");
+        assert_eq!(u.shape(), self.shape(input), "dropout: mask shape");
+        let mask = u.map(|x| if x < keep { 1.0 / keep } else { 0.0 });
+        let out = self.value(input).mul(&mask).expect("shapes equal");
+        self.push(out, Op::Dropout { input, mask })
+    }
+
+    // ---- composite helpers ----
+
+    /// Affine map `x @ w + b` with `x: [n, in]`, `w: [in, out]`,
+    /// `b: [out]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on incompatible shapes.
+    pub fn linear(&mut self, x: Var, w: Var, b: Var) -> Var {
+        let y = self.matmul(x, w);
+        self.add(y, b)
+    }
+}
+
+/// GELU (tanh approximation) of a scalar.
+pub(crate) fn gelu_scalar(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+/// Derivative of [`gelu_scalar`].
+pub(crate) fn gelu_grad_scalar(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let u = C * (x + 0.044715 * x * x * x);
+    let t = u.tanh();
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * C * (1.0 + 3.0 * 0.044715 * x * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{randn, SmallRng64};
+
+    #[test]
+    fn forward_values_match_array_ops() {
+        let mut g = Graph::new();
+        let a = g.leaf(Array::from_slice(&[1.0, 2.0]));
+        let b = g.leaf(Array::from_slice(&[3.0, 4.0]));
+        let s = g.add(a, b);
+        assert_eq!(g.value(s).data(), &[4.0, 6.0]);
+        let p = g.mul(a, b);
+        assert_eq!(g.value(p).data(), &[3.0, 8.0]);
+    }
+
+    #[test]
+    fn bind_param_reuses_node() {
+        let mut g = Graph::new();
+        let w = Array::from_slice(&[1.0]);
+        let v1 = g.bind_param(42, &w);
+        let v2 = g.bind_param(42, &w);
+        assert_eq!(v1, v2);
+        let v3 = g.bind_param(43, &w);
+        assert_ne!(v1, v3);
+        assert_eq!(g.param_bindings().count(), 2);
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax_log() {
+        let mut g = Graph::new();
+        let x = g.leaf(Array::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap());
+        let ls = g.log_softmax_last(x);
+        let s = g.softmax_last(x);
+        for (a, b) in g.value(ls).data().iter().zip(g.value(s).data()) {
+            assert!((a - b.ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_uniform_logits_is_ln_c() {
+        let mut g = Graph::new();
+        let x = g.leaf(Array::zeros(&[4, 10]));
+        let l = g.cross_entropy_logits(x, &[0, 3, 5, 9]);
+        assert!((g.value(l).item() - (10.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn layer_norm_output_is_normalized() {
+        let mut rng = SmallRng64::new(5);
+        let mut g = Graph::new();
+        let x = g.leaf(randn(&[3, 8], &mut rng));
+        let gamma = g.leaf(Array::ones(&[8]));
+        let beta = g.leaf(Array::zeros(&[8]));
+        let y = g.layer_norm(x, gamma, beta, 1e-5);
+        for r in 0..3 {
+            let row = &g.value(y).data()[r * 8..(r + 1) * 8];
+            let mean: f32 = row.iter().sum::<f32>() / 8.0;
+            let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-4, "row {r} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "row {r} var {var}");
+        }
+    }
+
+    #[test]
+    fn slice_axis_middle() {
+        let mut g = Graph::new();
+        let x = g.leaf(Array::from_vec((0..12).map(|v| v as f32).collect(), &[3, 4]).unwrap());
+        let s = g.slice_axis(x, 1, 1, 2);
+        assert_eq!(g.shape(s), &[3, 2]);
+        assert_eq!(g.value(s).data(), &[1.0, 2.0, 5.0, 6.0, 9.0, 10.0]);
+        let s0 = g.slice_axis(x, 0, 2, 1);
+        assert_eq!(g.value(s0).data(), &[8.0, 9.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn embedding_gathers_rows() {
+        let mut g = Graph::new();
+        let w = g.leaf(Array::from_vec((0..6).map(|v| v as f32).collect(), &[3, 2]).unwrap());
+        let e = g.embedding(w, &[2, 0, 2]);
+        assert_eq!(g.value(e).shape(), &[3, 2]);
+        assert_eq!(g.value(e).data(), &[4.0, 5.0, 0.0, 1.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn conv2d_identity_kernel_preserves_input() {
+        let mut g = Graph::new();
+        let x =
+            g.leaf(Array::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]).unwrap());
+        let w = g.leaf(Array::ones(&[1, 1, 1, 1]));
+        let y = g.conv2d(x, w, None, 1, 0);
+        assert_eq!(g.value(y).data(), g.value(x).data());
+    }
+
+    #[test]
+    fn conv2d_bias_adds_per_channel() {
+        let mut g = Graph::new();
+        let x = g.leaf(Array::zeros(&[1, 1, 2, 2]));
+        let w = g.leaf(Array::zeros(&[2, 1, 1, 1]));
+        let b = g.leaf(Array::from_slice(&[1.5, -2.0]));
+        let y = g.conv2d(x, w, Some(b), 1, 0);
+        assert_eq!(
+            g.value(y).data(),
+            &[1.5, 1.5, 1.5, 1.5, -2.0, -2.0, -2.0, -2.0]
+        );
+    }
+
+    #[test]
+    fn dropout_keep_one_is_identity() {
+        let mut g = Graph::new();
+        let x = g.leaf(Array::from_slice(&[1.0, 2.0, 3.0]));
+        let u = Array::from_slice(&[0.1, 0.5, 0.9]);
+        let y = g.dropout(x, &u, 1.0);
+        assert_eq!(g.value(y).data(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn gelu_matches_known_values() {
+        assert!(gelu_scalar(0.0).abs() < 1e-7);
+        assert!((gelu_scalar(1.0) - 0.8412).abs() < 1e-3);
+        assert!((gelu_scalar(-1.0) + 0.1588).abs() < 1e-3);
+        // Derivative at 0 is 0.5.
+        assert!((gelu_grad_scalar(0.0) - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,48 @@
+//! # acme-tensor
+//!
+//! A small, self-contained n-dimensional `f32` array library with
+//! reverse-mode automatic differentiation, built for the ACME
+//! reproduction. It provides exactly the operations the paper's workloads
+//! need — broadcast arithmetic, (batched) matrix multiplication, common
+//! activations, layer normalization, 2-D convolution/pooling and losses —
+//! with gradients for all of them.
+//!
+//! The two central types are:
+//!
+//! * [`Array`] — an owned, row-major `f32` tensor with shape metadata and
+//!   pure (non-differentiable) numeric operations.
+//! * [`Graph`] / [`Var`] — a tape: every differentiable operation appends a
+//!   node to the [`Graph`] arena and returns a [`Var`] handle. Calling
+//!   [`Graph::backward`] propagates gradients to every leaf.
+//!
+//! ```
+//! use acme_tensor::{Array, Graph};
+//!
+//! # fn main() -> acme_tensor::Result<()> {
+//! let mut g = Graph::new();
+//! let x = g.leaf(Array::from_vec(vec![1.0, 2.0, 3.0], &[3])?);
+//! let y = g.mul(x, x); // y = x^2
+//! let s = g.sum_all(y);
+//! g.backward(s);
+//! assert_eq!(g.grad(x).unwrap().data(), &[2.0, 4.0, 6.0]); // dy/dx = 2x
+//! # Ok(())
+//! # }
+//! ```
+
+mod array;
+mod backward;
+mod conv;
+mod error;
+mod gradcheck;
+mod graph;
+mod linalg;
+mod ops;
+mod random;
+mod shape;
+
+pub use array::Array;
+pub use error::{Result, TensorError};
+pub use gradcheck::{gradcheck, GradCheckReport};
+pub use graph::{Graph, Var};
+pub use random::{kaiming_uniform, randn, uniform, SmallRng64};
+pub use shape::{broadcast_shapes, strides_for};

@@ -1,0 +1,354 @@
+//! Matrix multiplication (plain and batched) and axis permutation.
+
+use crate::array::Array;
+use crate::error::{Result, TensorError};
+use crate::shape::strides_for;
+
+/// Raw 2-D matmul kernel: `out[m,n] += a[m,k] * b[k,n]` over contiguous
+/// row-major buffers. `ikj` loop order keeps the inner loop sequential in
+/// both `b` and `out`.
+pub(crate) fn matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Raw kernel for `out[m,n] += a^T[m,k] * b[k,n]` where `a` is stored as
+/// `[k, m]`. Used by backward passes to avoid materializing transposes.
+pub(crate) fn matmul_at_b_kernel(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    for p in 0..k {
+        let a_row = &a[p * m..(p + 1) * m];
+        let b_row = &b[p * n..(p + 1) * n];
+        for (i, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Raw kernel for `out[m,n] += a[m,k] * b^T[k,n]` where `b` is stored as
+/// `[n, k]`.
+pub(crate) fn matmul_a_bt_kernel(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (av, bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            *o += acc;
+        }
+    }
+}
+
+impl Array {
+    /// Plain 2-D matrix multiplication `[m,k] x [k,n] -> [m,n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-2-D operands and
+    /// [`TensorError::ShapeMismatch`] when the inner dimensions differ.
+    pub fn matmul(&self, rhs: &Array) -> Result<Array> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+                op: "matmul",
+            });
+        }
+        if rhs.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: rhs.rank(),
+                op: "matmul",
+            });
+        }
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (rhs.shape()[0], rhs.shape()[1]);
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape().to_vec(),
+                rhs: rhs.shape().to_vec(),
+                op: "matmul",
+            });
+        }
+        let mut out = Array::zeros(&[m, n]);
+        matmul_kernel(self.data(), rhs.data(), out.data_mut(), m, k, n);
+        Ok(out)
+    }
+
+    /// Batched matrix multiplication.
+    ///
+    /// Both operands must have rank ≥ 2 and identical leading (batch)
+    /// dimensions; the trailing two axes are multiplied per batch:
+    /// `[..., m, k] x [..., k, n] -> [..., m, n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when batch dims or inner dims disagree.
+    pub fn batch_matmul(&self, rhs: &Array) -> Result<Array> {
+        if self.rank() < 2 || rhs.rank() < 2 || self.rank() != rhs.rank() {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape().to_vec(),
+                rhs: rhs.shape().to_vec(),
+                op: "batch_matmul",
+            });
+        }
+        let r = self.rank();
+        if self.shape()[..r - 2] != rhs.shape()[..r - 2]
+            || self.shape()[r - 1] != rhs.shape()[r - 2]
+        {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape().to_vec(),
+                rhs: rhs.shape().to_vec(),
+                op: "batch_matmul",
+            });
+        }
+        let batch: usize = self.shape()[..r - 2].iter().product();
+        let (m, k) = (self.shape()[r - 2], self.shape()[r - 1]);
+        let n = rhs.shape()[r - 1];
+        let mut out_shape = self.shape()[..r - 2].to_vec();
+        out_shape.push(m);
+        out_shape.push(n);
+        let mut out = Array::zeros(&out_shape);
+        for b in 0..batch {
+            matmul_kernel(
+                &self.data()[b * m * k..(b + 1) * m * k],
+                &rhs.data()[b * k * n..(b + 1) * k * n],
+                &mut out.data_mut()[b * m * n..(b + 1) * m * n],
+                m,
+                k,
+                n,
+            );
+        }
+        Ok(out)
+    }
+
+    /// Returns a copy with axes reordered so that output axis `i` is input
+    /// axis `perm[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `perm` is not a permutation of `0..rank`.
+    pub fn permute(&self, perm: &[usize]) -> Result<Array> {
+        if perm.len() != self.rank() {
+            return Err(TensorError::RankMismatch {
+                expected: self.rank(),
+                actual: perm.len(),
+                op: "permute",
+            });
+        }
+        let mut seen = vec![false; perm.len()];
+        for &p in perm {
+            if p >= perm.len() || seen[p] {
+                return Err(TensorError::Invalid(format!(
+                    "invalid permutation {perm:?}"
+                )));
+            }
+            seen[p] = true;
+        }
+        let in_shape = self.shape();
+        let out_shape: Vec<usize> = perm.iter().map(|&p| in_shape[p]).collect();
+        let in_strides = strides_for(in_shape);
+        let mut out = Array::zeros(&out_shape);
+        let n = self.len();
+        // For each output linear index, compute output coords, map to input.
+        let out_strides = strides_for(&out_shape);
+        for oi in 0..n {
+            let mut rem = oi;
+            let mut ii = 0;
+            for (ax, &os) in out_strides.iter().enumerate() {
+                let coord = rem / os;
+                rem %= os;
+                ii += coord * in_strides[perm[ax]];
+            }
+            out.data_mut()[oi] = self.data()[ii];
+        }
+        Ok(out)
+    }
+
+    /// Transposes a 2-D array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] when the array is not 2-D.
+    pub fn transpose2d(&self) -> Result<Array> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+                op: "transpose2d",
+            });
+        }
+        self.permute(&[1, 0])
+    }
+
+    /// Swaps the last two axes (per-batch transpose).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when rank < 2.
+    pub fn transpose_last(&self) -> Result<Array> {
+        if self.rank() < 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+                op: "transpose_last",
+            });
+        }
+        let mut perm: Vec<usize> = (0..self.rank()).collect();
+        perm.swap(self.rank() - 1, self.rank() - 2);
+        self.permute(&perm)
+    }
+}
+
+/// Returns the inverse of a permutation.
+pub(crate) fn invert_perm(perm: &[usize]) -> Vec<usize> {
+    let mut inv = vec![0; perm.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        inv[p] = i;
+    }
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arr(v: &[f32], s: &[usize]) -> Array {
+        Array::from_vec(v.to_vec(), s).unwrap()
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = arr(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = arr(&[5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rect() {
+        let a = arr(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = arr(&[1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[1.0 + 3.0, 2.0 + 3.0, 4.0 + 6.0, 5.0 + 6.0]);
+    }
+
+    #[test]
+    fn matmul_shape_errors() {
+        let a = Array::ones(&[2, 3]);
+        assert!(a.matmul(&Array::ones(&[4, 2])).is_err());
+        assert!(a.matmul(&Array::ones(&[3])).is_err());
+        assert!(Array::ones(&[3]).matmul(&a).is_err());
+    }
+
+    #[test]
+    fn batch_matmul_matches_loop() {
+        let a = Array::from_vec((0..12).map(|x| x as f32).collect(), &[2, 2, 3]).unwrap();
+        let b = Array::from_vec((0..12).map(|x| (x as f32) * 0.5).collect(), &[2, 3, 2]).unwrap();
+        let c = a.batch_matmul(&b).unwrap();
+        assert_eq!(c.shape(), &[2, 2, 2]);
+        for batch in 0..2 {
+            let a2 =
+                Array::from_vec(a.data()[batch * 6..(batch + 1) * 6].to_vec(), &[2, 3]).unwrap();
+            let b2 =
+                Array::from_vec(b.data()[batch * 6..(batch + 1) * 6].to_vec(), &[3, 2]).unwrap();
+            let c2 = a2.matmul(&b2).unwrap();
+            assert_eq!(&c.data()[batch * 4..(batch + 1) * 4], c2.data());
+        }
+    }
+
+    #[test]
+    fn batch_matmul_rejects_mismatched_batches() {
+        let a = Array::ones(&[2, 2, 3]);
+        let b = Array::ones(&[3, 3, 2]);
+        assert!(a.batch_matmul(&b).is_err());
+    }
+
+    #[test]
+    fn permute_roundtrip() {
+        let a = Array::from_vec((0..24).map(|x| x as f32).collect(), &[2, 3, 4]).unwrap();
+        let p = a.permute(&[2, 0, 1]).unwrap();
+        assert_eq!(p.shape(), &[4, 2, 3]);
+        assert_eq!(p.at(&[1, 0, 2]), a.at(&[0, 2, 1]));
+        let back = p.permute(&invert_perm(&[2, 0, 1])).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn permute_validates() {
+        let a = Array::ones(&[2, 3]);
+        assert!(a.permute(&[0, 0]).is_err());
+        assert!(a.permute(&[0]).is_err());
+        assert!(a.permute(&[0, 2]).is_err());
+    }
+
+    #[test]
+    fn transpose2d_works() {
+        let a = arr(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let t = a.transpose2d().unwrap();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.data(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn transpose_last_on_3d() {
+        let a = Array::from_vec((0..12).map(|x| x as f32).collect(), &[2, 2, 3]).unwrap();
+        let t = a.transpose_last().unwrap();
+        assert_eq!(t.shape(), &[2, 3, 2]);
+        assert_eq!(t.at(&[1, 2, 0]), a.at(&[1, 0, 2]));
+    }
+
+    #[test]
+    fn kernels_agree_with_reference() {
+        // a: [2,3], b: [3,2]
+        let a = arr(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = arr(&[7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = a.matmul(&b).unwrap();
+
+        // a^T stored as [3,2]: matmul_at_b_kernel(aT, b) == matmul(a, b)
+        let at = a.transpose2d().unwrap();
+        let mut out = vec![0.0; 4];
+        matmul_at_b_kernel(at.data(), b.data(), &mut out, 2, 3, 2);
+        assert_eq!(out, c.data());
+
+        // b^T stored as [2,3]: matmul_a_bt_kernel(a, bT) == matmul(a, b)
+        let bt = b.transpose2d().unwrap();
+        let mut out = vec![0.0; 4];
+        matmul_a_bt_kernel(a.data(), bt.data(), &mut out, 2, 3, 2);
+        assert_eq!(out, c.data());
+    }
+}

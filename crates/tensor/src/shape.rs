@@ -1,0 +1,142 @@
+//! Shape arithmetic: volumes, strides, and broadcasting rules.
+
+use crate::error::{Result, TensorError};
+
+/// Returns the number of elements implied by `shape`.
+pub(crate) fn volume(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Returns row-major strides for `shape`.
+///
+/// The last axis always has stride 1; an empty shape yields an empty
+/// stride vector (scalar).
+pub fn strides_for(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![0; shape.len()];
+    let mut acc = 1;
+    for (i, &dim) in shape.iter().enumerate().rev() {
+        strides[i] = acc;
+        acc *= dim;
+    }
+    strides
+}
+
+/// Computes the broadcast result shape of two operand shapes using NumPy
+/// rules (align trailing axes; each pair must be equal or one of them 1).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when a trailing axis pair is
+/// incompatible.
+pub fn broadcast_shapes(lhs: &[usize], rhs: &[usize]) -> Result<Vec<usize>> {
+    let rank = lhs.len().max(rhs.len());
+    let mut out = vec![0; rank];
+    for i in 0..rank {
+        let l = if i < rank - lhs.len() {
+            1
+        } else {
+            lhs[i - (rank - lhs.len())]
+        };
+        let r = if i < rank - rhs.len() {
+            1
+        } else {
+            rhs[i - (rank - rhs.len())]
+        };
+        out[i] = if l == r {
+            l
+        } else if l == 1 {
+            r
+        } else if r == 1 {
+            l
+        } else {
+            return Err(TensorError::ShapeMismatch {
+                lhs: lhs.to_vec(),
+                rhs: rhs.to_vec(),
+                op: "broadcast",
+            });
+        };
+    }
+    Ok(out)
+}
+
+/// Iterator-free index mapping: converts a linear index in the broadcast
+/// output shape to a linear index in an operand shape (whose axes may be 1).
+pub(crate) fn broadcast_source_index(
+    out_index: usize,
+    out_shape: &[usize],
+    src_shape: &[usize],
+    src_strides: &[usize],
+) -> usize {
+    let rank = out_shape.len();
+    let offset = rank - src_shape.len();
+    let mut rem = out_index;
+    let mut src = 0;
+    // Walk axes from the last to the first, peeling coordinates.
+    for i in (0..rank).rev() {
+        let coord = rem % out_shape[i];
+        rem /= out_shape[i];
+        if i >= offset {
+            let si = i - offset;
+            if src_shape[si] != 1 {
+                src += coord * src_strides[si];
+            }
+        }
+    }
+    src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(strides_for(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides_for(&[5]), vec![1]);
+        assert_eq!(strides_for(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn broadcast_equal_shapes() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[2, 3]).unwrap(), vec![2, 3]);
+    }
+
+    #[test]
+    fn broadcast_with_ones() {
+        assert_eq!(
+            broadcast_shapes(&[2, 1, 4], &[3, 1]).unwrap(),
+            vec![2, 3, 4]
+        );
+        assert_eq!(broadcast_shapes(&[1], &[7]).unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn broadcast_scalar() {
+        assert_eq!(broadcast_shapes(&[], &[2, 2]).unwrap(), vec![2, 2]);
+    }
+
+    #[test]
+    fn broadcast_incompatible() {
+        assert!(broadcast_shapes(&[2, 3], &[4, 3]).is_err());
+    }
+
+    #[test]
+    fn source_index_maps_broadcast_axis_to_zero() {
+        // out shape [2,3], src shape [1,3]
+        let src_shape = [1, 3];
+        let strides = strides_for(&src_shape);
+        for out in 0..6 {
+            let idx = broadcast_source_index(out, &[2, 3], &src_shape, &strides);
+            assert_eq!(idx, out % 3);
+        }
+    }
+
+    #[test]
+    fn source_index_identity_when_shapes_equal() {
+        let shape = [2, 3, 4];
+        let strides = strides_for(&shape);
+        for out in 0..24 {
+            assert_eq!(broadcast_source_index(out, &shape, &shape, &strides), out);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Knowledge distillation of a scaled student against the full teacher
+//! (Eq. 9): MSE over logits, patch embeddings, and final hidden states.
+
+use acme_data::Dataset;
+use acme_nn::{clip_grad_norm, Adam, Optimizer, ParamSet};
+use acme_tensor::{Graph, SmallRng64};
+
+use crate::model::Vit;
+
+/// Hyperparameters of [`distill`]; `lambda1`/`lambda2` are the loss
+/// weights of Eq. (9) (the hidden-state term has weight 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistillConfig {
+    /// Weight λ₁ of the logit-matching term.
+    pub lambda1: f32,
+    /// Weight λ₂ of the embedding-matching term.
+    pub lambda2: f32,
+    /// Passes over the transfer set.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for DistillConfig {
+    fn default() -> Self {
+        DistillConfig {
+            lambda1: 1.0,
+            lambda2: 0.5,
+            epochs: 4,
+            batch_size: 32,
+            lr: 3e-3,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of a distillation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistillReport {
+    /// Mean total distillation loss per epoch.
+    pub epoch_losses: Vec<f32>,
+}
+
+impl DistillReport {
+    /// The last epoch's mean loss.
+    pub fn final_loss(&self) -> f32 {
+        *self.epoch_losses.last().unwrap_or(&f32::NAN)
+    }
+
+    /// Whether the loss decreased from first to last epoch.
+    pub fn improved(&self) -> bool {
+        match (self.epoch_losses.first(), self.epoch_losses.last()) {
+            (Some(a), Some(b)) => b < a,
+            _ => false,
+        }
+    }
+}
+
+/// Distills `student` against a frozen `teacher` on `transfer` data.
+///
+/// Implements Eq. (9): for every batch the teacher's logits `ý`, token
+/// embeddings `É`, and final hidden states `H́` are computed without
+/// gradients, and the student minimizes
+/// `λ₁·MSE(ý, y) + λ₂·MSE(É, E) + MSE(H́, H)`.
+///
+/// The student must share the teacher's embedding width and token count
+/// (depth and per-layer width may differ — that is the point).
+///
+/// # Panics
+///
+/// Panics on an empty transfer set or mismatched embedding geometry.
+pub fn distill(
+    teacher: &Vit,
+    teacher_ps: &ParamSet,
+    student: &Vit,
+    student_ps: &mut ParamSet,
+    transfer: &Dataset,
+    cfg: &DistillConfig,
+) -> DistillReport {
+    assert!(!transfer.is_empty(), "distill on empty dataset");
+    assert_eq!(
+        teacher.config().dim,
+        student.config().dim,
+        "distill width mismatch"
+    );
+    assert_eq!(
+        teacher.config().num_tokens(),
+        student.config().num_tokens(),
+        "distill token-count mismatch"
+    );
+    let mut rng = SmallRng64::new(cfg.seed);
+    let mut opt = Adam::new(cfg.lr);
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    for _ in 0..cfg.epochs {
+        let mut total = 0.0f64;
+        let mut count = 0usize;
+        for batch in transfer.batches(cfg.batch_size, &mut rng) {
+            // Teacher pass: plain values, no student gradients flow here.
+            let (t_logits, t_embed, t_hidden) = {
+                let mut tg = Graph::new();
+                let emb = teacher.embed(&mut tg, teacher_ps, &batch.images);
+                let feats = teacher.forward(&mut tg, teacher_ps, &batch.images);
+                let logits = teacher.logits_from(&mut tg, teacher_ps, &feats);
+                (
+                    tg.value(logits).clone(),
+                    tg.value(emb).clone(),
+                    tg.value(feats.tokens).clone(),
+                )
+            };
+            let mut g = Graph::new();
+            let s_embed = student.embed(&mut g, student_ps, &batch.images);
+            let s_feats = student.forward(&mut g, student_ps, &batch.images);
+            let s_logits = student.logits_from(&mut g, student_ps, &s_feats);
+            let ty = g.constant(t_logits);
+            let te = g.constant(t_embed);
+            let th = g.constant(t_hidden);
+            let l_logit = g.mse_loss(s_logits, ty);
+            let l_embed = g.mse_loss(s_embed, te);
+            let l_hidden = g.mse_loss(s_feats.tokens, th);
+            let l1 = g.scale(l_logit, cfg.lambda1);
+            let l2 = g.scale(l_embed, cfg.lambda2);
+            let partial = g.add(l1, l2);
+            let loss = g.add(partial, l_hidden);
+            g.backward(loss);
+            clip_grad_norm(&mut g, 5.0);
+            opt.step(student_ps, &g);
+            total += g.value(loss).item() as f64;
+            count += 1;
+        }
+        epoch_losses.push((total / count.max(1) as f64) as f32);
+    }
+    DistillReport { epoch_losses }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::{evaluate, fit, TrainConfig};
+    use crate::config::VitConfig;
+    use acme_data::{cifar100_like, SyntheticSpec};
+
+    #[test]
+    fn distillation_reduces_loss_and_transfers_signal() {
+        let mut rng = SmallRng64::new(0);
+        let ds = cifar100_like(&SyntheticSpec::tiny().with_per_class(16), &mut rng);
+        let cfg = VitConfig::tiny(ds.num_classes());
+        let mut tps = ParamSet::new();
+        let teacher = Vit::new(&mut tps, &cfg, &mut rng);
+        fit(
+            &teacher,
+            &mut tps,
+            &ds,
+            &TrainConfig {
+                epochs: 6,
+                ..TrainConfig::quick()
+            },
+        );
+        let t_acc = evaluate(&teacher, &tps, &ds, 16);
+
+        // Student: half the depth.
+        let s_cfg = cfg.scaled(1.0, 1);
+        let mut sps = ParamSet::new();
+        let student = Vit::new(&mut sps, &s_cfg, &mut rng);
+        let before = evaluate(&student, &sps, &ds, 16);
+        let report = distill(
+            &teacher,
+            &tps,
+            &student,
+            &mut sps,
+            &ds,
+            &DistillConfig {
+                epochs: 6,
+                ..DistillConfig::default()
+            },
+        );
+        let after = evaluate(&student, &sps, &ds, 16);
+        assert!(
+            report.improved(),
+            "distill losses {:?}",
+            report.epoch_losses
+        );
+        assert!(
+            after > before,
+            "student accuracy should improve: before {before}, after {after} (teacher {t_acc})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn rejects_mismatched_width() {
+        let mut rng = SmallRng64::new(0);
+        let ds = cifar100_like(&SyntheticSpec::tiny(), &mut rng);
+        let cfg = VitConfig::tiny(ds.num_classes());
+        let mut tps = ParamSet::new();
+        let teacher = Vit::new(&mut tps, &cfg, &mut rng);
+        let mut s_cfg = cfg.clone();
+        s_cfg.dim = 8;
+        s_cfg.head_dim = 4;
+        let mut sps = ParamSet::new();
+        let student = Vit::new(&mut sps, &s_cfg, &mut rng);
+        distill(
+            &teacher,
+            &tps,
+            &student,
+            &mut sps,
+            &ds,
+            &DistillConfig::default(),
+        );
+    }
+}

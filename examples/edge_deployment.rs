@@ -1,0 +1,151 @@
+//! Attribute-aware model matching (Phase 1): build the backbone candidate
+//! pool once on the "cloud", then match models to a heterogeneous fleet
+//! with the Pareto Front Grid and compare against the greedy/random
+//! matching baselines of Fig. 9 — including the metered transfer volume
+//! of the full protocol (Table I's flavor).
+//!
+//! ```sh
+//! cargo run --release --example edge_deployment
+//! ```
+
+use acme::{build_candidate_pool, customize_backbone_for_cluster};
+use acme_data::{cifar100_like, SyntheticSpec};
+use acme_distsys::protocol::{centralized_transfers, run_acme_protocol, ProtocolConfig};
+use acme_energy::{EnergyModel, Fleet};
+use acme_nn::ParamSet;
+use acme_pareto::{select_with, Candidate, EfficiencyMetrics, GridSpec, MatchingMethod};
+use acme_tensor::SmallRng64;
+use acme_vit::{fit, DistillConfig, TrainConfig, Vit, VitConfig};
+
+fn main() {
+    let mut rng = SmallRng64::new(5);
+    let spec = SyntheticSpec {
+        classes: 10,
+        per_class: 25,
+        ..SyntheticSpec::cifar()
+    };
+    let ds = cifar100_like(&spec, &mut rng);
+    let (train, val) = ds.split(0.8, &mut rng);
+
+    // Cloud: train the reference model and derive the candidate pool.
+    let cfg = VitConfig {
+        classes: 10,
+        ..VitConfig::reference(10)
+    };
+    let mut ps = ParamSet::new();
+    let teacher = Vit::new(&mut ps, &cfg, &mut rng);
+    println!("cloud: pre-training reference backbone...");
+    fit(
+        &teacher,
+        &mut ps,
+        &train,
+        &TrainConfig {
+            epochs: 5,
+            ..TrainConfig::default()
+        },
+    );
+    println!("cloud: building (w, d) candidate pool...");
+    let pool = build_candidate_pool(
+        &teacher,
+        &ps,
+        &train,
+        &val,
+        &[0.25, 0.5, 0.75, 1.0],
+        &[2, 4, 6],
+        &DistillConfig {
+            epochs: 1,
+            ..DistillConfig::default()
+        },
+        2,
+        &mut rng,
+    );
+    for c in &pool {
+        println!(
+            "  w={:.2} d={}: {:>6} params, val loss {:.3}, val acc {:.3}",
+            c.w, c.d, c.params, c.loss, c.accuracy
+        );
+    }
+
+    // Fleet matching.
+    let full_params = cfg.exact_params();
+    let fleet = Fleet::micro_scaled(5, 5, full_params);
+    let energy = EnergyModel::default();
+    println!("\ncluster assignments (ACME PFG selection):");
+    for cluster in fleet.clusters() {
+        let idx = customize_backbone_for_cluster(&pool, cluster, &energy, 5, 0.15);
+        match idx {
+            Some(i) => println!(
+                "  {}: storage bound {:>9} params -> w={:.2} d={} ({} params)",
+                cluster.edge(),
+                cluster.min_storage(),
+                pool[i].w,
+                pool[i].d,
+                pool[i].params
+            ),
+            None => println!("  {}: no feasible candidate", cluster.edge()),
+        }
+    }
+
+    // Matching-method comparison on one representative cluster.
+    let cluster = &fleet.clusters()[2];
+    let candidates: Vec<Candidate> = pool
+        .iter()
+        .map(|c| {
+            let e = cluster
+                .devices()
+                .iter()
+                .map(|d| energy.energy(d, c.w, c.d, 5))
+                .fold(f64::NEG_INFINITY, f64::max);
+            Candidate::new(c.w, c.d, [c.loss, e, c.params as f64]).with_accuracy(c.accuracy)
+        })
+        .collect();
+    let grid = GridSpec::from_candidates(&candidates, 0.15).expect("nonempty pool");
+    println!(
+        "\nmatching methods on {} (storage {} params):",
+        cluster.edge(),
+        cluster.min_storage()
+    );
+    for method in MatchingMethod::all() {
+        let out = select_with(
+            method,
+            &candidates,
+            &grid,
+            cluster.min_storage() as f64,
+            &mut rng,
+        );
+        match out.candidate {
+            Some(c) => {
+                let m = EfficiencyMetrics::for_candidate(&c, &candidates);
+                println!(
+                    "  {method:>15}: w={:.2} d={} | latency {:>8.1} us | energy-eff {:.4} | size-eff {:.3e} | trade-off {:.3}",
+                    c.w,
+                    c.d,
+                    out.selection_seconds * 1e6,
+                    m.energy_efficiency,
+                    m.size_efficiency,
+                    m.tradeoff_score
+                );
+            }
+            None => println!("  {method:>15}: infeasible"),
+        }
+    }
+
+    // Transfer volume of the full protocol vs the centralized system.
+    let proto = ProtocolConfig {
+        backbone_params: pool.iter().map(|c| c.params).max().unwrap_or(0),
+        ..ProtocolConfig::default()
+    };
+    let acme_run = run_acme_protocol(&fleet, &proto);
+    let image_bytes = (spec.channels * spec.size * spec.size * 4) as u64;
+    let cs = centralized_transfers(&fleet, 500, image_bytes, proto.backbone_params);
+    println!("\ntransfer volume ({} devices):", fleet.num_devices());
+    println!(
+        "  ACME upload: {:.3} MB",
+        acme_run.report.uplink_megabytes()
+    );
+    println!("  CS upload:   {:.3} MB", cs.uplink_megabytes());
+    println!(
+        "  ratio: {:.1}%",
+        100.0 * acme_run.report.uplink_bytes as f64 / cs.uplink_bytes.max(1) as f64
+    );
+}

@@ -1,0 +1,76 @@
+//! Quickstart: run the full ACME pipeline on a small synthetic
+//! federation and print what each stage produced.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use acme::{Acme, AcmeConfig};
+use acme_tensor::SmallRng64;
+
+fn main() {
+    let mut config = AcmeConfig::quick();
+    // Give devices enough local data for readable accuracies while
+    // staying CI-fast; see `AcmeConfig::paper_scaled` for the full setup.
+    config.dataset.per_class = 60;
+    config.pretrain.epochs = 6;
+    config.refine.loop_rounds = 3;
+    config.refine.local_epochs = 2;
+    println!("ACME quickstart");
+    println!(
+        "  fleet: {} clusters x {} devices, {} classes, non-IID level {}",
+        config.clusters, config.devices_per_cluster, config.reference.classes, config.confusion
+    );
+    println!(
+        "  phase-1 grid: widths {:?} x depths {:?}",
+        config.widths, config.depths
+    );
+
+    let acme = Acme::new(config);
+    let outcome = acme.run(&mut SmallRng64::new(42));
+
+    println!("\nPhase 1 — backbone assignments (Algorithm 1):");
+    for a in &outcome.assignments {
+        println!(
+            "  {:>7}: w={:.2} d={} -> {:>6} params, cloud loss {:.3}, cluster energy {:.1}",
+            a.edge.to_string(),
+            a.w,
+            a.d,
+            a.params,
+            a.loss,
+            a.energy
+        );
+    }
+
+    println!("\nPhase 2 — per-device refinement (Algorithm 2):");
+    for d in &outcome.devices {
+        println!(
+            "  {:>9} @ {}: accuracy {:.3} -> {:.3} ({:+.3})",
+            d.device.to_string(),
+            d.edge,
+            d.accuracy_before,
+            d.accuracy_after,
+            d.improvement()
+        );
+    }
+
+    println!("\nSystem cost:");
+    println!(
+        "  header search space per edge: {:.1}k architectures",
+        outcome.header_search_space as f64 / 1e3
+    );
+    println!(
+        "  total transfer: {:.3} MB ({} messages)",
+        outcome.transfers.total_bytes as f64 / 1e6,
+        outcome.transfers.messages
+    );
+    println!(
+        "  upload volume: {:.3} MB",
+        outcome.transfers.uplink_megabytes()
+    );
+    println!(
+        "\nMean device accuracy: {:.3} (mean improvement {:+.3})",
+        outcome.mean_accuracy(),
+        outcome.mean_improvement()
+    );
+}

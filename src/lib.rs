@@ -1,0 +1,17 @@
+//! Umbrella crate for the ACME reproduction workspace.
+//!
+//! This crate re-exports the public API of the [`acme`] core crate so the
+//! repository-level examples and integration tests have a single import
+//! root. See the individual crates for the substrates:
+//!
+//! * [`acme_tensor`] — n-dimensional arrays and reverse-mode autograd.
+//! * [`acme_nn`] — neural-network layers, losses, and optimizers.
+//! * [`acme_data`] — synthetic datasets and non-IID partitioning.
+//! * [`acme_energy`] — device attributes and the energy model.
+//! * [`acme_vit`] — the ViT backbone, importance pruning, and baselines.
+//! * [`acme_pareto`] — Pareto Front Grid construction and model matching.
+//! * [`acme_nas`] — block-based header architecture search.
+//! * [`acme_agg`] — importance sets and personalized aggregation.
+//! * [`acme_distsys`] — the bidirectional single-loop distributed system.
+
+pub use acme::*;

@@ -1,0 +1,171 @@
+//! Cross-crate property-based tests on the mathematical invariants the
+//! paper's algorithms rely on.
+
+use acme_agg::{
+    aggregate_importance, js_divergence, normalize_similarity_with_temperature,
+    wasserstein_1d_hist, wasserstein_1d_samples,
+};
+use acme_pareto::{pareto_front_grid, select_constrained, Candidate, GridSpec};
+use acme_tensor::{broadcast_shapes, Array};
+use proptest::prelude::*;
+
+fn histogram() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..10.0, 3..8)
+}
+
+proptest! {
+    #[test]
+    fn wasserstein_hist_is_a_metric_on_fixed_support(
+        mut p in histogram(),
+        mut q in histogram(),
+    ) {
+        let len = p.len().min(q.len());
+        p.truncate(len);
+        q.truncate(len);
+        // Guard against all-zero histograms.
+        p[0] += 1.0;
+        q[0] += 1.0;
+        let dpq = wasserstein_1d_hist(&p, &q);
+        let dqp = wasserstein_1d_hist(&q, &p);
+        prop_assert!(dpq >= 0.0);
+        prop_assert!((dpq - dqp).abs() < 1e-9, "symmetry: {dpq} vs {dqp}");
+        prop_assert!(wasserstein_1d_hist(&p, &p) < 1e-12);
+    }
+
+    #[test]
+    fn wasserstein_hist_triangle_inequality(
+        mut p in histogram(),
+        mut q in histogram(),
+        mut r in histogram(),
+    ) {
+        let len = p.len().min(q.len()).min(r.len());
+        p.truncate(len);
+        q.truncate(len);
+        r.truncate(len);
+        p[0] += 1.0;
+        q[0] += 1.0;
+        r[0] += 1.0;
+        let pq = wasserstein_1d_hist(&p, &q);
+        let pr = wasserstein_1d_hist(&p, &r);
+        let rq = wasserstein_1d_hist(&r, &q);
+        prop_assert!(pq <= pr + rq + 1e-9);
+    }
+
+    #[test]
+    fn wasserstein_samples_shift_equivariance(
+        xs in prop::collection::vec(-5.0f32..5.0, 2..20),
+        shift in -3.0f32..3.0,
+    ) {
+        let ys: Vec<f32> = xs.iter().map(|&x| x + shift).collect();
+        let d = wasserstein_1d_samples(&xs, &ys);
+        prop_assert!((d - shift.abs() as f64) < 1e-3, "shift {shift} -> distance {d}");
+    }
+
+    #[test]
+    fn js_divergence_is_symmetric_and_bounded(
+        mut p in histogram(),
+        mut q in histogram(),
+    ) {
+        let len = p.len().min(q.len());
+        p.truncate(len);
+        q.truncate(len);
+        p[0] += 1.0;
+        q[0] += 1.0;
+        let d = js_divergence(&p, &q);
+        prop_assert!(d >= -1e-12);
+        prop_assert!(d <= (2.0f64).ln() + 1e-9);
+        prop_assert!((d - js_divergence(&q, &p)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregation_preserves_bounds(
+        sets in prop::collection::vec(prop::collection::vec(0.0f64..10.0, 5), 2..5),
+        tau in 0.01f64..2.0,
+    ) {
+        let n = sets.len();
+        // Any similarity matrix in [0,1] with unit diagonal.
+        let sim: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| if i == j { 1.0 } else { 0.4 }).collect())
+            .collect();
+        let weights = normalize_similarity_with_temperature(&sim, tau);
+        for device in 0..n {
+            let fused = aggregate_importance(&sets, &weights, device);
+            let lo = sets.iter().map(|s| s[0]).fold(f64::INFINITY, f64::min);
+            let hi = sets.iter().map(|s| s[0]).fold(f64::NEG_INFINITY, f64::max);
+            // Convex combination stays within the per-coordinate envelope.
+            prop_assert!(fused[0] >= lo - 1e-9 && fused[0] <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn pfg_members_are_never_strictly_dominated_in_grid_space(
+        objs in prop::collection::vec((0.1f64..10.0, 0.1f64..10.0, 0.1f64..10.0), 2..20),
+    ) {
+        let candidates: Vec<Candidate> = objs
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b, c))| Candidate::new(0.5, i + 1, [a, b, c]))
+            .collect();
+        let spec = GridSpec::from_candidates(&candidates, 0.5).unwrap();
+        let front = pareto_front_grid(&candidates, &spec);
+        prop_assert!(!front.is_empty());
+        // Raw-objective non-dominated candidates must be in the front set
+        // whenever their grid cells differ from all dominators.
+        for &i in &front {
+            let ci = spec.coords(&candidates[i].objectives);
+            for (j, cj) in candidates.iter().enumerate() {
+                if j == i { continue; }
+                let cjc = spec.coords(&cj.objectives);
+                let dominates_grid = cjc.iter().zip(&ci).all(|(a, b)| a <= b)
+                    && cjc.iter().zip(&ci).any(|(a, b)| a < b);
+                prop_assert!(!dominates_grid, "front member {i} grid-dominated by {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn constrained_selection_is_always_feasible(
+        objs in prop::collection::vec((0.1f64..10.0, 0.1f64..10.0, 0.1f64..10.0), 2..20),
+        bound in 0.2f64..10.0,
+    ) {
+        let candidates: Vec<Candidate> = objs
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b, c))| Candidate::new(0.5, i + 1, [a, b, c]))
+            .collect();
+        let spec = GridSpec::from_candidates(&candidates, 0.5).unwrap();
+        match select_constrained(&candidates, &spec, bound) {
+            Some(c) => prop_assert!(c.size() < bound),
+            None => prop_assert!(candidates.iter().all(|c| c.size() >= bound)),
+        }
+    }
+
+    #[test]
+    fn broadcast_is_commutative_and_associative_on_shapes(
+        a in prop::collection::vec(1usize..4, 1..4),
+        b in prop::collection::vec(1usize..4, 1..4),
+    ) {
+        let ab = broadcast_shapes(&a, &b);
+        let ba = broadcast_shapes(&b, &a);
+        match (ab, ba) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "broadcast not symmetric for {:?} {:?}", a, b),
+        }
+    }
+
+    #[test]
+    fn reduce_to_shape_preserves_total(
+        rows in 1usize..5,
+        cols in 1usize..5,
+        values in prop::collection::vec(-10.0f32..10.0, 25),
+    ) {
+        let n = rows * cols;
+        let arr = Array::from_vec(values[..n].to_vec(), &[rows, cols]).unwrap();
+        // Summing out either axis preserves the grand total.
+        let to_cols = arr.reduce_to_shape(&[cols]);
+        let to_scalar = arr.reduce_to_shape(&[]);
+        prop_assert!((to_cols.sum() - arr.sum()).abs() < 1e-3);
+        prop_assert!((to_scalar.item() - arr.sum()).abs() < 1e-3);
+    }
+}
