@@ -39,6 +39,6 @@ pub use importance::{
 };
 pub use similarity::{
     normalize_similarity, normalize_similarity_with_temperature, similarity_matrix_js,
-    similarity_matrix_wasserstein,
+    similarity_matrix_wasserstein, similarity_matrix_wasserstein_on,
 };
 pub use wasserstein::{sliced_wasserstein, wasserstein_1d_hist, wasserstein_1d_samples};

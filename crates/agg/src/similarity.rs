@@ -1,6 +1,7 @@
 //! Device-similarity matrices (Eqs. 19–20).
 
-use acme_tensor::Array;
+use acme_runtime::Pool;
+use acme_tensor::{Array, SmallRng64};
 use rand::Rng;
 
 use crate::divergence::js_divergence;
@@ -32,6 +33,45 @@ pub fn similarity_matrix_wasserstein(
             sim[i][j] = w;
             sim[j][i] = w;
         }
+    }
+    sim
+}
+
+/// [`similarity_matrix_wasserstein`] with every upper-triangle pair
+/// computed as one task on `pool`. Each pair draws its projections from
+/// its own RNG stream, forked from `rng` in row-major pair order before
+/// the fan-out, so the matrix is identical at any thread count (though
+/// not bit-identical to the serial function, which threads one stream
+/// through all pairs).
+///
+/// # Panics
+///
+/// Panics when fewer than one device or mismatched feature widths.
+pub fn similarity_matrix_wasserstein_on(
+    pool: &Pool,
+    features: &[Array],
+    projections: usize,
+    rng: &mut SmallRng64,
+) -> Vec<Vec<f64>> {
+    assert!(!features.is_empty(), "similarity of zero devices");
+    let n = features.len();
+    let mut pairs: Vec<(usize, usize, SmallRng64)> = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            pairs.push((i, j, rng.fork((i * n + j) as u64)));
+        }
+    }
+    let dists = pool.par_map(pairs, |_, (i, j, mut pair_rng)| {
+        let d = sliced_wasserstein(&features[i], &features[j], projections, &mut pair_rng);
+        (i, j, 1.0 / (1.0 + d))
+    });
+    let mut sim = vec![vec![0.0; n]; n];
+    for (i, row) in sim.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    for (i, j, w) in dists {
+        sim[i][j] = w;
+        sim[j][i] = w;
     }
     sim
 }
@@ -136,6 +176,22 @@ mod tests {
         let far = base.add_scalar(4.0);
         let sim = similarity_matrix_wasserstein(&[base, near, far], 16, &mut rng);
         assert!(sim[0][1] > sim[0][2]);
+    }
+
+    #[test]
+    fn parallel_similarity_is_thread_count_invariant() {
+        let mut rng = SmallRng64::new(3);
+        let feats: Vec<Array> = (0..5).map(|_| randn(&[12, 4], &mut rng)).collect();
+        let serial =
+            similarity_matrix_wasserstein_on(&Pool::serial(), &feats, 8, &mut rng.clone());
+        let parallel = similarity_matrix_wasserstein_on(&Pool::new(4), &feats, 8, &mut rng);
+        assert_eq!(serial, parallel);
+        for i in 0..5 {
+            assert_eq!(serial[i][i], 1.0);
+            for j in 0..5 {
+                assert_eq!(serial[i][j], serial[j][i]);
+            }
+        }
     }
 
     #[test]

@@ -4,9 +4,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use acme::Pool;
 use acme_agg::{
     aggregate_importance, normalize_similarity_with_temperature, similarity_matrix_wasserstein,
-    sliced_wasserstein,
+    similarity_matrix_wasserstein_on, sliced_wasserstein,
 };
 use acme_tensor::{randn, SmallRng64};
 
@@ -27,6 +28,25 @@ fn bench_similarity_matrix(c: &mut Criterion) {
         let mut r = SmallRng64::new(3);
         b.iter(|| black_box(similarity_matrix_wasserstein(&feats, 12, &mut r)))
     });
+}
+
+/// Serial vs parallel similarity matrix on a larger device count, where
+/// the O(n^2) pairwise sliced-Wasserstein work dominates.
+fn bench_similarity_matrix_pool(c: &mut Criterion) {
+    let mut rng = SmallRng64::new(2);
+    let feats: Vec<_> = (0..10).map(|_| randn(&[24, 64], &mut rng)).collect();
+    let mut group = c.benchmark_group("similarity_matrix_10_devices");
+    group.bench_function("serial", |b| {
+        let pool = Pool::serial();
+        let mut r = SmallRng64::new(3);
+        b.iter(|| black_box(similarity_matrix_wasserstein_on(&pool, &feats, 12, &mut r)))
+    });
+    group.bench_function("parallel_4", |b| {
+        let pool = Pool::new(4);
+        let mut r = SmallRng64::new(3);
+        b.iter(|| black_box(similarity_matrix_wasserstein_on(&pool, &feats, 12, &mut r)))
+    });
+    group.finish();
 }
 
 fn bench_aggregation(c: &mut Criterion) {
@@ -51,6 +71,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = aggregation;
     config = config();
-    targets = bench_sliced_wasserstein, bench_similarity_matrix, bench_aggregation
+    targets = bench_sliced_wasserstein, bench_similarity_matrix, bench_similarity_matrix_pool, bench_aggregation
 }
 criterion_main!(aggregation);

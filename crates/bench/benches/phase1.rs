@@ -1,0 +1,75 @@
+//! Criterion benchmarks of Phase 1 candidate-pool construction on the
+//! `acme-runtime` pool: serial vs work-stealing parallel over the same
+//! (w, d) grid. The parallel group is the headline speedup of the
+//! runtime crate; both produce identical pools for the same seed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use acme::{build_candidate_pool_on, Pool};
+use acme_data::{cifar100_like, SyntheticSpec};
+use acme_nn::ParamSet;
+use acme_tensor::SmallRng64;
+use acme_vit::{fit, DistillConfig, TrainConfig, Vit, VitConfig};
+
+fn bench_phase1_pool(c: &mut Criterion) {
+    let mut rng = SmallRng64::new(11);
+    let spec = SyntheticSpec {
+        classes: 10,
+        per_class: 20,
+        ..SyntheticSpec::cifar()
+    };
+    let ds = cifar100_like(&spec, &mut rng);
+    let (train, val) = ds.split(0.8, &mut rng);
+    let cfg = VitConfig::reference(10);
+    let mut ps = ParamSet::new();
+    let teacher = Vit::new(&mut ps, &cfg, &mut rng);
+    fit(
+        &teacher,
+        &mut ps,
+        &train,
+        &TrainConfig {
+            epochs: 1,
+            ..TrainConfig::default()
+        },
+    );
+    let widths = [0.25, 0.5, 0.75, 1.0];
+    let depths = [1, 2, 3, 4];
+    let distill = DistillConfig {
+        epochs: 1,
+        ..DistillConfig::default()
+    };
+
+    let mut group = c.benchmark_group("phase1_candidate_pool_4x4");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        let pool = Pool::serial();
+        b.iter(|| {
+            let mut r = SmallRng64::new(7);
+            black_box(build_candidate_pool_on(
+                &pool, &teacher, &ps, &train, &val, &widths, &depths, &distill, 2, &mut r,
+            ))
+        })
+    });
+    group.bench_function("parallel_4", |b| {
+        let pool = Pool::new(4);
+        b.iter(|| {
+            let mut r = SmallRng64::new(7);
+            black_box(build_candidate_pool_on(
+                &pool, &teacher, &ps, &train, &val, &widths, &depths, &distill, 2, &mut r,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default().measurement_time(std::time::Duration::from_secs(5))
+}
+
+criterion_group! {
+    name = phase1;
+    config = config();
+    targets = bench_phase1_pool
+}
+criterion_main!(phase1);

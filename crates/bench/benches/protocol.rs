@@ -11,7 +11,7 @@ fn bench_acme_protocol(c: &mut Criterion) {
     let fleet = Fleet::paper_default(4, 5);
     let cfg = ProtocolConfig::default();
     c.bench_function("acme_protocol_20_devices_t3", |b| {
-        b.iter(|| black_box(run_acme_protocol(&fleet, &cfg)))
+        b.iter(|| black_box(run_acme_protocol(&fleet, &cfg).expect("protocol run")))
     });
 }
 

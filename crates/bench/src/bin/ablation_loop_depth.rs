@@ -60,6 +60,7 @@ fn main() {
             ..RefineConfig::default()
         };
         let out = refine_cluster(
+            &acme::Pool::default(),
             EdgeId(0),
             &vit,
             &header,
@@ -68,7 +69,8 @@ fn main() {
             &refine_cfg,
             None,
             &mut SmallRng64::new(3),
-        );
+        )
+        .expect("refinement without a network cannot fault");
         let mean_after: f32 =
             out.results.iter().map(|r| r.accuracy_after).sum::<f32>() / out.results.len() as f32;
         let mean_impr: f32 = out

@@ -1,7 +1,7 @@
 //! Ablation — the grid-based PFG selection (Eq. 13) vs plain weighted-sum
 //! scalarization over normalized objectives, across the fleet.
 
-use acme::build_candidate_pool;
+use acme::{build_candidate_pool_on, Pool};
 use acme_bench::{eval_cifar, f3, print_table, RunScale};
 use acme_energy::{EnergyModel, Fleet};
 use acme_nn::ParamSet;
@@ -51,7 +51,8 @@ fn main() {
             ..TrainConfig::default()
         },
     );
-    let pool = build_candidate_pool(
+    let pool = build_candidate_pool_on(
+        &Pool::default(),
         &teacher,
         &ps,
         &train,

@@ -73,6 +73,7 @@ fn main() {
                     ..RefineConfig::default()
                 };
                 let out = refine_cluster(
+                    &acme::Pool::default(),
                     EdgeId(0),
                     &vit,
                     &header,
@@ -81,7 +82,8 @@ fn main() {
                     &refine_cfg,
                     None,
                     &mut SmallRng64::new(seed * 31),
-                );
+                )
+                .expect("refinement without a network cannot fault");
                 for r in &out.results {
                     total += r.improvement() as f64;
                     count += 1;

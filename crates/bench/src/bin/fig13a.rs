@@ -4,7 +4,7 @@
 //!
 //! Same protocol as `fig7a`, on the harder fine-grained dataset.
 
-use acme::{build_candidate_pool, coarse_header_search, customize_backbone_for_cluster};
+use acme::{build_candidate_pool_on, coarse_header_search, customize_backbone_for_cluster, Pool};
 use acme_bench::{eval_cars, f3, print_table, RunScale};
 use acme_energy::{Device, DeviceCluster, EdgeId, EnergyModel};
 use acme_nas::SearchConfig;
@@ -57,7 +57,8 @@ fn main() {
             ..TrainConfig::default()
         },
     );
-    let pool = build_candidate_pool(
+    let pool = build_candidate_pool_on(
+        &Pool::default(),
         &teacher,
         &tps,
         &train,

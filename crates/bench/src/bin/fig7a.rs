@@ -6,7 +6,7 @@
 //! models; the micro-scale equivalent here is a budget just below the
 //! full reference model, which forces ACME to actually customize.
 
-use acme::{build_candidate_pool, coarse_header_search};
+use acme::{build_candidate_pool_on, coarse_header_search, Pool};
 use acme_bench::{eval_cifar, f3, print_table, RunScale};
 use acme_energy::{Device, DeviceCluster, EdgeId, EnergyModel};
 use acme_nas::SearchConfig;
@@ -63,7 +63,8 @@ fn main() {
             ..TrainConfig::default()
         },
     );
-    let pool = build_candidate_pool(
+    let pool = build_candidate_pool_on(
+        &Pool::default(),
         &teacher,
         &tps,
         &train,

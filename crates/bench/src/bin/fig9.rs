@@ -2,7 +2,7 @@
 //! latency, energy-efficiency ratio, size-efficiency ratio, and the
 //! trade-off score, averaged over the whole fleet.
 
-use acme::build_candidate_pool;
+use acme::{build_candidate_pool_on, Pool};
 use acme_bench::{eval_cifar, f3, print_table, RunScale};
 use acme_energy::{EnergyModel, Fleet};
 use acme_nn::ParamSet;
@@ -29,7 +29,8 @@ fn main() {
             ..TrainConfig::default()
         },
     );
-    let pool = build_candidate_pool(
+    let pool = build_candidate_pool_on(
+        &Pool::default(),
         &teacher,
         &ps,
         &train,

@@ -44,7 +44,7 @@ fn main() {
     for &n in &device_counts {
         let clusters = n / devices_per_cluster;
         let fleet = Fleet::paper_default(clusters, devices_per_cluster);
-        let acme = run_acme_protocol(&fleet, &proto);
+        let acme = run_acme_protocol(&fleet, &proto).expect("protocol run");
         let cs = centralized_transfers(&fleet, 500, 3072, proto.backbone_params);
         let ours_space = header_space * clusters as u128;
         let cs_space = cs_per_device * n as u128;

@@ -7,7 +7,6 @@
 
 use acme::{Acme, AcmeConfig};
 use acme_data::ConfusionLevel;
-use acme_tensor::SmallRng64;
 
 const USAGE: &str = "\
 acme-pipeline — run the ACME customization pipeline on a synthetic federation
@@ -22,17 +21,18 @@ OPTIONS:
     --confusion <LEVEL>   iid | c1 | c2 | c3                [default: c1]
     --loops <T>           Algorithm 2 single-loop rounds    [default: preset]
     --seed <S>            root RNG seed                     [default: 7]
+    --threads <N>         worker threads (1 = serial)       [default: all cores]
     --help                print this help
 ";
 
-fn parse_args() -> Result<(AcmeConfig, u64), String> {
+fn parse_args() -> Result<AcmeConfig, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut config = if args.iter().any(|a| a == "--paper") {
         AcmeConfig::paper_scaled()
     } else {
         AcmeConfig::quick()
     };
-    let mut seed = 7u64;
+    config.seed = 7;
     let mut i = 0;
     while i < args.len() {
         let take_value = |i: &mut usize| -> Result<String, String> {
@@ -63,9 +63,14 @@ fn parse_args() -> Result<(AcmeConfig, u64), String> {
                     .map_err(|e| format!("--loops: {e}"))?;
             }
             "--seed" => {
-                seed = take_value(&mut i)?
+                config.seed = take_value(&mut i)?
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--threads" => {
+                config.threads = take_value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
             }
             "--confusion" => {
                 config.confusion = match take_value(&mut i)?.to_lowercase().as_str() {
@@ -80,12 +85,12 @@ fn parse_args() -> Result<(AcmeConfig, u64), String> {
         }
         i += 1;
     }
-    config.validate()?;
-    Ok((config, seed))
+    config.validate().map_err(|e| e.to_string())?;
+    Ok(config)
 }
 
 fn main() {
-    let (config, seed) = match parse_args() {
+    let config = match parse_args() {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
@@ -93,14 +98,23 @@ fn main() {
         }
     };
     println!(
-        "running ACME: {} clusters x {} devices, {} classes, confusion {}, T={}, seed {seed}",
+        "running ACME: {} clusters x {} devices, {} classes, confusion {}, T={}, seed {}, {} threads",
         config.clusters,
         config.devices_per_cluster,
         config.reference.classes,
         config.confusion,
-        config.refine.loop_rounds
+        config.refine.loop_rounds,
+        config.seed,
+        config.threads
     );
-    let outcome = Acme::new(config).run(&mut SmallRng64::new(seed));
+    let acme = Acme::try_new(config).expect("configuration already validated");
+    let outcome = match acme.run() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
 
     println!("\nbackbone assignments:");
     for a in &outcome.assignments {

@@ -3,8 +3,10 @@
 use acme_data::{ConfusionLevel, SyntheticSpec};
 use acme_energy::EnergyModel;
 use acme_nas::SearchConfig;
+use acme_runtime::Pool;
 use acme_vit::{DistillConfig, TrainConfig, VitConfig};
 
+use crate::error::AcmeError;
 use crate::refine::RefineConfig;
 
 /// Full configuration of an [`Acme`](crate::Acme) run.
@@ -46,6 +48,10 @@ pub struct AcmeConfig {
     pub refine: RefineConfig,
     /// Root RNG seed.
     pub seed: u64,
+    /// Worker threads of the [`acme_runtime::Pool`] the pipeline runs
+    /// on. `1` reproduces the serial path; the same seed produces the
+    /// same outcome at any thread count.
+    pub threads: usize,
 }
 
 impl AcmeConfig {
@@ -78,6 +84,7 @@ impl AcmeConfig {
             edge_share: 0.15,
             refine: RefineConfig::default(),
             seed: 7,
+            threads: Pool::with_available_parallelism().threads(),
         }
     }
 
@@ -129,6 +136,19 @@ impl AcmeConfig {
             edge_share: 0.15,
             refine: RefineConfig::quick(),
             seed: 7,
+            threads: Pool::with_available_parallelism().threads(),
+        }
+    }
+
+    /// Starts a builder seeded with the [`paper_scaled`] preset; chain
+    /// setters and finish with
+    /// [`build()`](AcmeConfigBuilder::build), which re-validates every
+    /// cross-field invariant.
+    ///
+    /// [`paper_scaled`]: AcmeConfig::paper_scaled
+    pub fn builder() -> AcmeConfigBuilder {
+        AcmeConfigBuilder {
+            config: AcmeConfig::paper_scaled(),
         }
     }
 
@@ -136,8 +156,13 @@ impl AcmeConfig {
     ///
     /// # Errors
     ///
-    /// Returns a message describing the first inconsistency found.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns [`AcmeError::InvalidConfig`] describing the first
+    /// inconsistency found.
+    pub fn validate(&self) -> Result<(), AcmeError> {
+        self.check().map_err(AcmeError::InvalidConfig)
+    }
+
+    fn check(&self) -> Result<(), String> {
         self.reference.validate()?;
         if self.dataset.classes != self.reference.classes {
             return Err(format!(
@@ -168,7 +193,106 @@ impl AcmeConfig {
         if !(0.0..=1.0).contains(&self.edge_share) {
             return Err("edge share must lie in [0, 1]".to_string());
         }
+        if self.threads == 0 {
+            return Err("thread count must be at least 1".to_string());
+        }
         Ok(())
+    }
+}
+
+/// Builder for [`AcmeConfig`] — the validated construction path of the
+/// public API. Starts from the [`AcmeConfig::paper_scaled`] preset;
+/// every setter replaces one field and [`build`](Self::build) checks the
+/// cross-field invariants before handing out the config.
+///
+/// ```
+/// use acme::AcmeConfig;
+///
+/// let config = AcmeConfig::builder().quick().threads(4).seed(42).build().unwrap();
+/// assert_eq!(config.threads, 4);
+/// assert!(AcmeConfig::builder().threads(0).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct AcmeConfigBuilder {
+    config: AcmeConfig,
+}
+
+macro_rules! builder_setters {
+    ($($(#[$doc:meta])* $name:ident: $ty:ty,)*) => {
+        $(
+            $(#[$doc])*
+            pub fn $name(mut self, value: $ty) -> Self {
+                self.config.$name = value;
+                self
+            }
+        )*
+    };
+}
+
+impl AcmeConfigBuilder {
+    /// Replaces every field with the [`AcmeConfig::quick`] preset,
+    /// keeping subsequent setters applicable on top of it.
+    pub fn quick(mut self) -> Self {
+        self.config = AcmeConfig::quick();
+        self
+    }
+
+    /// Replaces every field with the [`AcmeConfig::paper_scaled`]
+    /// preset (the builder's starting point).
+    pub fn paper_scaled(mut self) -> Self {
+        self.config = AcmeConfig::paper_scaled();
+        self
+    }
+
+    builder_setters! {
+        /// The reference backbone `θ₀`.
+        reference: VitConfig,
+        /// Synthetic dataset generator settings.
+        dataset: SyntheticSpec,
+        /// Device clusters.
+        clusters: usize,
+        /// Devices per cluster.
+        devices_per_cluster: usize,
+        /// How device-local data is skewed.
+        confusion: ConfusionLevel,
+        /// Width options `W^B` explored by Phase 1.
+        widths: Vec<f64>,
+        /// Depth options `D^B` explored by Phase 1.
+        depths: Vec<usize>,
+        /// Performance window `γ_p` of the Pareto grid (Eq. 11).
+        gamma_p: f64,
+        /// Energy model coefficients (Eq. 2).
+        energy: EnergyModel,
+        /// Epochs `k` of the energy integral (Eq. 1).
+        energy_epochs: usize,
+        /// Cloud pre-training schedule for `θ₀`.
+        pretrain: TrainConfig,
+        /// Distillation schedule per Phase 1 candidate (Eq. 9).
+        distill: DistillConfig,
+        /// Importance-scoring batches for head/neuron pruning.
+        importance_batches: usize,
+        /// Edge NAS settings (Phase 2-1).
+        search: SearchConfig,
+        /// Fraction of each device's data mirrored on its edge server.
+        edge_share: f64,
+        /// Device-side refinement settings (Phase 2-2 / Algorithm 2).
+        refine: RefineConfig,
+        /// Root RNG seed.
+        seed: u64,
+        /// Worker threads of the runtime pool (`1` = serial).
+        threads: usize,
+    }
+
+    /// Validates the assembled configuration and returns it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcmeError::InvalidConfig`] on the first cross-field
+    /// inconsistency (class mismatch, out-of-range widths/depths,
+    /// `edge_share` outside `[0, 1]`, zero threads, …).
+    pub fn build(self) -> Result<AcmeConfig, AcmeError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -199,5 +323,37 @@ mod tests {
         let mut c = AcmeConfig::quick();
         c.widths = vec![0.0];
         assert!(c.validate().is_err());
+        let mut c = AcmeConfig::quick();
+        c.threads = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builder_applies_presets_and_setters() {
+        let c = AcmeConfig::builder()
+            .quick()
+            .clusters(3)
+            .seed(11)
+            .threads(2)
+            .build()
+            .unwrap();
+        assert_eq!(c.clusters, 3);
+        assert_eq!(c.seed, 11);
+        assert_eq!(c.threads, 2);
+        // Untouched fields come from the quick preset.
+        assert_eq!(c.widths, AcmeConfig::quick().widths);
+    }
+
+    #[test]
+    fn builder_rejects_cross_field_inconsistencies() {
+        let err = AcmeConfig::builder()
+            .quick()
+            .widths(vec![1.5])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, AcmeError::InvalidConfig(_)));
+        assert!(AcmeConfig::builder().edge_share(2.0).build().is_err());
+        assert!(AcmeConfig::builder().depths(vec![0]).build().is_err());
+        assert!(AcmeConfig::builder().threads(0).build().is_err());
     }
 }

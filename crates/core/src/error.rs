@@ -1,0 +1,78 @@
+//! The unified error type of the public pipeline API.
+
+use acme_distsys::{ProtocolError, SendError};
+
+/// Everything that can go wrong on the documented `acme` surface:
+/// constructing a pipeline from an inconsistent configuration, running
+/// it over a faulted transfer fabric, or selecting from an empty
+/// candidate pool.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AcmeError {
+    /// The configuration failed cross-field validation (see
+    /// [`AcmeConfig::validate`](crate::AcmeConfig::validate)).
+    InvalidConfig(String),
+    /// Phase 1 produced no `(w, d)` candidates to assign from.
+    EmptyCandidatePool,
+    /// A metered transfer could not be delivered.
+    Transfer(SendError),
+    /// The distributed schedule faulted.
+    Protocol(ProtocolError),
+}
+
+impl std::fmt::Display for AcmeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AcmeError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            AcmeError::EmptyCandidatePool => {
+                write!(f, "phase 1 produced an empty candidate pool")
+            }
+            AcmeError::Transfer(e) => write!(f, "transfer failed: {e}"),
+            AcmeError::Protocol(e) => write!(f, "protocol fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AcmeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AcmeError::Transfer(e) => Some(e),
+            AcmeError::Protocol(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SendError> for AcmeError {
+    fn from(e: SendError) -> Self {
+        AcmeError::Transfer(e)
+    }
+}
+
+impl From<ProtocolError> for AcmeError {
+    fn from(e: ProtocolError) -> Self {
+        AcmeError::Protocol(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acme_distsys::NodeId;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = AcmeError::InvalidConfig("widths must lie in (0, 1]".into());
+        assert!(e.to_string().contains("widths"));
+        assert!(AcmeError::EmptyCandidatePool.to_string().contains("empty"));
+        let e = AcmeError::Transfer(SendError::UnknownNode(NodeId::Cloud));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn conversions_wrap() {
+        let e: AcmeError = SendError::Disconnected(NodeId::Cloud).into();
+        assert!(matches!(e, AcmeError::Transfer(_)));
+        let e: AcmeError = ProtocolError::NodePanicked.into();
+        assert!(matches!(e, AcmeError::Protocol(_)));
+    }
+}

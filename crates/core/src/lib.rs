@@ -23,29 +23,64 @@
 //! Every transfer is metered through [`acme_distsys`], so the pipeline
 //! reports the Table I upload volumes alongside per-device accuracy.
 //!
-//! ```no_run
-//! use acme::{Acme, AcmeConfig};
-//! use acme_tensor::SmallRng64;
+//! The pipeline runs on an [`acme_runtime::Pool`] sized by
+//! `AcmeConfig::threads` (default: available parallelism). Every
+//! parallel task draws from an RNG stream forked off the root seed by
+//! stable task index, so **the same seed produces the identical outcome
+//! at any thread count** — `threads(1)` reproduces the serial path
+//! exactly.
 //!
-//! let config = AcmeConfig::quick();
-//! let outcome = Acme::new(config).run(&mut SmallRng64::new(0));
-//! println!("mean accuracy: {:.3}", outcome.mean_accuracy());
-//! println!("upload volume: {:.3} MB", outcome.transfers.uplink_megabytes());
+//! The public surface is fallible: construction goes through
+//! [`AcmeConfig::builder`] or [`Acme::try_new`], and every failure mode
+//! (inconsistent configuration, faulted transfer fabric, empty candidate
+//! pool) surfaces as [`AcmeError`] instead of a panic.
+//!
+//! ```no_run
+//! use acme::{Acme, AcmeConfig, AcmeError};
+//!
+//! fn main() -> Result<(), AcmeError> {
+//!     let config = AcmeConfig::builder().quick().threads(4).seed(0).build()?;
+//!     let outcome = Acme::try_new(config)?.run()?;
+//!     println!("mean accuracy: {:.3}", outcome.mean_accuracy());
+//!     println!("upload volume: {:.3} MB", outcome.transfers.uplink_megabytes());
+//!     Ok(())
+//! }
 //! ```
 
 mod config;
+mod error;
 mod outcome;
 mod phase1;
 mod phase2;
 mod pipeline;
 mod refine;
 
-pub use config::AcmeConfig;
+pub use acme_distsys::{ProtocolConfig, ProtocolOutcome};
+pub use acme_runtime::Pool;
+pub use config::{AcmeConfig, AcmeConfigBuilder};
+pub use error::AcmeError;
 pub use outcome::{AcmeOutcome, BackboneAssignment, DeviceResult};
-pub use phase1::{build_candidate_pool, customize_backbone_for_cluster, CandidateModel};
+pub use phase1::{
+    build_candidate_pool, build_candidate_pool_on, customize_backbone_for_cluster, CandidateModel,
+};
 pub use phase2::{coarse_header_search, EdgeCustomization};
 pub use pipeline::Acme;
 pub use refine::{
     apply_neuron_drops, backbone_features, header_neuron_importance, refine_cluster, DeviceSetup,
     RefineConfig, RefineOutcome,
 };
+
+/// Runs the transfer-accounting protocol schedule (§II-A) over `fleet`,
+/// surfacing faults as [`AcmeError::Protocol`]. Thin wrapper over
+/// [`acme_distsys::protocol::run_acme_protocol`] so pipeline callers
+/// handle one error type.
+///
+/// # Errors
+///
+/// Returns [`AcmeError::Protocol`] when any node faults.
+pub fn run_acme_protocol(
+    fleet: &acme_energy::Fleet,
+    config: &ProtocolConfig,
+) -> Result<ProtocolOutcome, AcmeError> {
+    acme_distsys::protocol::run_acme_protocol(fleet, config).map_err(AcmeError::from)
+}

@@ -5,6 +5,7 @@ use acme_data::Dataset;
 use acme_energy::{DeviceCluster, EnergyModel};
 use acme_nn::ParamSet;
 use acme_pareto::{select_constrained, Candidate, GridSpec};
+use acme_runtime::Pool;
 use acme_tensor::{Graph, SmallRng64};
 use acme_vit::{
     distill, evaluate, prune_width, score_importance, truncate_depth, DistillConfig, Vit,
@@ -59,11 +60,51 @@ fn val_loss(vit: &Vit, ps: &ParamSet, data: &Dataset, batch_size: usize) -> f64 
 /// depth `d`, distill against the teacher (Eq. 9), and measure loss and
 /// accuracy on the cloud's public validation split.
 ///
+/// Serial convenience wrapper over [`build_candidate_pool_on`] with a
+/// single-threaded pool.
+///
 /// # Panics
 ///
 /// Panics on empty grids or datasets.
 #[allow(clippy::too_many_arguments)]
 pub fn build_candidate_pool(
+    teacher: &Vit,
+    teacher_ps: &ParamSet,
+    public_train: &Dataset,
+    public_val: &Dataset,
+    widths: &[f64],
+    depths: &[usize],
+    distill_cfg: &DistillConfig,
+    importance_batches: usize,
+    rng: &mut SmallRng64,
+) -> Vec<CandidateModel> {
+    build_candidate_pool_on(
+        &Pool::serial(),
+        teacher,
+        teacher_ps,
+        public_train,
+        public_val,
+        widths,
+        depths,
+        distill_cfg,
+        importance_batches,
+        rng,
+    )
+}
+
+/// [`build_candidate_pool`] with every candidate pruned, distilled, and
+/// evaluated as one task on `pool`. Candidates are returned in
+/// width-major, depth-minor grid order regardless of thread count, and
+/// no task consumes the shared RNG (importance scoring drains `rng`
+/// serially before the fan-out; distillation and evaluation seed their
+/// own streams), so the result is identical at any parallelism.
+///
+/// # Panics
+///
+/// Panics on empty grids or datasets.
+#[allow(clippy::too_many_arguments)]
+pub fn build_candidate_pool_on(
+    pool: &Pool,
     teacher: &Vit,
     teacher_ps: &ParamSet,
     public_train: &Dataset,
@@ -90,37 +131,40 @@ pub fn build_candidate_pool(
         distill_cfg.batch_size,
         rng,
     );
-    let mut pool = Vec::with_capacity(widths.len() * depths.len());
-    for &w in widths {
-        // Width pruning once per width; depth truncations share it.
+    // Width pruning once per width; depth truncations share it.
+    let pruned: Vec<(f64, Vit, ParamSet)> = pool.par_map(widths.to_vec(), |_, w| {
         let (wide, wide_ps) = prune_width(teacher, teacher_ps, &scores, w);
-        for &d in depths {
-            let (vit, mut ps) = truncate_depth(&wide, &wide_ps, d);
-            if distill_cfg.epochs > 0 {
-                distill(
-                    teacher,
-                    teacher_ps,
-                    &vit,
-                    &mut ps,
-                    public_train,
-                    distill_cfg,
-                );
-            }
-            let loss = val_loss(&vit, &ps, public_val, distill_cfg.batch_size);
-            let accuracy = evaluate(&vit, &ps, public_val, distill_cfg.batch_size) as f64;
-            let params = ps.num_scalars() as u64;
-            pool.push(CandidateModel {
-                w,
-                d,
-                vit,
-                ps,
-                loss,
-                accuracy,
-                params,
-            });
+        (w, wide, wide_ps)
+    });
+    let grid: Vec<(usize, usize)> = (0..widths.len())
+        .flat_map(|wi| depths.iter().map(move |&d| (wi, d)))
+        .collect();
+    pool.par_map(grid, |_, (wi, d)| {
+        let (w, wide, wide_ps) = &pruned[wi];
+        let (vit, mut ps) = truncate_depth(wide, wide_ps, d);
+        if distill_cfg.epochs > 0 {
+            distill(
+                teacher,
+                teacher_ps,
+                &vit,
+                &mut ps,
+                public_train,
+                distill_cfg,
+            );
         }
-    }
-    pool
+        let loss = val_loss(&vit, &ps, public_val, distill_cfg.batch_size);
+        let accuracy = evaluate(&vit, &ps, public_val, distill_cfg.batch_size) as f64;
+        let params = ps.num_scalars() as u64;
+        CandidateModel {
+            w: *w,
+            d,
+            vit,
+            ps,
+            loss,
+            accuracy,
+            params,
+        }
+    })
 }
 
 /// Algorithm 1's per-cluster selection: builds the objective vectors
@@ -229,6 +273,44 @@ mod tests {
             customize_backbone_for_cluster(&pool, &hopeless, &EnergyModel::default(), 3, 0.2)
                 .is_none()
         );
+    }
+
+    #[test]
+    fn parallel_pool_matches_serial() {
+        let (vit, ps, train, val, mut rng) = setup();
+        let cfg = DistillConfig {
+            epochs: 1,
+            ..DistillConfig::default()
+        };
+        let serial = build_candidate_pool(
+            &vit,
+            &ps,
+            &train,
+            &val,
+            &[0.5, 1.0],
+            &[1, 2],
+            &cfg,
+            1,
+            &mut rng.clone(),
+        );
+        let parallel = build_candidate_pool_on(
+            &Pool::new(4),
+            &vit,
+            &ps,
+            &train,
+            &val,
+            &[0.5, 1.0],
+            &[1, 2],
+            &cfg,
+            1,
+            &mut rng,
+        );
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!((a.w, a.d, a.params), (b.w, b.d, b.params));
+            assert_eq!(a.loss, b.loss, "candidate ({}, {})", a.w, a.d);
+            assert_eq!(a.accuracy, b.accuracy);
+        }
     }
 
     #[test]

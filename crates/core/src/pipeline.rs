@@ -6,34 +6,54 @@ use acme_energy::Fleet;
 use acme_nas::search_space_size;
 use acme_nas::OpKind;
 use acme_nn::ParamSet;
+use acme_runtime::Pool;
 use acme_tensor::SmallRng64;
 use acme_vit::{fit, Vit};
 
 use crate::config::AcmeConfig;
+use crate::error::AcmeError;
 use crate::outcome::{AcmeOutcome, BackboneAssignment};
-use crate::phase1::{build_candidate_pool, customize_backbone_for_cluster};
+use crate::phase1::{build_candidate_pool_on, customize_backbone_for_cluster};
 use crate::phase2::coarse_header_search;
 use crate::refine::{refine_cluster, DeviceSetup};
 
-/// The pipeline runner. Construct with a validated [`AcmeConfig`] and
-/// call [`Acme::run`].
+/// The pipeline runner. Construct with [`Acme::try_new`] and call
+/// [`Acme::run`].
+///
+/// The run executes on an [`acme_runtime::Pool`] with
+/// [`AcmeConfig::threads`] workers: Phase 1 candidates, per-cluster
+/// backbone selection, and the per-cluster Phase 2 searches each fan out
+/// one task per independent unit. Every task draws from an RNG stream
+/// forked off the root seed by stable task index, so a given seed
+/// produces the identical outcome at any thread count.
 #[derive(Debug, Clone)]
 pub struct Acme {
     config: AcmeConfig,
 }
 
 impl Acme {
-    /// Wraps a configuration.
+    /// Wraps a configuration, validating it first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcmeError::InvalidConfig`] when the configuration is
+    /// inconsistent (see [`AcmeConfig::validate`]).
+    pub fn try_new(config: AcmeConfig) -> Result<Self, AcmeError> {
+        config.validate()?;
+        Ok(Acme { config })
+    }
+
+    /// Panicking shim over [`Acme::try_new`], kept for one release.
     ///
     /// # Panics
     ///
-    /// Panics when the configuration is inconsistent (see
-    /// [`AcmeConfig::validate`]).
+    /// Panics when the configuration is inconsistent.
+    #[deprecated(note = "use `Acme::try_new`, which reports invalid configurations as `AcmeError`")]
     pub fn new(config: AcmeConfig) -> Self {
-        if let Err(e) = config.validate() {
-            panic!("invalid ACME configuration: {e}");
+        match Acme::try_new(config) {
+            Ok(acme) => acme,
+            Err(e) => panic!("invalid ACME configuration: {e}"),
         }
-        Acme { config }
     }
 
     /// The configuration.
@@ -41,10 +61,27 @@ impl Acme {
         &self.config
     }
 
-    /// Executes the full pipeline and returns per-cluster assignments,
+    /// Executes the full pipeline, seeding every stream from
+    /// [`AcmeConfig::seed`], and returns per-cluster assignments,
     /// per-device accuracies, and the metered transfer report.
-    pub fn run(&self, rng: &mut SmallRng64) -> AcmeOutcome {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcmeError`] when a metered transfer fails or Phase 1
+    /// yields no candidate to assign.
+    pub fn run(&self) -> Result<AcmeOutcome, AcmeError> {
+        self.run_with_rng(&mut SmallRng64::new(self.config.seed))
+    }
+
+    /// [`Acme::run`] with a caller-supplied root RNG, for harnesses that
+    /// thread their own stream across repetitions.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Acme::run`].
+    pub fn run_with_rng(&self, rng: &mut SmallRng64) -> Result<AcmeOutcome, AcmeError> {
         let cfg = &self.config;
+        let pool_rt = Pool::new(cfg.threads);
         let mut data_rng = rng.fork(1);
         let mut model_rng = rng.fork(2);
         let mut pipe_rng = rng.fork(3);
@@ -88,8 +125,10 @@ impl Acme {
         let teacher = Vit::new(&mut teacher_ps, &cfg.reference, &mut model_rng);
         fit(&teacher, &mut teacher_ps, &public_train, &cfg.pretrain);
 
-        // Phase 1: candidate pool + per-cluster backbone customization.
-        let pool = build_candidate_pool(
+        // Phase 1: candidate pool (one task per candidate) and
+        // per-cluster backbone customization (one task per cluster).
+        let pool = build_candidate_pool_on(
+            &pool_rt,
             &teacher,
             &teacher_ps,
             &public_train,
@@ -100,9 +139,27 @@ impl Acme {
             cfg.importance_batches,
             &mut pipe_rng,
         );
+        let choices: Vec<Option<usize>> =
+            pool_rt.par_map((0..fleet.clusters().len()).collect(), |_, s| {
+                customize_backbone_for_cluster(
+                    &pool,
+                    &fleet.clusters()[s],
+                    &cfg.energy,
+                    cfg.energy_epochs,
+                    cfg.gamma_p,
+                )
+            });
+        // Fall back to the smallest candidate when nothing fits.
+        let smallest = pool
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| c.params)
+            .map(|(i, _)| i)
+            .ok_or(AcmeError::EmptyCandidatePool)?;
+        // Metered attribute/assignment exchanges stay in cluster order.
         let mut assignments = Vec::with_capacity(cfg.clusters);
         let mut cluster_choice = Vec::with_capacity(cfg.clusters);
-        for cluster in fleet.clusters() {
+        for (cluster, choice) in fleet.clusters().iter().zip(choices) {
             let edge = cluster.edge();
             net.send(
                 NodeId::Edge(edge),
@@ -117,23 +174,8 @@ impl Acme {
                         .map(|d| d.gpu_capacity())
                         .fold(f64::NEG_INFINITY, f64::max),
                 },
-            )
-            .expect("attribute upload");
-            // Fall back to the smallest candidate when nothing fits.
-            let idx = customize_backbone_for_cluster(
-                &pool,
-                cluster,
-                &cfg.energy,
-                cfg.energy_epochs,
-                cfg.gamma_p,
-            )
-            .unwrap_or_else(|| {
-                pool.iter()
-                    .enumerate()
-                    .min_by_key(|(_, c)| c.params)
-                    .map(|(i, _)| i)
-                    .expect("nonempty pool")
-            });
+            )?;
+            let idx = choice.unwrap_or(smallest);
             let chosen = &pool[idx];
             net.send(
                 NodeId::Cloud,
@@ -143,8 +185,7 @@ impl Acme {
                     d: chosen.d,
                     param_count: chosen.params,
                 },
-            )
-            .expect("backbone assignment");
+            )?;
             let energy = cluster
                 .devices()
                 .iter()
@@ -161,81 +202,99 @@ impl Acme {
             cluster_choice.push(idx);
         }
 
-        // Phases 2-1 and 2-2 per cluster.
-        let mut device_results = Vec::with_capacity(fleet.num_devices());
-        let mut global_device = 0usize;
-        for (s, cluster) in fleet.clusters().iter().enumerate() {
-            let edge = cluster.edge();
-            let chosen = &pool[cluster_choice[s]];
-            // Each edge works on its own copy of the assigned backbone.
-            let mut edge_ps = chosen.ps.clone();
-            let backbone = chosen.vit.clone();
-            // Device data for this cluster, plus the edge's shared slice.
-            let mut devices = Vec::with_capacity(cluster.devices().len());
-            let mut edge_data = Dataset::default();
-            for dev in cluster.devices() {
-                let part = &parts[global_device];
-                global_device += 1;
-                let (train, test) = part.split(0.75, &mut data_rng);
-                let share = train.sample(
-                    (cfg.edge_share * train.len() as f64).ceil() as usize,
-                    &mut data_rng,
+        // Phases 2-1 and 2-2: one task per cluster. Each task owns RNG
+        // streams forked off the roots in cluster order *before* the
+        // fan-out, so scheduling cannot perturb any stream.
+        let mut offsets = Vec::with_capacity(fleet.clusters().len());
+        let mut acc = 0usize;
+        for cluster in fleet.clusters() {
+            offsets.push(acc);
+            acc += cluster.devices().len();
+        }
+        let cluster_streams: Vec<(usize, SmallRng64, SmallRng64)> = (0..fleet.clusters().len())
+            .map(|s| (s, data_rng.fork(s as u64), pipe_rng.fork(s as u64)))
+            .collect();
+        let per_cluster = pool_rt.par_map(
+            cluster_streams,
+            |_, (s, mut c_data_rng, mut c_pipe_rng)| -> Result<_, AcmeError> {
+                let cluster = &fleet.clusters()[s];
+                let edge = cluster.edge();
+                let chosen = &pool[cluster_choice[s]];
+                // Each edge works on its own copy of the assigned
+                // backbone.
+                let mut edge_ps = chosen.ps.clone();
+                let backbone = chosen.vit.clone();
+                // Device data for this cluster, plus the edge's shared
+                // slice.
+                let mut devices = Vec::with_capacity(cluster.devices().len());
+                let mut edge_data = Dataset::default();
+                for (i, dev) in cluster.devices().iter().enumerate() {
+                    let part = &parts[offsets[s] + i];
+                    let (train, test) = part.split(0.75, &mut c_data_rng);
+                    let share = train.sample(
+                        (cfg.edge_share * train.len() as f64).ceil() as usize,
+                        &mut c_data_rng,
+                    );
+                    edge_data = if edge_data.is_empty() {
+                        share
+                    } else {
+                        edge_data.merged(&share)
+                    };
+                    devices.push(DeviceSetup {
+                        device: dev.id(),
+                        train,
+                        test,
+                    });
+                }
+                // Phase 2-1: NAS on the edge's shared dataset.
+                let customization = coarse_header_search(
+                    edge,
+                    &backbone,
+                    &mut edge_ps,
+                    &edge_data,
+                    &cfg.search,
+                    &mut c_pipe_rng,
                 );
-                edge_data = if edge_data.is_empty() {
-                    share
-                } else {
-                    edge_data.merged(&share)
-                };
-                devices.push(DeviceSetup {
-                    device: dev.id(),
-                    train,
-                    test,
-                });
-            }
-            // Phase 2-1: NAS on the edge's shared dataset.
-            let customization = coarse_header_search(
-                edge,
-                &backbone,
-                &mut edge_ps,
-                &edge_data,
-                &cfg.search,
-                &mut pipe_rng,
-            );
-            let header = customization.header;
-            let header_params =
-                edge_ps.num_scalars_of(&acme_vit::headers::Header::param_ids(&header)) as u64;
-            for dev in cluster.devices() {
-                net.send(
-                    NodeId::Edge(edge),
-                    NodeId::Device(dev.id()),
-                    Payload::HeaderSpec {
-                        tokens: header.arch().to_tokens(),
-                        u: header.arch().u(),
-                        param_count: header_params + chosen.params,
-                    },
-                )
-                .expect("header distribution");
-            }
-            // Phase 2-2: the single-loop refinement.
-            let refine = refine_cluster(
-                edge,
-                &backbone,
-                &header,
-                &edge_ps,
-                &devices,
-                &cfg.refine,
-                Some(&net),
-                &mut pipe_rng,
-            );
-            device_results.extend(refine.results);
+                let header = customization.header;
+                let header_params =
+                    edge_ps.num_scalars_of(&acme_vit::headers::Header::param_ids(&header)) as u64;
+                for dev in cluster.devices() {
+                    net.send(
+                        NodeId::Edge(edge),
+                        NodeId::Device(dev.id()),
+                        Payload::HeaderSpec {
+                            tokens: header.arch().to_tokens(),
+                            u: header.arch().u(),
+                            param_count: header_params + chosen.params,
+                        },
+                    )?;
+                }
+                // Phase 2-2: the single-loop refinement.
+                let refine = refine_cluster(
+                    &pool_rt,
+                    edge,
+                    &backbone,
+                    &header,
+                    &edge_ps,
+                    &devices,
+                    &cfg.refine,
+                    Some(&net),
+                    &mut c_pipe_rng,
+                )?;
+                Ok(refine.results)
+            },
+        );
+        let mut device_results = Vec::with_capacity(fleet.num_devices());
+        for cluster_results in per_cluster {
+            device_results.extend(cluster_results?);
         }
 
-        AcmeOutcome {
+        Ok(AcmeOutcome {
             assignments,
             devices: device_results,
             transfers: net.ledger().report(),
             header_search_space: search_space_size(cfg.search.num_blocks, OpKind::all().len()),
-        }
+        })
     }
 }
 
@@ -245,8 +304,8 @@ mod tests {
 
     #[test]
     fn quick_pipeline_end_to_end() {
-        let acme = Acme::new(AcmeConfig::quick());
-        let outcome = acme.run(&mut SmallRng64::new(0));
+        let acme = Acme::try_new(AcmeConfig::quick()).expect("quick preset is valid");
+        let outcome = acme.run().expect("quick run");
         let cfg = acme.config();
         assert_eq!(outcome.assignments.len(), cfg.clusters);
         assert_eq!(
@@ -272,10 +331,21 @@ mod tests {
     }
 
     #[test]
+    fn try_new_reports_invalid_config() {
+        let mut cfg = AcmeConfig::quick();
+        cfg.widths.clear();
+        assert!(matches!(
+            Acme::try_new(cfg),
+            Err(AcmeError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
     #[should_panic(expected = "invalid ACME configuration")]
     fn constructor_rejects_bad_config() {
         let mut cfg = AcmeConfig::quick();
         cfg.widths.clear();
+        #[allow(deprecated)]
         Acme::new(cfg);
     }
 }

@@ -2,18 +2,20 @@
 
 use acme_agg::{
     aggregate_importance, aggregation_weights, least_important,
-    normalize_similarity_with_temperature, similarity_matrix_js, similarity_matrix_wasserstein,
-    AggregationMethod,
+    normalize_similarity_with_temperature, similarity_matrix_js,
+    similarity_matrix_wasserstein_on, AggregationMethod,
 };
 use acme_data::{label_distribution, Dataset};
 use acme_distsys::{Network, NodeId, Payload};
 use acme_energy::{DeviceId, EdgeId};
 use acme_nas::NasHeader;
 use acme_nn::ParamSet;
+use acme_runtime::Pool;
 use acme_tensor::{Graph, SmallRng64};
 use acme_vit::headers::{HeadedVit, Header};
 use acme_vit::{evaluate, fit, TrainConfig, Vit};
 
+use crate::error::AcmeError;
 use crate::outcome::DeviceResult;
 
 /// Hyperparameters of the refinement loop.
@@ -197,13 +199,20 @@ pub fn apply_neuron_drops(ps: &mut ParamSet, header: &NasHeader, drops: &[usize]
 /// header (weights cloned from `base_ps`), freezes the backbone, and for
 /// `T` rounds trains locally, uploads its importance set, receives the
 /// personalized aggregate (Eq. 21), and discards its least important
-/// neurons. Transfers are metered on `network` when provided.
+/// neurons. Transfers are metered on `network` when provided; the
+/// Wasserstein similarity matrix is computed pairwise on `pool`.
+///
+/// # Errors
+///
+/// Returns [`AcmeError::Transfer`] when a metered send cannot be
+/// delivered.
 ///
 /// # Panics
 ///
 /// Panics when `devices` is empty or any device has empty data.
 #[allow(clippy::too_many_arguments)]
 pub fn refine_cluster(
+    pool: &Pool,
     edge: EdgeId,
     backbone: &Vit,
     header: &NasHeader,
@@ -212,7 +221,7 @@ pub fn refine_cluster(
     cfg: &RefineConfig,
     network: Option<&Network>,
     rng: &mut SmallRng64,
-) -> RefineOutcome {
+) -> Result<RefineOutcome, AcmeError> {
     assert!(!devices.is_empty(), "refinement needs devices");
     assert!(
         devices
@@ -242,7 +251,7 @@ pub fn refine_cluster(
                 .iter()
                 .map(|d| backbone_features(backbone, base_ps, &d.train, cfg.sim_sample, rng))
                 .collect();
-            let sim = similarity_matrix_wasserstein(&feats, cfg.sim_projections, rng);
+            let sim = similarity_matrix_wasserstein_on(pool, &feats, cfg.sim_projections, rng);
             normalize_similarity_with_temperature(&sim, cfg.sim_temperature)
         }
         AggregationMethod::Js => {
@@ -306,8 +315,7 @@ pub fn refine_cluster(
                     Payload::ImportanceUpload {
                         values: set.iter().map(|&v| v as f32).collect(),
                     },
-                )
-                .expect("importance upload");
+                )?;
             }
             sets.push(set);
         }
@@ -321,8 +329,7 @@ pub fn refine_cluster(
                     Payload::PersonalizedImportance {
                         values: fused.iter().map(|&v| v as f32).collect(),
                     },
-                )
-                .expect("personalized downlink");
+                )?;
             }
             // Device side: discard the least important *active* neurons,
             // keeping at least a quarter of the tail alive.
@@ -353,7 +360,7 @@ pub fn refine_cluster(
             accuracy_after: evaluate(&model, ps, &dev.test, cfg.batch_size),
         })
         .collect();
-    RefineOutcome { results, weights }
+    Ok(RefineOutcome { results, weights })
 }
 
 #[cfg(test)]
@@ -424,6 +431,7 @@ mod tests {
         let (vit, header, ps, devices, mut rng) = setup();
         let net = Network::new();
         let out = refine_cluster(
+            &Pool::serial(),
             EdgeId(0),
             &vit,
             &header,
@@ -435,7 +443,8 @@ mod tests {
             },
             Some(&net),
             &mut rng,
-        );
+        )
+        .expect("refine");
         assert_eq!(out.results.len(), 3);
         // With an untrained header, local training must help on average.
         let mean_impr: f32 = out
@@ -464,6 +473,7 @@ mod tests {
                 ..RefineConfig::quick()
             };
             let out = refine_cluster(
+                &Pool::serial(),
                 EdgeId(0),
                 &vit,
                 &header,
@@ -472,7 +482,8 @@ mod tests {
                 &cfg,
                 None,
                 &mut rng,
-            );
+            )
+            .expect("refine");
             assert_eq!(out.results.len(), 3, "method {method}");
         }
     }

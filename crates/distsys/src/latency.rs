@@ -119,7 +119,7 @@ mod tests {
         use acme_energy::Fleet;
         let fleet = Fleet::paper_default(2, 5);
         let model = LinkModel::default();
-        let acme = run_acme_protocol(&fleet, &ProtocolConfig::default());
+        let acme = run_acme_protocol(&fleet, &ProtocolConfig::default()).expect("protocol run");
         let cs = centralized_transfers(&fleet, 500, 3072, 1_000_000);
         // The CS downloads full models too, so compare total schedules.
         let t_acme = model.sequential_seconds(&acme.report);

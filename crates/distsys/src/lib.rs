@@ -47,3 +47,4 @@ pub use latency::{Link, LinkModel};
 pub use ledger::{Ledger, TransferReport};
 pub use message::{Envelope, NodeId, Payload};
 pub use network::{Network, SendError};
+pub use protocol::{ProtocolConfig, ProtocolError, ProtocolOutcome};

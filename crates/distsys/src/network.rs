@@ -76,6 +76,13 @@ impl Network {
         tx.send(env).map_err(|_| SendError::Disconnected(to))
     }
 
+    /// Drops every registered route, disconnecting all inboxes. Blocked
+    /// `recv()` calls on those inboxes return errors, so node threads
+    /// waiting on a faulted peer unwind cleanly instead of hanging.
+    pub fn close(&self) {
+        self.inner.routes.write().clear();
+    }
+
     /// The shared transfer ledger.
     pub fn ledger(&self) -> &Ledger {
         &self.inner.ledger
@@ -152,6 +159,19 @@ mod tests {
         assert_eq!(reply.payload, Payload::Ack);
         t.join().unwrap();
         assert_eq!(net.ledger().message_count(), 2);
+    }
+
+    #[test]
+    fn close_disconnects_all_inboxes() {
+        let net = Network::new();
+        let rx = net.register(NodeId::Cloud);
+        net.close();
+        assert!(rx.recv().is_err());
+        assert_eq!(net.node_count(), 0);
+        assert_eq!(
+            net.send(NodeId::Cloud, NodeId::Cloud, Payload::Ack),
+            Err(SendError::UnknownNode(NodeId::Cloud))
+        );
     }
 
     #[test]

@@ -16,7 +16,66 @@ use acme_energy::Fleet;
 
 use crate::ledger::TransferReport;
 use crate::message::{NodeId, Payload};
-use crate::network::Network;
+use crate::network::{Network, SendError};
+
+/// A fault detected while executing the protocol schedule.
+///
+/// Any of these indicates a broken deployment (a node vanished or spoke
+/// out of turn) rather than a recoverable condition; the run that
+/// produced it tears down the whole message fabric so no peer blocks
+/// forever.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A message could not be delivered.
+    Send(SendError),
+    /// A node's inbox closed while it awaited a message.
+    ChannelClosed {
+        /// The node that was waiting.
+        node: NodeId,
+        /// What it was waiting for.
+        waiting_for: &'static str,
+    },
+    /// A node received a message it did not expect at that point of the
+    /// schedule.
+    UnexpectedPayload {
+        /// The surprised node.
+        node: NodeId,
+        /// The payload kind the schedule called for.
+        expected: &'static str,
+    },
+    /// A node thread panicked.
+    NodePanicked,
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Send(e) => write!(f, "send failed: {e}"),
+            ProtocolError::ChannelClosed { node, waiting_for } => {
+                write!(f, "{node} lost its inbox while awaiting {waiting_for}")
+            }
+            ProtocolError::UnexpectedPayload { node, expected } => {
+                write!(f, "{node} expected a {expected} payload")
+            }
+            ProtocolError::NodePanicked => write!(f, "a node thread panicked"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Send(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SendError> for ProtocolError {
+    fn from(e: SendError) -> Self {
+        ProtocolError::Send(e)
+    }
+}
 
 /// Sizes and loop depth of one protocol run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,11 +117,17 @@ pub struct ProtocolOutcome {
 /// (1 cloud + S edges + N devices), returning the metered transfer
 /// report.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if any node thread fails (channel disconnection), which would
-/// indicate a protocol bug.
-pub fn run_acme_protocol(fleet: &Fleet, config: &ProtocolConfig) -> ProtocolOutcome {
+/// Returns a [`ProtocolError`] if any node faults (channel
+/// disconnection, out-of-schedule payload, or a panicking node thread).
+/// The first fault observed closes the fabric so every other node
+/// unwinds instead of blocking, and the earliest-tier error (cloud,
+/// then edges, then devices) is reported.
+pub fn run_acme_protocol(
+    fleet: &Fleet,
+    config: &ProtocolConfig,
+) -> Result<ProtocolOutcome, ProtocolError> {
     let net = Network::new();
     let cloud_rx = net.register(NodeId::Cloud);
     let num_edges = fleet.num_edges();
@@ -92,8 +157,8 @@ pub fn run_acme_protocol(fleet: &Fleet, config: &ProtocolConfig) -> ProtocolOutc
         let dev_ids = device_ids.clone();
         edge_handles.push(thread::spawn(move || {
             let me = NodeId::Edge(edge_id);
-            net_e
-                .send(
+            let run = || -> Result<(), ProtocolError> {
+                net_e.send(
                     me,
                     NodeId::Cloud,
                     Payload::AttributeReport {
@@ -102,19 +167,22 @@ pub fn run_acme_protocol(fleet: &Fleet, config: &ProtocolConfig) -> ProtocolOutc
                         min_gpu,
                         max_gpu,
                     },
-                )
-                .expect("attribute upload");
-            // Wait for the backbone assignment.
-            let assignment = edge_rx.recv().expect("backbone assignment");
-            assert!(matches!(
-                assignment.payload,
-                Payload::BackboneAssignment { .. }
-            ));
-            // Distribute the coarse header (+ backbone hand-off) to
-            // devices.
-            for &d in &dev_ids {
-                net_e
-                    .send(
+                )?;
+                // Wait for the backbone assignment.
+                let assignment = edge_rx.recv().map_err(|_| ProtocolError::ChannelClosed {
+                    node: me,
+                    waiting_for: "backbone assignment",
+                })?;
+                if !matches!(assignment.payload, Payload::BackboneAssignment { .. }) {
+                    return Err(ProtocolError::UnexpectedPayload {
+                        node: me,
+                        expected: "backbone-assignment",
+                    });
+                }
+                // Distribute the coarse header (+ backbone hand-off) to
+                // devices.
+                for &d in &dev_ids {
+                    net_e.send(
                         me,
                         NodeId::Device(d),
                         Payload::HeaderSpec {
@@ -122,28 +190,38 @@ pub fn run_acme_protocol(fleet: &Fleet, config: &ProtocolConfig) -> ProtocolOutc
                             u: 1,
                             param_count: cfg.header_params + cfg.backbone_params,
                         },
-                    )
-                    .expect("header distribution");
-            }
-            // Single-loop rounds.
-            for _ in 0..cfg.loop_rounds {
-                let mut sets = Vec::with_capacity(dev_ids.len());
-                for _ in 0..dev_ids.len() {
-                    let env = edge_rx.recv().expect("importance upload");
-                    if let Payload::ImportanceUpload { values } = env.payload {
-                        sets.push((env.from, values));
-                    } else {
-                        panic!("unexpected payload during loop");
+                    )?;
+                }
+                // Single-loop rounds.
+                for _ in 0..cfg.loop_rounds {
+                    let mut sets = Vec::with_capacity(dev_ids.len());
+                    for _ in 0..dev_ids.len() {
+                        let env = edge_rx.recv().map_err(|_| ProtocolError::ChannelClosed {
+                            node: me,
+                            waiting_for: "importance upload",
+                        })?;
+                        if let Payload::ImportanceUpload { values } = env.payload {
+                            sets.push((env.from, values));
+                        } else {
+                            return Err(ProtocolError::UnexpectedPayload {
+                                node: me,
+                                expected: "importance-upload",
+                            });
+                        }
+                    }
+                    // Personalized aggregation happens here in the real
+                    // pipeline; the wire cost is one downlink per device.
+                    for (from, values) in sets {
+                        net_e.send(me, from, Payload::PersonalizedImportance { values })?;
                     }
                 }
-                // Personalized aggregation happens here in the real
-                // pipeline; the wire cost is one downlink per device.
-                for (from, values) in sets {
-                    net_e
-                        .send(me, from, Payload::PersonalizedImportance { values })
-                        .expect("personalized downlink");
-                }
+                Ok(())
+            };
+            let outcome = run();
+            if outcome.is_err() {
+                net_e.close();
             }
+            outcome
         }));
 
         // Device threads.
@@ -152,59 +230,112 @@ pub fn run_acme_protocol(fleet: &Fleet, config: &ProtocolConfig) -> ProtocolOutc
             let cfg = config.clone();
             device_handles.push(thread::spawn(move || {
                 let me = NodeId::Device(device_id);
-                let spec = rx.recv().expect("header spec");
-                assert!(matches!(spec.payload, Payload::HeaderSpec { .. }));
-                let mut completed = 0;
-                for _ in 0..cfg.loop_rounds {
-                    net_d
-                        .send(
+                let run = || -> Result<usize, ProtocolError> {
+                    let spec = rx.recv().map_err(|_| ProtocolError::ChannelClosed {
+                        node: me,
+                        waiting_for: "header spec",
+                    })?;
+                    if !matches!(spec.payload, Payload::HeaderSpec { .. }) {
+                        return Err(ProtocolError::UnexpectedPayload {
+                            node: me,
+                            expected: "header-spec",
+                        });
+                    }
+                    let mut completed = 0;
+                    for _ in 0..cfg.loop_rounds {
+                        net_d.send(
                             me,
                             NodeId::Edge(edge_id),
                             Payload::ImportanceUpload {
                                 values: vec![0.0; cfg.importance_len],
                             },
-                        )
-                        .expect("importance upload");
-                    let reply = rx.recv().expect("personalized importance");
-                    assert!(matches!(
-                        reply.payload,
-                        Payload::PersonalizedImportance { .. }
-                    ));
-                    completed += 1;
+                        )?;
+                        let reply = rx.recv().map_err(|_| ProtocolError::ChannelClosed {
+                            node: me,
+                            waiting_for: "personalized importance",
+                        })?;
+                        if !matches!(reply.payload, Payload::PersonalizedImportance { .. }) {
+                            return Err(ProtocolError::UnexpectedPayload {
+                                node: me,
+                                expected: "personalized-importance",
+                            });
+                        }
+                        completed += 1;
+                    }
+                    Ok(completed)
+                };
+                let outcome = run();
+                if outcome.is_err() {
+                    net_d.close();
                 }
-                completed
+                outcome
             }));
         }
     }
 
     // Cloud: collect one report per edge, then assign backbones.
-    for _ in 0..num_edges {
-        let env = cloud_rx.recv().expect("attribute report");
-        let edge = env.from;
-        assert!(matches!(env.payload, Payload::AttributeReport { .. }));
-        net.send(
-            NodeId::Cloud,
-            edge,
-            Payload::BackboneAssignment {
-                w: 1.0,
-                d: 6,
-                param_count: config.backbone_params,
-            },
-        )
-        .expect("backbone assignment");
+    let cloud = || -> Result<(), ProtocolError> {
+        for _ in 0..num_edges {
+            let env = cloud_rx.recv().map_err(|_| ProtocolError::ChannelClosed {
+                node: NodeId::Cloud,
+                waiting_for: "attribute report",
+            })?;
+            let edge = env.from;
+            if !matches!(env.payload, Payload::AttributeReport { .. }) {
+                return Err(ProtocolError::UnexpectedPayload {
+                    node: NodeId::Cloud,
+                    expected: "attribute-report",
+                });
+            }
+            net.send(
+                NodeId::Cloud,
+                edge,
+                Payload::BackboneAssignment {
+                    w: 1.0,
+                    d: 6,
+                    param_count: config.backbone_params,
+                },
+            )?;
+        }
+        Ok(())
+    };
+    let cloud_outcome = cloud();
+    if cloud_outcome.is_err() {
+        // Unblock every node still waiting on a peer before joining.
+        net.close();
     }
 
+    let mut first_err = cloud_outcome.err();
     for h in edge_handles {
-        h.join().expect("edge thread");
+        match h.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                first_err.get_or_insert(e);
+            }
+            Err(_) => {
+                first_err.get_or_insert(ProtocolError::NodePanicked);
+            }
+        }
     }
     let mut rounds_completed = config.loop_rounds;
     for h in device_handles {
-        rounds_completed = h.join().expect("device thread");
+        match h.join() {
+            Ok(Ok(r)) => rounds_completed = r,
+            Ok(Err(e)) => {
+                first_err.get_or_insert(e);
+            }
+            Err(_) => {
+                first_err.get_or_insert(ProtocolError::NodePanicked);
+            }
+        }
     }
-    ProtocolOutcome {
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    Ok(ProtocolOutcome {
         report: net.ledger().report(),
         rounds_completed,
-    }
+    })
 }
 
 /// The centralized-system baseline of Table I: every device uploads its
@@ -258,7 +389,7 @@ mod tests {
             loop_rounds: 2,
             ..ProtocolConfig::default()
         };
-        let out = run_acme_protocol(&fleet, &cfg);
+        let out = run_acme_protocol(&fleet, &cfg).expect("protocol run");
         assert_eq!(out.rounds_completed, 2);
         let s = 3u64;
         let n = 12u64;
@@ -276,7 +407,7 @@ mod tests {
             loop_rounds: 3,
             ..ProtocolConfig::default()
         };
-        let out = run_acme_protocol(&fleet, &cfg);
+        let out = run_acme_protocol(&fleet, &cfg).expect("protocol run");
         let imp = out
             .report
             .per_kind
@@ -296,7 +427,7 @@ mod tests {
     #[test]
     fn acme_uploads_far_less_than_centralized() {
         let fleet = Fleet::paper_default(2, 5);
-        let acme = run_acme_protocol(&fleet, &ProtocolConfig::default());
+        let acme = run_acme_protocol(&fleet, &ProtocolConfig::default()).expect("protocol run");
         // CIFAR-scale: 500 samples of 3 KiB each per device.
         let cs = centralized_transfers(&fleet, 500, 3072, 1_000_000);
         assert!(
@@ -316,14 +447,28 @@ mod tests {
                 loop_rounds: 1,
                 ..ProtocolConfig::default()
             },
-        );
+        )
+        .expect("protocol run");
         let long = run_acme_protocol(
             &fleet,
             &ProtocolConfig {
                 loop_rounds: 4,
                 ..ProtocolConfig::default()
             },
-        );
+        )
+        .expect("protocol run");
         assert!(long.report.total_bytes > short.report.total_bytes);
+    }
+
+    #[test]
+    fn protocol_error_display_names_the_node() {
+        use acme_energy::EdgeId;
+        let e = ProtocolError::ChannelClosed {
+            node: NodeId::Edge(EdgeId(2)),
+            waiting_for: "backbone assignment",
+        };
+        assert!(e.to_string().contains("edge-2"));
+        let e = ProtocolError::Send(SendError::UnknownNode(NodeId::Cloud));
+        assert!(std::error::Error::source(&e).is_some());
     }
 }

@@ -47,8 +47,8 @@ fn concurrent_protocol_runs_are_isolated() {
     let f1 = Arc::clone(&fleet);
     let c1 = cfg.clone();
     let h = thread::spawn(move || run_acme_protocol(&f1, &c1));
-    let a = run_acme_protocol(&fleet, &cfg);
-    let b = h.join().unwrap();
+    let a = run_acme_protocol(&fleet, &cfg).expect("protocol run");
+    let b = h.join().unwrap().expect("protocol run");
     assert_eq!(a.report.total_bytes, b.report.total_bytes);
     assert_eq!(a.report.messages, b.report.messages);
 }
@@ -56,7 +56,7 @@ fn concurrent_protocol_runs_are_isolated() {
 #[test]
 fn ledger_totals_match_per_kind_sum() {
     let fleet = Fleet::paper_default(3, 4);
-    let out = run_acme_protocol(&fleet, &ProtocolConfig::default());
+    let out = run_acme_protocol(&fleet, &ProtocolConfig::default()).expect("protocol run");
     let kind_bytes: u64 = out.report.per_kind.iter().map(|k| k.bytes).sum();
     let kind_msgs: u64 = out.report.per_kind.iter().map(|k| k.messages).sum();
     assert_eq!(kind_bytes, out.report.total_bytes);

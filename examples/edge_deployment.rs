@@ -8,7 +8,7 @@
 //! cargo run --release --example edge_deployment
 //! ```
 
-use acme::{build_candidate_pool, customize_backbone_for_cluster};
+use acme::{build_candidate_pool_on, customize_backbone_for_cluster, Pool};
 use acme_data::{cifar100_like, SyntheticSpec};
 use acme_distsys::protocol::{centralized_transfers, run_acme_protocol, ProtocolConfig};
 use acme_energy::{EnergyModel, Fleet};
@@ -45,7 +45,8 @@ fn main() {
         },
     );
     println!("cloud: building (w, d) candidate pool...");
-    let pool = build_candidate_pool(
+    let pool = build_candidate_pool_on(
+        &Pool::default(),
         &teacher,
         &ps,
         &train,
@@ -135,7 +136,7 @@ fn main() {
         backbone_params: pool.iter().map(|c| c.params).max().unwrap_or(0),
         ..ProtocolConfig::default()
     };
-    let acme_run = run_acme_protocol(&fleet, &proto);
+    let acme_run = run_acme_protocol(&fleet, &proto).expect("protocol run");
     let image_bytes = (spec.channels * spec.size * spec.size * 4) as u64;
     let cs = centralized_transfers(&fleet, 500, image_bytes, proto.backbone_params);
     println!("\ntransfer volume ({} devices):", fleet.num_devices());

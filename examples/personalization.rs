@@ -102,6 +102,7 @@ fn main() {
                 ..RefineConfig::default()
             };
             let out = refine_cluster(
+                &acme::Pool::default(),
                 EdgeId(0),
                 &vit,
                 &header,
@@ -110,7 +111,8 @@ fn main() {
                 &refine_cfg,
                 None,
                 &mut SmallRng64::new(seed),
-            );
+            )
+            .expect("refinement without a network cannot fault");
             accs += out.results.iter().map(|r| r.accuracy_after).sum::<f32>()
                 / out.results.len() as f32;
             imprs += out

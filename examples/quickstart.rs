@@ -5,17 +5,29 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use acme::{Acme, AcmeConfig};
-use acme_tensor::SmallRng64;
+use acme::{Acme, AcmeConfig, AcmeError};
 
-fn main() {
-    let mut config = AcmeConfig::quick();
+fn main() -> Result<(), AcmeError> {
     // Give devices enough local data for readable accuracies while
     // staying CI-fast; see `AcmeConfig::paper_scaled` for the full setup.
-    config.dataset.per_class = 60;
-    config.pretrain.epochs = 6;
-    config.refine.loop_rounds = 3;
-    config.refine.local_epochs = 2;
+    let base = AcmeConfig::quick();
+    let config = AcmeConfig::builder()
+        .quick()
+        .dataset(acme_data::SyntheticSpec {
+            per_class: 60,
+            ..base.dataset
+        })
+        .pretrain(acme_vit::TrainConfig {
+            epochs: 6,
+            ..base.pretrain
+        })
+        .refine(acme::RefineConfig {
+            loop_rounds: 3,
+            local_epochs: 2,
+            ..base.refine
+        })
+        .seed(42)
+        .build()?;
     println!("ACME quickstart");
     println!(
         "  fleet: {} clusters x {} devices, {} classes, non-IID level {}",
@@ -26,8 +38,8 @@ fn main() {
         config.widths, config.depths
     );
 
-    let acme = Acme::new(config);
-    let outcome = acme.run(&mut SmallRng64::new(42));
+    let acme = Acme::try_new(config)?;
+    let outcome = acme.run()?;
 
     println!("\nPhase 1 — backbone assignments (Algorithm 1):");
     for a in &outcome.assignments {
@@ -73,4 +85,5 @@ fn main() {
         outcome.mean_accuracy(),
         outcome.mean_improvement()
     );
+    Ok(())
 }

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# The CI gate, runnable locally: formatting, lints, release build, tests.
+#
+#   scripts/ci.sh             # online (or warm cargo cache)
+#   OFFLINE=1 scripts/ci.sh   # force --offline
+#
+# With no registry reachable and a cold cargo cache, dependency
+# resolution fails before anything compiles (the workspace pulls rand,
+# crossbeam, criterion, proptest, ...). We probe for that case first and
+# fail with a clear message instead of a misleading build error; the
+# std-only `crates/runtime` can still be exercised with a bare rustc.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CARGO_FLAGS=()
+if [[ "${OFFLINE:-0}" == "1" ]]; then
+    CARGO_FLAGS+=(--offline)
+fi
+
+step() { echo; echo "==> $*"; }
+
+if ! cargo metadata --format-version 1 "${CARGO_FLAGS[@]}" >/dev/null 2>&1; then
+    echo "error: cargo cannot resolve the dependency graph." >&2
+    echo "       The registry is unreachable and the local cache is cold;" >&2
+    echo "       see 'Offline builds' in README.md. Nothing was compiled." >&2
+    exit 1
+fi
+
+step "cargo fmt --check"
+cargo fmt --all -- --check
+
+step "cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets "${CARGO_FLAGS[@]}" -- -D warnings
+
+step "cargo build --release"
+cargo build --workspace --release "${CARGO_FLAGS[@]}"
+
+step "cargo test (release)"
+cargo test --workspace --release -q "${CARGO_FLAGS[@]}"
+
+echo
+echo "CI checks passed."

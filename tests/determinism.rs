@@ -1,0 +1,67 @@
+//! The determinism contract of the parallel runtime: for the same
+//! `AcmeConfig::seed`, the pipeline produces the same `AcmeOutcome`
+//! regardless of `AcmeConfig::threads`. Every parallel region pre-forks
+//! its per-task RNG streams in stable index order before fan-out, so
+//! thread scheduling never touches the arithmetic.
+
+use acme::{Acme, AcmeConfig, AcmeOutcome};
+
+fn run_with_threads(threads: usize) -> AcmeOutcome {
+    let config = AcmeConfig::builder()
+        .quick()
+        .seed(11)
+        .threads(threads)
+        .build()
+        .expect("quick config is valid");
+    Acme::try_new(config)
+        .expect("valid config")
+        .run()
+        .expect("quick run")
+}
+
+#[test]
+fn parallel_run_is_bit_identical_to_serial() {
+    let serial = run_with_threads(1);
+    let parallel = run_with_threads(4);
+
+    assert_eq!(serial.assignments.len(), parallel.assignments.len());
+    for (a, b) in serial.assignments.iter().zip(&parallel.assignments) {
+        assert_eq!(a.edge, b.edge);
+        assert_eq!(a.w.to_bits(), b.w.to_bits(), "width for {}", a.edge);
+        assert_eq!(a.d, b.d, "depth for {}", a.edge);
+        assert_eq!(a.params, b.params, "params for {}", a.edge);
+        assert_eq!(a.loss.to_bits(), b.loss.to_bits(), "loss for {}", a.edge);
+        assert_eq!(
+            a.energy.to_bits(),
+            b.energy.to_bits(),
+            "energy for {}",
+            a.edge
+        );
+    }
+
+    assert_eq!(serial.devices.len(), parallel.devices.len());
+    for (a, b) in serial.devices.iter().zip(&parallel.devices) {
+        assert_eq!(a.device, b.device);
+        assert_eq!(a.edge, b.edge);
+        assert_eq!(
+            a.accuracy_before.to_bits(),
+            b.accuracy_before.to_bits(),
+            "accuracy_before for {}",
+            a.device
+        );
+        assert_eq!(
+            a.accuracy_after.to_bits(),
+            b.accuracy_after.to_bits(),
+            "accuracy_after for {}",
+            a.device
+        );
+    }
+
+    assert_eq!(serial.transfers.messages, parallel.transfers.messages);
+    assert_eq!(serial.transfers.total_bytes, parallel.transfers.total_bytes);
+    assert_eq!(
+        serial.transfers.uplink_bytes,
+        parallel.transfers.uplink_bytes
+    );
+    assert_eq!(serial.header_search_space, parallel.header_search_space);
+}

@@ -1,10 +1,17 @@
 //! End-to-end pipeline integration tests spanning every crate.
 
 use acme::{Acme, AcmeConfig};
-use acme_tensor::SmallRng64;
 
 fn run_quick(seed: u64) -> acme::AcmeOutcome {
-    Acme::new(AcmeConfig::quick()).run(&mut SmallRng64::new(seed))
+    let config = AcmeConfig::builder()
+        .quick()
+        .seed(seed)
+        .build()
+        .expect("quick preset is valid");
+    Acme::try_new(config)
+        .expect("validated config")
+        .run()
+        .expect("quick run")
 }
 
 #[test]

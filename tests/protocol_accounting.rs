@@ -1,7 +1,10 @@
 //! Integration of the distributed protocol with the energy fleet: the
 //! transfer accounting that backs Table I.
 
-use acme_distsys::protocol::{centralized_transfers, run_acme_protocol, ProtocolConfig};
+// The protocol runs go through the `acme` umbrella wrapper so the
+// fallible `Result<_, AcmeError>` surface is exercised end to end.
+use acme::run_acme_protocol;
+use acme_distsys::protocol::{centralized_transfers, ProtocolConfig};
 use acme_energy::Fleet;
 
 #[test]
@@ -15,7 +18,7 @@ fn acme_upload_matches_closed_form() {
         header_tokens: 8,
         importance_len: 50,
     };
-    let out = run_acme_protocol(&fleet, &cfg);
+    let out = run_acme_protocol(&fleet, &cfg).expect("protocol run");
     let n = (s * n_per) as u64;
     // Uplink = S attribute reports + N*T importance uploads.
     let attr = s as u64 * (16 + 32);
@@ -40,7 +43,8 @@ fn upload_ratio_matches_paper_band_at_paper_scale() {
                 importance_len: 4000,
                 ..ProtocolConfig::default()
             },
-        );
+        )
+        .expect("protocol run");
         let cs = centralized_transfers(&fleet, 500, 3072, 1_000_000);
         let ratio = acme.report.uplink_bytes as f64 / cs.uplink_bytes as f64;
         assert!(ratio < 0.10, "N={} ratio {ratio}", fleet.num_devices());
@@ -51,8 +55,8 @@ fn upload_ratio_matches_paper_band_at_paper_scale() {
 #[test]
 fn upload_scales_linearly_in_device_count() {
     let cfg = ProtocolConfig::default();
-    let small = run_acme_protocol(&Fleet::paper_default(2, 5), &cfg);
-    let large = run_acme_protocol(&Fleet::paper_default(4, 5), &cfg);
+    let small = run_acme_protocol(&Fleet::paper_default(2, 5), &cfg).expect("protocol run");
+    let large = run_acme_protocol(&Fleet::paper_default(4, 5), &cfg).expect("protocol run");
     let ratio = large.report.uplink_bytes as f64 / small.report.uplink_bytes as f64;
     assert!(
         (ratio - 2.0).abs() < 0.1,
@@ -64,8 +68,8 @@ fn upload_scales_linearly_in_device_count() {
 fn protocol_is_deterministic() {
     let fleet = Fleet::paper_default(3, 3);
     let cfg = ProtocolConfig::default();
-    let a = run_acme_protocol(&fleet, &cfg);
-    let b = run_acme_protocol(&fleet, &cfg);
+    let a = run_acme_protocol(&fleet, &cfg).expect("protocol run");
+    let b = run_acme_protocol(&fleet, &cfg).expect("protocol run");
     assert_eq!(a.report.total_bytes, b.report.total_bytes);
     assert_eq!(a.report.messages, b.report.messages);
 }
