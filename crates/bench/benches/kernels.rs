@@ -1,7 +1,11 @@
 //! Criterion micro-benchmarks of the tensor/NN kernels behind every
-//! training-based figure (Figs. 1, 7, 8, 11–13).
+//! training-based figure (Figs. 1, 7, 8, 11–13), plus the blocked-GEMM
+//! size sweep that emits `BENCH_kernels.json` (see
+//! `acme_bench::kernels`). Run with `-- --quick` for the CI-sized smoke
+//! variant; pass a criterion filter (e.g. `matmul`) to restrict the
+//! micro-benchmarks.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::Criterion;
 use std::hint::black_box;
 
 use acme_nn::{MultiHeadSelfAttention, ParamSet, TransformerBlock};
@@ -87,19 +91,73 @@ fn bench_patchify(c: &mut Criterion) {
     });
 }
 
+fn bench_gemm_sizes(c: &mut Criterion) {
+    let mut rng = SmallRng64::new(6);
+    for &size in &[64usize, 256] {
+        let a = randn(&[size, size], &mut rng);
+        let b = randn(&[size, size], &mut rng);
+        c.bench_function(&format!("gemm_{size}x{size}x{size}"), |bench| {
+            bench.iter(|| black_box(a.matmul(&b).unwrap()))
+        });
+    }
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(20)
         .measurement_time(std::time::Duration::from_secs(2))
 }
 
-criterion_group! {
-    name = kernels;
-    config = config();
-    targets = bench_matmul, bench_attention_forward, bench_block_forward_backward,
-        bench_conv2d, bench_cross_entropy, bench_patchify
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    // Criterion micro-benchmarks (respect the usual CLI: filters,
+    // --quick, baselines, ...).
+    {
+        let mut c = config().configure_from_args();
+        bench_matmul(&mut c);
+        bench_gemm_sizes(&mut c);
+        bench_attention_forward(&mut c);
+        bench_block_forward_backward(&mut c);
+        bench_conv2d(&mut c);
+        bench_cross_entropy(&mut c);
+        bench_patchify(&mut c);
+        c.final_summary();
+    }
+
+    // Blocked-GEMM size sweep at 1 / 2 / all-cores threads, tracked
+    // across PRs via BENCH_kernels.json at the workspace root.
+    let sizes: &[usize] = if quick {
+        &[64]
+    } else {
+        &[64, 128, 256, 512, 1024]
+    };
+    let mut threads = vec![1usize, 2];
+    threads.push(acme_runtime::Pool::with_available_parallelism().threads());
+    threads.sort_unstable();
+    threads.dedup();
+    if quick {
+        threads.truncate(1);
+    }
+    let rows = acme_bench::kernels::sweep(sizes, &threads);
+    println!("\ngemm sweep (naive = pre-blocking kernel):");
+    println!("{:>6} {:>8} {:>11} {:>11} {:>8} {:>8}", "size", "threads", "naive_ms", "blocked_ms", "speedup", "GFLOP/s");
+    for r in &rows {
+        println!(
+            "{:>6} {:>8} {:>11.3} {:>11.3} {:>7.2}x {:>8.2}",
+            r.size,
+            r.threads,
+            r.naive_ms,
+            r.blocked_ms,
+            r.speedup(),
+            r.gflops()
+        );
+    }
+    match acme_bench::kernels::write_json("BENCH_kernels.json", &rows) {
+        Ok(_) => println!("wrote BENCH_kernels.json ({} rows)", rows.len()),
+        Err(e) => eprintln!("warning: could not write BENCH_kernels.json: {e}"),
+    }
 }
-criterion_main!(kernels);
 
 // Quiet unused-import lint on Array (used indirectly via randn's return).
 #[allow(dead_code)]

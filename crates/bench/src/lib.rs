@@ -18,6 +18,8 @@
 use acme_data::{cifar100_like, stanford_cars_like, Dataset, SyntheticSpec};
 use acme_tensor::SmallRng64;
 
+pub mod kernels;
+
 /// Scale of a harness run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunScale {

@@ -82,6 +82,11 @@ impl Acme {
     pub fn run_with_rng(&self, rng: &mut SmallRng64) -> Result<AcmeOutcome, AcmeError> {
         let cfg = &self.config;
         let pool_rt = Pool::new(cfg.threads);
+        // `--threads` also governs kernel-level parallelism: the GEMM
+        // engine inside `acme-tensor` picks up its workers from the
+        // process-wide pool. Kernels are bit-deterministic at any thread
+        // count, so this only affects wall-clock time.
+        acme_runtime::set_global_threads(cfg.threads);
         let mut data_rng = rng.fork(1);
         let mut model_rng = rng.fork(2);
         let mut pipe_rng = rng.fork(3);

@@ -135,10 +135,10 @@ impl MultiHeadSelfAttention {
         let v = self.wv.forward(g, ps, flat);
         let v = to_heads(g, v);
         let kt = g.permute(k, &[0, 1, 3, 2]);
-        let scores = g.batch_matmul(q, kt);
+        let scores = g.batch_matmul(q, kt).expect("attention: score shapes");
         let scores = g.scale(scores, 1.0 / (dh as f32).sqrt());
         let attn = g.softmax_last(scores);
-        let mut out = g.batch_matmul(attn, v); // [B, h, T, dh]
+        let mut out = g.batch_matmul(attn, v).expect("attention: value shapes"); // [B, h, T, dh]
         if let Some(m) = mask {
             out = g.mul(out, m);
         }

@@ -1,6 +1,6 @@
 //! External parameter storage shared across training steps.
 
-use acme_tensor::{Array, Graph, Var};
+use acme_tensor::{packcache, Array, Graph, PackIdent, Var};
 
 /// Identifier of a parameter inside a [`ParamSet`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -18,6 +18,10 @@ struct Entry {
     name: String,
     value: Array,
     trainable: bool,
+    /// Mutation counter: bumped on every mutable access so the
+    /// packed-weight cache (`acme_tensor::packcache`) can tell frozen
+    /// values (cache hits) from updated ones (invalidation).
+    version: u64,
 }
 
 /// Owning store of model parameters, living across training steps.
@@ -27,9 +31,29 @@ struct Entry {
 /// a parameter into the active [`Graph`] (memoized per graph), and after
 /// `backward` an [`Optimizer`](crate::Optimizer) walks the graph's
 /// bindings to update values.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug)]
 pub struct ParamSet {
     entries: Vec<Entry>,
+    /// Process-unique id of this store instance, part of the
+    /// packed-weight-cache key. Clones get a fresh id (see
+    /// [`Clone`] impl) so stores that diverge after a clone — e.g.
+    /// per-cluster Phase 2 copies — can never alias cache entries.
+    store: u64,
+}
+
+impl Clone for ParamSet {
+    fn clone(&self) -> Self {
+        ParamSet {
+            entries: self.entries.clone(),
+            store: packcache::fresh_store_id(),
+        }
+    }
+}
+
+impl Default for ParamSet {
+    fn default() -> Self {
+        ParamSet::new()
+    }
 }
 
 impl ParamSet {
@@ -37,6 +61,7 @@ impl ParamSet {
     pub fn new() -> Self {
         ParamSet {
             entries: Vec::new(),
+            store: packcache::fresh_store_id(),
         }
     }
 
@@ -46,6 +71,7 @@ impl ParamSet {
             name: name.into(),
             value,
             trainable: true,
+            version: 0,
         });
         ParamId(self.entries.len() - 1)
     }
@@ -87,7 +113,22 @@ impl ParamSet {
     ///
     /// Panics for an id from a different store.
     pub fn value_mut(&mut self, id: ParamId) -> &mut Array {
+        // Pessimistically treat every mutable access as a write: a stale
+        // packed copy must never survive an update, while an unnecessary
+        // bump only costs one re-pack.
+        self.entries[id.0].version += 1;
         &mut self.entries[id.0].value
+    }
+
+    /// The packed-weight-cache identity of a parameter: store instance,
+    /// slot, and current mutation version (see
+    /// [`acme_tensor::packcache`]).
+    pub fn pack_ident(&self, id: ParamId) -> PackIdent {
+        PackIdent {
+            store: self.store,
+            slot: id.0 as u64,
+            version: self.entries[id.0].version,
+        }
     }
 
     /// The diagnostic name given at registration.
@@ -112,8 +153,13 @@ impl ParamSet {
 
     /// Binds the parameter into `g`, returning the graph node. Repeated
     /// binds of the same parameter within one graph return the same node.
+    ///
+    /// The bind carries the parameter's pack-cache identity, so matmuls
+    /// against it reuse the process-wide packed form while the value
+    /// stays unchanged (frozen backbones during PFG evaluation and
+    /// header refinement hit this every step).
     pub fn bind(&self, g: &mut Graph, id: ParamId) -> Var {
-        g.bind_param(id.key(), self.value(id))
+        g.bind_param_ident(id.key(), self.pack_ident(id), self.value(id))
     }
 
     /// Iterates over all ids in registration order.

@@ -49,6 +49,40 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
+/// Process-wide worker count used by components that cannot be handed a
+/// [`Pool`] explicitly (e.g. the `acme-tensor` GEMM kernels called from
+/// deep inside layer forwards). `0` means "unset", in which case
+/// [`global_pool`] falls back to the machine's available parallelism.
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the worker count returned by [`global_pool`]. The pipeline calls
+/// this with `AcmeConfig::threads` at the start of a run so `--threads`
+/// governs kernel-level parallelism too; benches and tests may call it to
+/// pin kernels serial. Values below 1 are clamped to 1.
+///
+/// Because every parallel consumer in this workspace is bit-deterministic
+/// with respect to thread count, changing this never changes results —
+/// only wall-clock time.
+pub fn set_global_threads(threads: usize) {
+    GLOBAL_THREADS.store(threads.max(1), Ordering::SeqCst);
+}
+
+/// The configured global worker count (`0` = unset; see
+/// [`set_global_threads`]).
+pub fn global_threads() -> usize {
+    GLOBAL_THREADS.load(Ordering::SeqCst)
+}
+
+/// A pool sized by [`set_global_threads`], or by available parallelism
+/// when no explicit count has been set. Construction is free ([`Pool`]
+/// only records a thread count); workers are spawned per scope.
+pub fn global_pool() -> Pool {
+    match GLOBAL_THREADS.load(Ordering::SeqCst) {
+        0 => Pool::with_available_parallelism(),
+        t => Pool::new(t),
+    }
+}
+
 /// A boxed task queued on a [`Scope`].
 type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
 
@@ -479,6 +513,19 @@ mod tests {
         let seeds: std::collections::HashSet<u64> =
             (0..1024).map(|i| stream_seed(42, i)).collect();
         assert_eq!(seeds.len(), 1024);
+    }
+
+    #[test]
+    fn global_pool_reflects_set_threads() {
+        // Unset (0 on a fresh process) falls back to available
+        // parallelism; after setting, the pool mirrors the setting.
+        assert!(global_pool().threads() >= 1);
+        set_global_threads(3);
+        assert_eq!(global_threads(), 3);
+        assert_eq!(global_pool().threads(), 3);
+        set_global_threads(0);
+        assert_eq!(global_threads(), 1, "zero clamps to serial");
+        assert_eq!(global_pool().threads(), 1);
     }
 
     #[test]

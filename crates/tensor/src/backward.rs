@@ -471,7 +471,7 @@ mod tests {
         let mut g = Graph::new();
         let a = g.leaf(randn(&[3, 4], &mut rng));
         let b = g.leaf(randn(&[4, 2], &mut rng));
-        let c = g.matmul(a, b);
+        let c = g.matmul(a, b).expect("shapes match");
         let s = g.sum_all(c);
         g.backward(s);
         // ds/da = ones @ b^T

@@ -134,7 +134,7 @@ mod tests {
         let a = randn(&[3, 4], &mut rng);
         let b = randn(&[4, 2], &mut rng);
         check(&[a, b], |g, v| {
-            let c = g.matmul(v[0], v[1]);
+            let c = g.matmul(v[0], v[1]).expect("shapes match");
             let t = g.tanh(c);
             g.sum_all(t)
         });
@@ -146,7 +146,7 @@ mod tests {
         let a = randn(&[2, 3, 4], &mut rng);
         let b = randn(&[2, 4, 3], &mut rng);
         check(&[a, b], |g, v| {
-            let c = g.batch_matmul(v[0], v[1]);
+            let c = g.batch_matmul(v[0], v[1]).expect("shapes match");
             let p = g.permute(c, &[1, 0, 2]);
             let s = g.sigmoid(p);
             g.mean_all(s)
@@ -339,7 +339,7 @@ mod tests {
         let mut rng = SmallRng64::new(28);
         let a = randn(&[3, 3], &mut rng);
         check(&[a], |g, v| {
-            let sq = g.matmul(v[0], v[0]);
+            let sq = g.matmul(v[0], v[0]).expect("shapes match");
             g.sum_all(sq)
         });
     }

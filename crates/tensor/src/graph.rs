@@ -5,6 +5,8 @@ use std::collections::HashMap;
 
 use crate::array::Array;
 use crate::conv::{avgpool_forward, im2col, maxpool_forward, ConvGeom, PoolGeom};
+use crate::error::Result;
+use crate::packcache::{self, PackIdent};
 
 /// Handle to a node in a [`Graph`].
 ///
@@ -115,13 +117,21 @@ pub(crate) struct Node {
 ///
 /// # Panics
 ///
-/// Builder methods panic when operand shapes are incompatible — shapes are
-/// structural programmer errors, not runtime data errors. Each method
-/// documents its requirements.
+/// Most builder methods panic when operand shapes are incompatible —
+/// shapes are structural programmer errors, not runtime data errors. Each
+/// method documents its requirements. The exceptions are
+/// [`Graph::matmul`] and [`Graph::batch_matmul`], whose operand shapes
+/// routinely come from searched/pruned architectures: they propagate
+/// [`crate::TensorError`] instead, consistent with the fallible pipeline
+/// API.
 #[derive(Debug, Default)]
 pub struct Graph {
     pub(crate) nodes: Vec<Node>,
     param_bindings: HashMap<u64, Var>,
+    /// Pack-cache identity of bound parameter nodes (node index →
+    /// ident), recorded by [`Graph::bind_param_ident`] and consumed by
+    /// [`Graph::matmul`] to reuse packed frozen weights.
+    param_idents: HashMap<usize, PackIdent>,
 }
 
 impl Graph {
@@ -130,6 +140,7 @@ impl Graph {
         Graph {
             nodes: Vec::new(),
             param_bindings: HashMap::new(),
+            param_idents: HashMap::new(),
         }
     }
 
@@ -186,6 +197,21 @@ impl Graph {
         }
         let v = self.leaf(value.clone());
         self.param_bindings.insert(key, v);
+        v
+    }
+
+    /// [`Graph::bind_param`] carrying the parameter's pack-cache identity
+    /// (see [`crate::packcache`]). When such a node later appears as the
+    /// right-hand side of [`Graph::matmul`], its packed microkernel
+    /// layout is fetched from — or installed into — the process-wide
+    /// packed-weight cache, so repeated products against frozen weights
+    /// skip re-packing. Results are unaffected (the packed path is
+    /// bit-identical); only 2-D values are recorded.
+    pub fn bind_param_ident(&mut self, key: u64, ident: PackIdent, value: &Array) -> Var {
+        let v = self.bind_param(key, value);
+        if value.rank() == 2 {
+            self.param_idents.insert(v.0, ident);
+        }
         v
     }
 
@@ -299,28 +325,34 @@ impl Graph {
 
     /// 2-D matrix multiplication `[m,k] x [k,n] -> [m,n]`.
     ///
-    /// # Panics
+    /// When `b` is a parameter bound with [`Graph::bind_param_ident`],
+    /// the product runs against its cached packed form (bit-identical,
+    /// skips the per-call packing copy).
     ///
-    /// Panics unless both operands are 2-D with matching inner dimension.
-    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self
-            .value(a)
-            .matmul(self.value(b))
-            .expect("matmul: incompatible shapes");
-        self.push(v, Op::MatMul(a, b))
+    /// # Errors
+    ///
+    /// Returns [`crate::TensorError`] unless both operands are 2-D with
+    /// matching inner dimension.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Result<Var> {
+        let v = match self.param_idents.get(&b.0) {
+            Some(&ident) if packcache::worth_caching(self.value(b)) => {
+                let packed = packcache::lookup_or_pack(ident, self.value(b));
+                self.value(a).matmul_prepacked(&packed)?
+            }
+            _ => self.value(a).matmul(self.value(b))?,
+        };
+        Ok(self.push(v, Op::MatMul(a, b)))
     }
 
     /// Batched matmul over matching leading dimensions.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when batch or inner dimensions disagree.
-    pub fn batch_matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self
-            .value(a)
-            .batch_matmul(self.value(b))
-            .expect("batch_matmul: incompatible shapes");
-        self.push(v, Op::BatchMatMul(a, b))
+    /// Returns [`crate::TensorError`] when batch or inner dimensions
+    /// disagree.
+    pub fn batch_matmul(&mut self, a: Var, b: Var) -> Result<Var> {
+        let v = self.value(a).batch_matmul(self.value(b))?;
+        Ok(self.push(v, Op::BatchMatMul(a, b)))
     }
 
     /// Axis permutation; output axis `i` is input axis `perm[i]`.
@@ -730,9 +762,10 @@ impl Graph {
     ///
     /// # Panics
     ///
-    /// Panics on incompatible shapes.
+    /// Panics on incompatible shapes (use [`Graph::matmul`] directly for
+    /// a fallible variant).
     pub fn linear(&mut self, x: Var, w: Var, b: Var) -> Var {
-        let y = self.matmul(x, w);
+        let y = self.matmul(x, w).expect("linear: incompatible shapes");
         self.add(y, b)
     }
 }

@@ -33,10 +33,12 @@ mod array;
 mod backward;
 mod conv;
 mod error;
+pub mod gemm;
 mod gradcheck;
 mod graph;
 mod linalg;
 mod ops;
+pub mod packcache;
 mod random;
 mod shape;
 
@@ -44,5 +46,6 @@ pub use array::Array;
 pub use error::{Result, TensorError};
 pub use gradcheck::{gradcheck, GradCheckReport};
 pub use graph::{Graph, Var};
+pub use packcache::PackIdent;
 pub use random::{kaiming_uniform, randn, uniform, SmallRng64};
 pub use shape::{broadcast_shapes, strides_for};

@@ -1,26 +1,31 @@
 //! Matrix multiplication (plain and batched) and axis permutation.
+//!
+//! The actual arithmetic lives in the blocked, multi-threaded engine in
+//! [`crate::gemm`]; the `matmul_*_kernel` entry points here are thin
+//! shape adapters kept for the rest of the crate (forward ops, backward
+//! passes, conv's im2col path). All of them run on the process-wide
+//! worker pool ([`acme_runtime::global_pool`]) and stay bit-identical to
+//! the naive reference loop at any thread count.
 
 use crate::array::Array;
 use crate::error::{Result, TensorError};
+use crate::gemm::{self, MatRef};
 use crate::shape::strides_for;
 
 /// Raw 2-D matmul kernel: `out[m,n] += a[m,k] * b[k,n]` over contiguous
-/// row-major buffers. `ikj` loop order keeps the inner loop sequential in
-/// both `b` and `out`.
+/// row-major buffers. Dense and branch-free — zero entries are multiplied
+/// like any other value (see [`matmul_sparse_kernel`] for the skip-zeros
+/// variant used with pruned weights).
 pub(crate) fn matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        for (p, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += av * bv;
-            }
-        }
-    }
+    gemm::gemm(
+        MatRef::row_major(a, k),
+        MatRef::row_major(b, n),
+        out,
+        m,
+        k,
+        n,
+        &acme_runtime::global_pool(),
+    );
 }
 
 /// Raw kernel for `out[m,n] += a^T[m,k] * b[k,n]` where `a` is stored as
@@ -33,19 +38,15 @@ pub(crate) fn matmul_at_b_kernel(
     k: usize,
     n: usize,
 ) {
-    for p in 0..k {
-        let a_row = &a[p * m..(p + 1) * m];
-        let b_row = &b[p * n..(p + 1) * n];
-        for (i, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += av * bv;
-            }
-        }
-    }
+    gemm::gemm(
+        MatRef::transposed(a, m),
+        MatRef::row_major(b, n),
+        out,
+        m,
+        k,
+        n,
+        &acme_runtime::global_pool(),
+    );
 }
 
 /// Raw kernel for `out[m,n] += a[m,k] * b^T[k,n]` where `b` is stored as
@@ -58,16 +59,44 @@ pub(crate) fn matmul_a_bt_kernel(
     k: usize,
     n: usize,
 ) {
+    gemm::gemm(
+        MatRef::row_major(a, k),
+        MatRef::transposed(b, k),
+        out,
+        m,
+        k,
+        n,
+        &acme_runtime::global_pool(),
+    );
+}
+
+/// Sparsity-aware matmul kernel: rows of `a` are scanned once and zero
+/// entries skip their whole `b`-row term. Worth it only when `a` is
+/// genuinely sparse (e.g. structured-pruned weights from `acme-vit`);
+/// for dense operands the branch defeats vectorization, which is why the
+/// dense kernels above never take this path. Accumulation uses the same
+/// [`gemm::madd`] step in the same `k`-ascending order, so for inputs
+/// with no explicit zeros the result is bit-identical to
+/// [`matmul_kernel`].
+pub(crate) fn matmul_sparse_kernel(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     for i in 0..m {
         let a_row = &a[i * k..(i + 1) * k];
         let out_row = &mut out[i * n..(i + 1) * n];
-        for (j, o) in out_row.iter_mut().enumerate() {
-            let b_row = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (av, bv) in a_row.iter().zip(b_row) {
-                acc += av * bv;
+        for (p, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
             }
-            *o += acc;
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o = gemm::madd(av, bv, *o);
+            }
         }
     }
 }
@@ -108,6 +137,79 @@ impl Array {
         Ok(out)
     }
 
+    /// `self · b` where the right-hand side has already been packed into
+    /// microkernel layout (see [`crate::packcache`]). Bit-identical to
+    /// [`Array::matmul`] against the unpacked matrix; only the `O(k·n)`
+    /// packing copy is skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same rank/shape errors as [`Array::matmul`], with the
+    /// packed operand's logical shape standing in for `rhs`.
+    pub fn matmul_prepacked(&self, packed: &gemm::PackedB) -> Result<Array> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+                op: "matmul",
+            });
+        }
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        if k != packed.k() {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape().to_vec(),
+                rhs: vec![packed.k(), packed.n()],
+                op: "matmul",
+            });
+        }
+        let mut out = Array::zeros(&[m, packed.n()]);
+        gemm::gemm_prepacked(
+            MatRef::row_major(self.data(), k),
+            packed,
+            out.data_mut(),
+            m,
+            &acme_runtime::global_pool(),
+        );
+        Ok(out)
+    }
+
+    /// Like [`Array::matmul`], but skips zero entries of `self` row by
+    /// row — the right call when `self` carries structured-pruned (mostly
+    /// zero) weights. For dense inputs prefer [`Array::matmul`], whose
+    /// branch-free blocked kernels are several times faster.
+    ///
+    /// # Errors
+    ///
+    /// Same shape/rank errors as [`Array::matmul`].
+    pub fn matmul_sparse(&self, rhs: &Array) -> Result<Array> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+                op: "matmul_sparse",
+            });
+        }
+        if rhs.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: rhs.rank(),
+                op: "matmul_sparse",
+            });
+        }
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (rhs.shape()[0], rhs.shape()[1]);
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape().to_vec(),
+                rhs: rhs.shape().to_vec(),
+                op: "matmul_sparse",
+            });
+        }
+        let mut out = Array::zeros(&[m, n]);
+        matmul_sparse_kernel(self.data(), rhs.data(), out.data_mut(), m, k, n);
+        Ok(out)
+    }
+
     /// Batched matrix multiplication.
     ///
     /// Both operands must have rank ≥ 2 and identical leading (batch)
@@ -142,16 +244,16 @@ impl Array {
         out_shape.push(m);
         out_shape.push(n);
         let mut out = Array::zeros(&out_shape);
-        for b in 0..batch {
-            matmul_kernel(
-                &self.data()[b * m * k..(b + 1) * m * k],
-                &rhs.data()[b * k * n..(b + 1) * k * n],
-                &mut out.data_mut()[b * m * n..(b + 1) * m * n],
-                m,
-                k,
-                n,
-            );
-        }
+        gemm::gemm_batched(
+            self.data(),
+            rhs.data(),
+            out.data_mut(),
+            batch,
+            m,
+            k,
+            n,
+            &acme_runtime::global_pool(),
+        );
         Ok(out)
     }
 
@@ -350,5 +452,17 @@ mod tests {
         let mut out = vec![0.0; 4];
         matmul_a_bt_kernel(a.data(), bt.data(), &mut out, 2, 3, 2);
         assert_eq!(out, c.data());
+    }
+
+    #[test]
+    fn sparse_matmul_matches_dense() {
+        // Mostly-zero lhs, as produced by structured pruning.
+        let a = arr(&[0.0, 2.0, 0.0, 0.0, 0.0, 3.0, 0.0, 1.0, 0.0], &[3, 3]);
+        let b = arr(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0], &[3, 3]);
+        let dense = a.matmul(&b).unwrap();
+        let sparse = a.matmul_sparse(&b).unwrap();
+        assert_eq!(dense, sparse);
+        assert!(a.matmul_sparse(&Array::ones(&[2, 2])).is_err());
+        assert!(a.matmul_sparse(&Array::ones(&[3])).is_err());
     }
 }

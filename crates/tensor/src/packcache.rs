@@ -1,0 +1,202 @@
+//! Process-wide cache of pre-packed weight matrices.
+//!
+//! Packing the right-hand side of a GEMM into the microkernel layout
+//! (see [`crate::gemm`]) costs an `O(k·n)` copy per call. Training
+//! amortizes that inside a single large product, but the inference-style
+//! workloads of the ACME pipeline — PFG candidate evaluation against a
+//! frozen backbone, header-search rollouts, device-side accuracy probes —
+//! multiply against the *same* frozen weight matrices thousands of times.
+//! This module keeps the packed form of such matrices around so repeated
+//! products skip the re-pack entirely.
+//!
+//! # Keying and invalidation
+//!
+//! Entries are keyed by a [`PackIdent`]: the identity of the owning
+//! parameter *store* (unique per store instance, including clones), the
+//! parameter's slot in that store, and a monotonically increasing
+//! *version* bumped on every mutable access to the value. A lookup whose
+//! version differs from the cached entry's replaces it, so the cache can
+//! never serve stale weights: an optimizer step (which bumps the version)
+//! invalidates the packed copy automatically, while frozen parameters keep
+//! hitting. Each `(store, slot)` pair holds at most one packed buffer, so
+//! memory is bounded by the number of live weight matrices, not by the
+//! number of versions they went through.
+//!
+//! # Determinism
+//!
+//! Packing only relocates values — [`crate::gemm::gemm_prepacked`] is
+//! bit-identical to the unpacked path — so cache hits and misses are
+//! observable only as wall-clock time, never in results.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::array::Array;
+use crate::gemm::{self, PackedB};
+
+/// Identity of one versioned parameter tensor, the cache key for its
+/// packed form. Obtained from the parameter store that owns the tensor
+/// (`acme-nn`'s `ParamSet` derives one per parameter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PackIdent {
+    /// Unique id of the owning store instance ([`fresh_store_id`]).
+    pub store: u64,
+    /// Slot of the parameter within its store.
+    pub slot: u64,
+    /// Mutation counter of the value; any write bumps it.
+    pub version: u64,
+}
+
+/// Allocates a store id no other store in this process has used —
+/// parameter stores call this at construction *and on clone*, so two
+/// stores that diverge after a clone can never alias cache entries.
+pub fn fresh_store_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Packed-B buffers below this size (in `f32`s) are not worth caching:
+/// the pack is cheaper than the cache round-trip.
+const MIN_CACHED_LEN: usize = 64 * 64;
+
+/// Whether a weight matrix is big enough for the packed-cache path to
+/// beat re-packing (tiny products go through the plain dispatch, which
+/// may pick the naive kernel outright).
+pub fn worth_caching(b: &Array) -> bool {
+    b.rank() == 2 && b.len() >= MIN_CACHED_LEN
+}
+
+struct Entry {
+    version: u64,
+    pack: Arc<PackedB>,
+}
+
+fn cache() -> &'static Mutex<HashMap<(u64, u64), Entry>> {
+    static CACHE: OnceLock<Mutex<HashMap<(u64, u64), Entry>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The packed form of the 2-D weight matrix `b` under identity `ident`,
+/// served from the cache when the version still matches and re-packed
+/// (and re-cached) otherwise. Tiny matrices are packed without caching.
+///
+/// # Panics
+///
+/// Panics unless `b` is 2-D (callers gate on rank first).
+pub fn lookup_or_pack(ident: PackIdent, b: &Array) -> Arc<PackedB> {
+    assert_eq!(b.rank(), 2, "packcache: weight must be 2-D");
+    let (k, n) = (b.shape()[0], b.shape()[1]);
+    let pack_now = || Arc::new(gemm::pack_b(gemm::MatRef::row_major(b.data(), n), k, n));
+    if b.len() < MIN_CACHED_LEN {
+        return pack_now();
+    }
+    let key = (ident.store, ident.slot);
+    let mut map = cache().lock().expect("packcache mutex");
+    match map.get(&key) {
+        Some(e) if e.version == ident.version => Arc::clone(&e.pack),
+        _ => {
+            let pack = pack_now();
+            map.insert(
+                key,
+                Entry {
+                    version: ident.version,
+                    pack: Arc::clone(&pack),
+                },
+            );
+            pack
+        }
+    }
+}
+
+/// Drops every cached buffer (used by tests and by harnesses that want a
+/// cold-cache measurement).
+pub fn clear() {
+    cache().lock().expect("packcache mutex").clear();
+}
+
+/// Number of cached packed matrices.
+pub fn len() -> usize {
+    cache().lock().expect("packcache mutex").len()
+}
+
+/// Total cached size in `f32`s across all entries.
+pub fn cached_floats() -> usize {
+    cache()
+        .lock()
+        .expect("packcache mutex")
+        .values()
+        .map(|e| e.pack.len())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big() -> Array {
+        let mut w = Array::zeros(&[96, 96]);
+        for (i, v) in w.data_mut().iter_mut().enumerate() {
+            *v = (i % 13) as f32 - 6.0;
+        }
+        w
+    }
+
+    #[test]
+    fn hit_miss_and_invalidation() {
+        let w = big();
+        let store = fresh_store_id();
+        let id_v0 = PackIdent {
+            store,
+            slot: 0,
+            version: 0,
+        };
+        let p1 = lookup_or_pack(id_v0, &w);
+        let p2 = lookup_or_pack(id_v0, &w);
+        assert!(Arc::ptr_eq(&p1, &p2), "same version hits the cache");
+        // A version bump replaces the entry rather than growing the map.
+        let before = len();
+        let p3 = lookup_or_pack(
+            PackIdent {
+                version: 1,
+                ..id_v0
+            },
+            &w,
+        );
+        assert!(!Arc::ptr_eq(&p1, &p3), "stale version repacks");
+        assert_eq!(len(), before, "one entry per (store, slot)");
+        assert!(cached_floats() >= w.len());
+    }
+
+    #[test]
+    fn distinct_stores_do_not_alias() {
+        let w = big();
+        let a = PackIdent {
+            store: fresh_store_id(),
+            slot: 7,
+            version: 3,
+        };
+        let b = PackIdent {
+            store: fresh_store_id(),
+            slot: 7,
+            version: 3,
+        };
+        let pa = lookup_or_pack(a, &w);
+        let pb = lookup_or_pack(b, &w);
+        assert!(!Arc::ptr_eq(&pa, &pb));
+    }
+
+    #[test]
+    fn tiny_weights_skip_the_cache() {
+        let w = Array::ones(&[4, 4]);
+        let id = PackIdent {
+            store: fresh_store_id(),
+            slot: 0,
+            version: 0,
+        };
+        let before = len();
+        let p = lookup_or_pack(id, &w);
+        assert_eq!(len(), before, "below-threshold pack is not cached");
+        assert_eq!((p.k(), p.n()), (4, 4));
+    }
+}

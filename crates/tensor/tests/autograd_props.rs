@@ -44,7 +44,7 @@ proptest! {
         let a = arr(&values_a, &[m, k]);
         let b = arr(&values_b, &[k, n]);
         let report = gradcheck(&[a, b], 1e-2, |g, v| {
-            let c = g.matmul(v[0], v[1]);
+            let c = g.matmul(v[0], v[1]).expect("shapes match");
             g.sum_all(c)
         });
         prop_assert!(report.passes(TOL), "rel err {}", report.max_rel_err);

@@ -1,0 +1,167 @@
+//! Property-based tests of the blocked GEMM engine: the packed,
+//! cache-blocked, and multi-threaded paths must be **bit-for-bit**
+//! identical to the naive reference kernel for every shape — including
+//! edge tiles (dimensions not divisible by any block size), degenerate
+//! `m = 1` / `n = 1` products, and empty `k = 0` reductions.
+
+use acme_tensor::gemm::{self, MatRef, MC, MR, NR};
+use acme_tensor::Array;
+use acme_runtime::Pool;
+use proptest::prelude::*;
+
+/// Deterministically fills a buffer with values in roughly `[-2, 2]`,
+/// including exact zeros (to exercise any zero-skipping temptation) and
+/// denormal-adjacent small magnitudes.
+fn fill(buf: &mut [f32], seed: u64) {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    for (i, v) in buf.iter_mut().enumerate() {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        *v = if i % 11 == 3 {
+            0.0
+        } else {
+            ((s >> 40) as f32 / (1u64 << 22) as f32) - 2.0
+        };
+    }
+}
+
+fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    gemm::gemm_naive(
+        MatRef::row_major(a, k),
+        MatRef::row_major(b, n),
+        &mut out,
+        m,
+        k,
+        n,
+    );
+    out
+}
+
+fn assert_bits_eq(x: &[f32], y: &[f32], ctx: &str) {
+    assert_eq!(x.len(), y.len(), "{ctx}: length");
+    for (i, (a, b)) in x.iter().zip(y).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "{ctx}: element {i}: {a} vs {b}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random (m, k, n) — biased to straddle the MR/NR/MC tile edges —
+    /// at 1, 2, and 4 threads, forced down the blocked/packed path.
+    #[test]
+    fn blocked_parallel_bitwise_matches_naive(
+        m in 1usize..(MC + MR + 2),
+        k in 0usize..96,
+        n in 1usize..(2 * NR + 2),
+        seed in 0u64..1u64 << 48,
+    ) {
+        let mut a = vec![0.0f32; m * k];
+        let mut b = vec![0.0f32; k * n];
+        fill(&mut a, seed);
+        fill(&mut b, seed ^ 0xABCD);
+        let expect = naive(&a, &b, m, k, n);
+        let pb = gemm::pack_b(MatRef::row_major(&b, n), k, n);
+        for threads in [1usize, 2, 4] {
+            let mut out = vec![0.0f32; m * n];
+            gemm::gemm_prepacked(
+                MatRef::row_major(&a, k),
+                &pb,
+                &mut out,
+                m,
+                &Pool::new(threads),
+            );
+            assert_bits_eq(&out, &expect, &format!("{m}x{k}x{n} t{threads}"));
+        }
+    }
+
+    /// The public dispatching entry point (which may pick the naive or
+    /// the blocked kernel by size) is also bitwise-stable vs the oracle.
+    #[test]
+    fn dispatched_gemm_bitwise_matches_naive(
+        m in 1usize..40,
+        k in 0usize..40,
+        n in 1usize..40,
+        seed in 0u64..1u64 << 48,
+    ) {
+        let mut a = vec![0.0f32; m * k];
+        let mut b = vec![0.0f32; k * n];
+        fill(&mut a, seed);
+        fill(&mut b, seed ^ 0x1234);
+        let expect = naive(&a, &b, m, k, n);
+        let mut out = vec![0.0f32; m * n];
+        gemm::gemm(
+            MatRef::row_major(&a, k),
+            MatRef::row_major(&b, n),
+            &mut out,
+            m,
+            k,
+            n,
+            &Pool::new(3),
+        );
+        assert_bits_eq(&out, &expect, &format!("dispatch {m}x{k}x{n}"));
+    }
+
+    /// `Array::matmul` (which routes through the engine and the global
+    /// pool) agrees bitwise with the reference kernel, and
+    /// `Array::batch_matmul` agrees with per-batch 2-D products.
+    #[test]
+    fn array_matmul_and_batched_match_reference(
+        batch in 1usize..4,
+        m in 1usize..12,
+        k in 1usize..12,
+        n in 1usize..12,
+        seed in 0u64..1u64 << 48,
+    ) {
+        let mut a = vec![0.0f32; batch * m * k];
+        let mut b = vec![0.0f32; batch * k * n];
+        fill(&mut a, seed);
+        fill(&mut b, seed ^ 0x77);
+        let av = Array::from_vec(a.clone(), &[batch, m, k]).unwrap();
+        let bv = Array::from_vec(b.clone(), &[batch, k, n]).unwrap();
+        let out = av.batch_matmul(&bv).unwrap();
+        for bi in 0..batch {
+            let expect = naive(
+                &a[bi * m * k..(bi + 1) * m * k],
+                &b[bi * k * n..(bi + 1) * k * n],
+                m,
+                k,
+                n,
+            );
+            assert_bits_eq(
+                &out.data()[bi * m * n..(bi + 1) * m * n],
+                &expect,
+                &format!("batch {bi}"),
+            );
+        }
+        // 2-D matmul of the first batch element.
+        let a0 = Array::from_vec(a[..m * k].to_vec(), &[m, k]).unwrap();
+        let b0 = Array::from_vec(b[..k * n].to_vec(), &[k, n]).unwrap();
+        let m0 = a0.matmul(&b0).unwrap();
+        assert_bits_eq(m0.data(), &naive(&a[..m * k], &b[..k * n], m, k, n), "matmul");
+    }
+
+    /// The prepacked path against a cached `PackedB` is bitwise-stable
+    /// across repeated uses and thread counts.
+    #[test]
+    fn prepacked_reuse_is_bitwise_stable(
+        m in 1usize..32,
+        k in 1usize..48,
+        n in 1usize..64,
+        seed in 0u64..1u64 << 48,
+    ) {
+        let mut a = vec![0.0f32; m * k];
+        let mut b = vec![0.0f32; k * n];
+        fill(&mut a, seed);
+        fill(&mut b, seed ^ 0xF00D);
+        let av = Array::from_vec(a.clone(), &[m, k]).unwrap();
+        let bv = Array::from_vec(b.clone(), &[k, n]).unwrap();
+        let pb = gemm::pack_b(MatRef::row_major(&b, n), k, n);
+        let first = av.matmul_prepacked(&pb).unwrap();
+        let second = av.matmul_prepacked(&pb).unwrap();
+        assert_bits_eq(first.data(), second.data(), "reuse");
+        assert_bits_eq(first.data(), av.matmul(&bv).unwrap().data(), "vs matmul");
+    }
+}

@@ -286,6 +286,7 @@ impl TwinsSvtLike {
         let pb = Array::concat(&rows, 0).expect("same shapes");
         let pv = g.constant(pb);
         g.batch_matmul(pv, tokens)
+            .expect("window permutation shapes")
     }
 }
 

@@ -264,11 +264,13 @@ impl Header for AttentionPoolHeader {
         let (b, t, d) = (shape[0], shape[1], shape[2]);
         let q = ps.bind(g, self.query);
         let flat = g.reshape(features.tokens, &[b * t, d]);
-        let scores = g.matmul(flat, q); // [B*T, 1]
+        let scores = g.matmul(flat, q).expect("pool query shapes"); // [B*T, 1]
         let scores = g.reshape(scores, &[b, t]);
         let weights = g.softmax_last(scores);
         let weights = g.reshape(weights, &[b, 1, t]);
-        let pooled = g.batch_matmul(weights, features.tokens); // [B, 1, D]
+        let pooled = g
+            .batch_matmul(weights, features.tokens)
+            .expect("pool weight shapes"); // [B, 1, D]
         let pooled = g.reshape(pooled, &[b, self.dim]);
         self.fc.forward(g, ps, pooled)
     }

@@ -38,5 +38,8 @@ cargo build --workspace --release "${CARGO_FLAGS[@]}"
 step "cargo test (release)"
 cargo test --workspace --release -q "${CARGO_FLAGS[@]}"
 
+step "kernel bench smoke (quick sweep -> BENCH_kernels.json)"
+cargo bench -p acme-bench --bench kernels "${CARGO_FLAGS[@]}" -- --quick
+
 echo
 echo "CI checks passed."
