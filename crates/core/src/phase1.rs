@@ -45,8 +45,9 @@ fn val_loss(vit: &Vit, ps: &ParamSet, data: &Dataset, batch_size: usize) -> f64 
     let mut rng = SmallRng64::new(0);
     let mut total = 0.0f64;
     let mut count = 0usize;
+    let mut g = Graph::new();
     for batch in data.batches(batch_size, &mut rng) {
-        let mut g = Graph::new();
+        g.reset();
         let logits = vit.logits(&mut g, ps, &batch.images);
         let loss = g.cross_entropy_logits(logits, &batch.labels);
         total += g.value(loss).item() as f64 * batch.labels.len() as f64;

@@ -2,8 +2,8 @@
 
 use acme_agg::{
     aggregate_importance, aggregation_weights, least_important,
-    normalize_similarity_with_temperature, similarity_matrix_js,
-    similarity_matrix_wasserstein_on, AggregationMethod,
+    normalize_similarity_with_temperature, similarity_matrix_js, similarity_matrix_wasserstein_on,
+    AggregationMethod,
 };
 use acme_data::{label_distribution, Dataset};
 use acme_distsys::{Network, NodeId, Payload};
@@ -126,11 +126,12 @@ pub fn header_neuron_importance(
     let [w_id, b_id] = header.shared().tail_fc1().param_ids();
     let mut scores = vec![0.0f64; hidden];
     let mut done = 0;
+    let mut g = Graph::new();
     for batch in data.batches(batch_size, rng) {
         if done >= batches {
             break;
         }
-        let mut g = Graph::new();
+        g.reset();
         let feats = backbone.forward(&mut g, ps, &batch.images);
         let logits = header.forward(&mut g, ps, &feats);
         let loss = g.cross_entropy_logits(logits, &batch.labels);

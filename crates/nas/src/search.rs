@@ -154,6 +154,10 @@ impl NasSearch {
         let mut shared_opt = Adam::new(self.config.shared_lr);
         let mut reward_history = Vec::with_capacity(self.config.rounds);
         let mut evaluations = 0usize;
+        // One tape arena per phase, reused across every step of the
+        // alternating optimization.
+        let mut g = Graph::new();
+        let mut cg = Graph::new();
         for _round in 0..self.config.rounds {
             // Phase A: optimize shared parameters with Monte-Carlo
             // sampled children (Eq. 15).
@@ -163,7 +167,7 @@ impl NasSearch {
                     if steps >= self.config.shared_steps {
                         break 'outer;
                     }
-                    let mut g = Graph::new();
+                    g.reset();
                     let feats = vit.forward(&mut g, ps, &batch.images);
                     let mut loss_acc = None;
                     for _ in 0..self.config.child_samples {
@@ -188,7 +192,7 @@ impl NasSearch {
             // accuracy as the reward.
             let mut round_reward = 0.0f32;
             for _ in 0..self.config.controller_steps {
-                let mut cg = Graph::new();
+                cg.reset();
                 let (arch, logp) = self.controller.sample(&mut cg, ps, rng, false);
                 let reward = self.eval_arch(vit, shared, ps, &arch, val, rng);
                 evaluations += 1;
@@ -210,7 +214,7 @@ impl NasSearch {
         }
         let mut pool = Vec::with_capacity(3 * self.config.final_candidates);
         for _ in 0..3 * self.config.final_candidates {
-            let mut cg = Graph::new();
+            cg.reset();
             let (arch, _) = self.controller.sample(&mut cg, ps, rng, false);
             let score = self.predictor.predict(ps, &arch);
             pool.push((arch, score));
@@ -323,8 +327,9 @@ impl NasSearch {
         let mut correct = 0.0f64;
         let mut total = 0usize;
         let header = NasHeader::new(arch.clone(), shared.clone());
+        let mut g = Graph::new();
         for batch in val.batches(self.config.batch_size, rng) {
-            let mut g = Graph::new();
+            g.reset();
             let feats = vit.forward(&mut g, ps, &batch.images);
             let logits = header.forward(&mut g, ps, &feats);
             correct += accuracy(g.value(logits), &batch.labels) as f64 * batch.labels.len() as f64;
@@ -354,16 +359,20 @@ pub fn random_search(
     budget: usize,
     rng: &mut SmallRng64,
 ) -> (HeaderArch, f32) {
-    assert!(!train.is_empty() && !val.is_empty(), "random search needs data");
+    assert!(
+        !train.is_empty() && !val.is_empty(),
+        "random search needs data"
+    );
     assert!(budget > 0, "budget must be positive");
     let mut shared_opt = Adam::new(cfg.shared_lr);
     let mut steps = 0;
+    let mut g = Graph::new();
     'outer: loop {
         for batch in train.batches(cfg.batch_size, rng) {
             if steps >= cfg.rounds * cfg.shared_steps {
                 break 'outer;
             }
-            let mut g = Graph::new();
+            g.reset();
             let feats = vit.forward(&mut g, ps, &batch.images);
             let arch = HeaderArch::random(cfg.num_blocks, cfg.u, rng);
             let header = NasHeader::new(arch, shared.clone());
@@ -381,7 +390,7 @@ pub fn random_search(
         let arch = HeaderArch::random(cfg.num_blocks, cfg.u, rng);
         let header = NasHeader::new(arch.clone(), shared.clone());
         let batch = val.sample(cfg.batch_size.min(val.len()), rng).as_batch();
-        let mut g = Graph::new();
+        g.reset();
         let feats = vit.forward(&mut g, ps, &batch.images);
         let logits = header.forward(&mut g, ps, &feats);
         let acc = accuracy(g.value(logits), &batch.labels);
@@ -432,8 +441,15 @@ mod tests {
         let cfg = VitConfig::tiny(ds.num_classes());
         let mut ps = ParamSet::new();
         let vit = Vit::new(&mut ps, &cfg, &mut rng);
-        let shared =
-            SharedParams::new(&mut ps, "sn", 2, cfg.dim, cfg.grid(), ds.num_classes(), &mut rng);
+        let shared = SharedParams::new(
+            &mut ps,
+            "sn",
+            2,
+            cfg.dim,
+            cfg.grid(),
+            ds.num_classes(),
+            &mut rng,
+        );
         let (arch, acc) = random_search(
             &vit,
             &shared,

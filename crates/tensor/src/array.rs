@@ -1,6 +1,7 @@
 //! The owned, row-major `f32` tensor type.
 
 use crate::error::{Result, TensorError};
+use crate::pool;
 use crate::shape::{strides_for, volume};
 
 /// An owned n-dimensional `f32` tensor stored in row-major order.
@@ -10,11 +11,34 @@ use crate::shape::{strides_for, volume};
 /// deliberately simple — contiguous storage, owned data — which keeps the
 /// distributed-system simulation `Send` without synchronization.
 ///
+/// Backings are borrowed from the process-wide [`pool`](crate::pool) and
+/// returned to it on drop, so the tensors churned by a training step
+/// recycle instead of hitting the allocator. `Clone` therefore allocates
+/// through the pool too, and a consumed `Array`'s buffer can be kept out
+/// of the pool with [`Array::into_vec`].
+///
 /// [`Graph`]: crate::Graph
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct Array {
     shape: Vec<usize>,
     data: Vec<f32>,
+}
+
+impl Clone for Array {
+    fn clone(&self) -> Self {
+        let mut data = pool::take(self.data.len());
+        data.extend_from_slice(&self.data);
+        Array {
+            shape: self.shape.clone(),
+            data,
+        }
+    }
+}
+
+impl Drop for Array {
+    fn drop(&mut self) {
+        pool::recycle(std::mem::take(&mut self.data));
+    }
 }
 
 impl Array {
@@ -38,12 +62,9 @@ impl Array {
         })
     }
 
-    /// Creates a zero-filled array.
+    /// Creates a zero-filled array (pool-backed).
     pub fn zeros(shape: &[usize]) -> Self {
-        Array {
-            shape: shape.to_vec(),
-            data: vec![0.0; volume(shape)],
-        }
+        Self::full(shape, 0.0)
     }
 
     /// Creates a one-filled array.
@@ -51,11 +72,11 @@ impl Array {
         Self::full(shape, 1.0)
     }
 
-    /// Creates an array filled with `value`.
+    /// Creates an array filled with `value` (pool-backed).
     pub fn full(shape: &[usize], value: f32) -> Self {
         Array {
             shape: shape.to_vec(),
-            data: vec![value; volume(shape)],
+            data: pool::take_filled(volume(shape), value),
         }
     }
 
@@ -67,11 +88,13 @@ impl Array {
         }
     }
 
-    /// Creates a 1-D array from a slice.
+    /// Creates a 1-D array from a slice (pool-backed).
     pub fn from_slice(data: &[f32]) -> Self {
+        let mut buf = pool::take(data.len());
+        buf.extend_from_slice(data);
         Array {
             shape: vec![data.len()],
-            data: data.to_vec(),
+            data: buf,
         }
     }
 
@@ -105,9 +128,10 @@ impl Array {
         &mut self.data
     }
 
-    /// Consumes the array, returning its flat buffer.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    /// Consumes the array, returning its flat buffer (kept out of the
+    /// pool — the caller owns it).
+    pub fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
     }
 
     /// Row-major strides.
@@ -169,7 +193,9 @@ impl Array {
     ///
     /// Returns [`TensorError::LengthMismatch`] if volumes differ.
     pub fn reshaped(&self, shape: &[usize]) -> Result<Array> {
-        Array::from_vec(self.data.clone(), shape)
+        let mut data = pool::take(self.data.len());
+        data.extend_from_slice(&self.data);
+        Array::from_vec(data, shape)
     }
 
     /// Reshapes in place.
@@ -189,11 +215,13 @@ impl Array {
         Ok(())
     }
 
-    /// Applies `f` to every element, returning a new array.
+    /// Applies `f` to every element, returning a new array (pool-backed).
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Array {
+        let mut data = pool::take(self.data.len());
+        data.extend(self.data.iter().map(|&x| f(x)));
         Array {
             shape: self.shape.clone(),
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data,
         }
     }
 
@@ -300,10 +328,7 @@ impl Array {
     pub fn row(&self, r: usize) -> Array {
         assert_eq!(self.rank(), 2, "row() requires a 2-D array");
         let cols = self.shape[1];
-        Array {
-            shape: vec![cols],
-            data: self.data[r * cols..(r + 1) * cols].to_vec(),
-        }
+        Array::from_slice(&self.data[r * cols..(r + 1) * cols])
     }
 }
 

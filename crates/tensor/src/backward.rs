@@ -2,8 +2,9 @@
 
 use crate::array::Array;
 use crate::conv::{col2im, im2col};
-use crate::graph::{gelu_grad_scalar, Graph, Op, Var};
+use crate::graph::{Graph, Op, Var};
 use crate::linalg::{invert_perm, matmul_a_bt_kernel, matmul_at_b_kernel, matmul_kernel};
+use crate::rowwise;
 
 impl Graph {
     /// Runs the backward sweep from `output`, seeding its gradient with
@@ -12,11 +13,18 @@ impl Graph {
     /// Calling `backward` twice on the same graph accumulates gradients
     /// (the tape is not consumed).
     pub fn backward(&mut self, output: Var) {
-        let seed = Array::ones(self.nodes[output.0].value.shape());
+        let seed = Array::ones(self.values[output.0].shape());
         self.backward_with(output, seed);
     }
 
     /// Runs the backward sweep with an explicit output gradient seed.
+    ///
+    /// The sweep is clone-free: each node's gradient is *taken* out of
+    /// its slot (`Option::take`) for the duration of its rule and put
+    /// back afterwards, the out-value and parent values are borrowed
+    /// straight from the split `values` arena, and contributions land in
+    /// parents via in-place [`Array::add_assign`]. Nothing on the hot
+    /// path is copied.
     ///
     /// # Panics
     ///
@@ -24,47 +32,47 @@ impl Graph {
     pub fn backward_with(&mut self, output: Var, seed: Array) {
         assert_eq!(
             seed.shape(),
-            self.nodes[output.0].value.shape(),
+            self.values[output.0].shape(),
             "backward seed shape mismatch"
         );
-        self.accumulate(output.0, seed);
+        Self::accumulate_into(&mut self.grads, &self.ops, output.0, seed);
         for id in (0..=output.0).rev() {
-            let Some(grad) = self.nodes[id].grad.clone() else {
+            // Take the gradient while its contributions are computed;
+            // parents always precede `id`, so no rule touches this slot.
+            let Some(grad) = self.grads[id].take() else {
                 continue;
             };
-            // Temporarily take the op to sidestep aliasing between the node
-            // being processed and the parents receiving contributions.
-            let op = std::mem::replace(
-                &mut self.nodes[id].op,
-                Op::Leaf {
-                    requires_grad: false,
-                },
-            );
-            let out_value = self.nodes[id].value.clone();
-            let contributions = self.contributions(&op, &grad, &out_value);
-            self.nodes[id].op = op;
+            let contributions =
+                Self::contributions(&self.values, &self.ops[id], &grad, &self.values[id]);
             for (parent, contrib) in contributions {
-                self.accumulate(parent, contrib);
+                Self::accumulate_into(&mut self.grads, &self.ops, parent, contrib);
             }
+            // Restore so repeated backward calls keep accumulating.
+            self.grads[id] = Some(grad);
         }
     }
 
-    fn accumulate(&mut self, id: usize, contrib: Array) {
+    fn accumulate_into(grads: &mut [Option<Array>], ops: &[Op], id: usize, contrib: Array) {
         if let Op::Leaf {
             requires_grad: false,
-        } = self.nodes[id].op
+        } = ops[id]
         {
             return;
         }
-        match &mut self.nodes[id].grad {
+        match &mut grads[id] {
             Some(g) => g.add_assign(&contrib),
             slot @ None => *slot = Some(contrib),
         }
     }
 
     #[allow(clippy::needless_range_loop)] // index loops mirror the math of each rule
-    fn contributions(&self, op: &Op, grad: &Array, out_value: &Array) -> Vec<(usize, Array)> {
-        let val = |v: Var| &self.nodes[v.0].value;
+    fn contributions(
+        values: &[Array],
+        op: &Op,
+        grad: &Array,
+        out_value: &Array,
+    ) -> Vec<(usize, Array)> {
+        let val = |v: Var| &values[v.0];
         match op {
             Op::Leaf { .. } => Vec::new(),
             Op::Add(a, b) => vec![
@@ -192,11 +200,9 @@ impl Graph {
                 }
                 vec![(a.0, g)]
             }
-            Op::Gelu(a) => {
-                let mut g = grad.clone();
-                for (gi, &xi) in g.data_mut().iter_mut().zip(val(*a).data()) {
-                    *gi *= gelu_grad_scalar(xi);
-                }
+            Op::Gelu { a, saved } => {
+                let mut g = Array::zeros(grad.shape());
+                rowwise::gelu_bwd(val(*a).data(), saved.data(), grad.data(), g.data_mut());
                 vec![(a.0, g)]
             }
             Op::Tanh(a) => {
@@ -228,83 +234,49 @@ impl Graph {
                 vec![(a.0, g)]
             }
             Op::SoftmaxLast(a) => {
-                // dx = y * (g - sum(g*y)) per row
-                let y = out_value;
-                let cols = *y.shape().last().unwrap_or(&1);
-                let rows = y.len() / cols.max(1);
-                let mut g = grad.clone();
-                for r in 0..rows {
-                    let ys = &y.data()[r * cols..(r + 1) * cols];
-                    let gs = &mut g.data_mut()[r * cols..(r + 1) * cols];
-                    let dot: f32 = ys.iter().zip(gs.iter()).map(|(&a, &b)| a * b).sum();
-                    for (gi, &yi) in gs.iter_mut().zip(ys) {
-                        *gi = yi * (*gi - dot);
-                    }
-                }
+                // dx = y * (g - sum(g*y)) per row (fused, row-parallel)
+                let cols = *out_value.shape().last().unwrap_or(&1);
+                let mut g = Array::zeros(grad.shape());
+                rowwise::softmax_bwd(out_value.data(), grad.data(), g.data_mut(), cols.max(1));
                 vec![(a.0, g)]
             }
             Op::LogSoftmaxLast(a) => {
                 // dx = g - softmax * sum(g) per row, softmax = exp(out)
                 let cols = *out_value.shape().last().unwrap_or(&1);
-                let rows = out_value.len() / cols.max(1);
-                let mut g = grad.clone();
-                for r in 0..rows {
-                    let ys = &out_value.data()[r * cols..(r + 1) * cols];
-                    let gs = &mut g.data_mut()[r * cols..(r + 1) * cols];
-                    let gsum: f32 = gs.iter().sum();
-                    for (gi, &yi) in gs.iter_mut().zip(ys) {
-                        *gi -= yi.exp() * gsum;
-                    }
-                }
+                let mut g = Array::zeros(grad.shape());
+                rowwise::log_softmax_bwd(out_value.data(), grad.data(), g.data_mut(), cols.max(1));
                 vec![(a.0, g)]
             }
             Op::LayerNorm {
                 x,
                 gamma,
                 beta,
-                normalized,
-                inv_std,
-                ..
+                saved,
             } => {
-                let d = *normalized.shape().last().expect("layer_norm rank");
-                let rows = normalized.len() / d;
-                let gv = val(*gamma);
+                let d = *val(*x).shape().last().expect("layer_norm rank");
                 let mut gx = Array::zeros(val(*x).shape());
                 let mut ggamma = Array::zeros(&[d]);
                 let mut gbeta = Array::zeros(&[d]);
-                for r in 0..rows {
-                    let xh = &normalized.data()[r * d..(r + 1) * d];
-                    let go = &grad.data()[r * d..(r + 1) * d];
-                    // Affine gradients.
-                    for i in 0..d {
-                        ggamma.data_mut()[i] += go[i] * xh[i];
-                        gbeta.data_mut()[i] += go[i];
-                    }
-                    // dxh = go * gamma
-                    let dxh: Vec<f32> = (0..d).map(|i| go[i] * gv.data()[i]).collect();
-                    let mean_dxh: f32 = dxh.iter().sum::<f32>() / d as f32;
-                    let mean_dxh_xh: f32 =
-                        dxh.iter().zip(xh).map(|(&a, &b)| a * b).sum::<f32>() / d as f32;
-                    let is = inv_std[r];
-                    let gxs = &mut gx.data_mut()[r * d..(r + 1) * d];
-                    for i in 0..d {
-                        gxs[i] = is * (dxh[i] - mean_dxh - xh[i] * mean_dxh_xh);
-                    }
-                }
+                rowwise::layer_norm_bwd(
+                    saved.data(),
+                    val(*gamma).data(),
+                    grad.data(),
+                    gx.data_mut(),
+                    ggamma.data_mut(),
+                    gbeta.data_mut(),
+                    d,
+                );
                 vec![(x.0, gx), (gamma.0, ggamma), (beta.0, gbeta)]
             }
-            Op::CrossEntropyLogits {
-                logits,
-                targets,
-                softmax,
-            } => {
-                let (b, c) = (softmax.shape()[0], softmax.shape()[1]);
+            Op::CrossEntropyLogits { logits, targets } => {
+                let lv = val(*logits);
+                let (b, c) = (lv.shape()[0], lv.shape()[1]);
                 let scale = grad.item() / b as f32;
-                let mut g = softmax.clone();
-                for (r, &t) in targets.iter().enumerate() {
-                    g.data_mut()[r * c + t] -= 1.0;
-                }
-                vec![(logits.0, g.scale(scale))]
+                // Recomputes each row's softmax bit-identically to the
+                // forward — cheaper than carrying a saved copy on the tape.
+                let mut g = Array::zeros(&[b, c]);
+                rowwise::cross_entropy_bwd(lv.data(), targets, c, scale, g.data_mut());
+                vec![(logits.0, g)]
             }
             Op::MseLoss(a, b) => {
                 let av = val(*a);

@@ -222,7 +222,11 @@ fn pack_a(a: MatRef<'_>, i0: usize, mb: usize, p0: usize, kcb: usize, buf: &mut 
 /// `out[0..MR, 0..NR] += pa · pb` over `kc` depth steps. Accumulators are
 /// loaded from `out` first, so per-element accumulation chains stay
 /// identical to the naive loops.
-#[cfg(not(all(target_arch = "x86_64", target_feature = "avx512f", target_feature = "fma")))]
+#[cfg(not(all(
+    target_arch = "x86_64",
+    target_feature = "avx512f",
+    target_feature = "fma"
+)))]
 #[inline(always)]
 fn microkernel_full(pa: &[f32], pb: &[f32], kc: usize, out: &mut [f32], ldc: usize) {
     let mut acc = [[0.0f32; NR]; MR];
@@ -249,7 +253,11 @@ fn microkernel_full(pa: &[f32], pb: &[f32], kc: usize, out: &mut [f32], ldc: usi
 /// twelve zmm registers, one `vfmadd231ps` per accumulator per depth step.
 /// `vfmadd` is bitwise-identical to scalar [`madd`] on FMA targets, so
 /// this kernel produces exactly the bits of the scalar form it replaces.
-#[cfg(all(target_arch = "x86_64", target_feature = "avx512f", target_feature = "fma"))]
+#[cfg(all(
+    target_arch = "x86_64",
+    target_feature = "avx512f",
+    target_feature = "fma"
+))]
 #[inline(always)]
 fn microkernel_full(pa: &[f32], pb: &[f32], kc: usize, out: &mut [f32], ldc: usize) {
     use core::arch::x86_64::*;

@@ -7,6 +7,7 @@ use crate::array::Array;
 use crate::conv::{avgpool_forward, im2col, maxpool_forward, ConvGeom, PoolGeom};
 use crate::error::Result;
 use crate::packcache::{self, PackIdent};
+use crate::{pool, rowwise};
 
 /// Handle to a node in a [`Graph`].
 ///
@@ -39,7 +40,12 @@ pub(crate) enum Op {
     MeanAll(Var),
     SumAxis(Var, usize),
     Relu(Var),
-    Gelu(Var),
+    Gelu {
+        a: Var,
+        /// Per-element inner `tanh` from the forward pass; the backward
+        /// reuses it instead of re-evaluating the transcendental.
+        saved: Array,
+    },
     Tanh(Var),
     Sigmoid(Var),
     Exp(Var),
@@ -50,16 +56,16 @@ pub(crate) enum Op {
         x: Var,
         gamma: Var,
         beta: Var,
-        /// Per-row normalized values `(x - mean) * inv_std`.
-        normalized: Array,
-        /// Per-row `1 / sqrt(var + eps)`.
-        inv_std: Vec<f32>,
+        /// Backward state packed into one pooled buffer: per input row,
+        /// the `d` normalized values `(x - mean) * inv_std` followed by
+        /// that row's `1 / sqrt(var + eps)` (stride `d + 1`).
+        saved: Array,
     },
+    /// The backward pass recomputes the row softmax from the logits
+    /// (bit-identical to the forward), so no saved state is carried.
     CrossEntropyLogits {
         logits: Var,
         targets: Vec<usize>,
-        /// Row-wise softmax of the logits, saved for the backward pass.
-        softmax: Array,
     },
     MseLoss(Var, Var),
     Concat {
@@ -98,13 +104,6 @@ pub(crate) enum Op {
     },
 }
 
-#[derive(Debug)]
-pub(crate) struct Node {
-    pub value: Array,
-    pub grad: Option<Array>,
-    pub op: Op,
-}
-
 /// A reverse-mode autodiff tape.
 ///
 /// Every builder method appends a node holding the forward value and enough
@@ -112,8 +111,16 @@ pub(crate) struct Node {
 /// [`Graph::backward`] seeds the output gradient with 1 and sweeps the tape
 /// in reverse; leaf gradients are then available through [`Graph::grad`].
 ///
-/// A fresh graph is built per forward/backward step; parameters live
-/// outside the graph and are bound each step via [`Graph::bind_param`].
+/// Parameters live outside the graph and are bound each step via
+/// [`Graph::bind_param`]. Training loops should allocate one `Graph` and
+/// call [`Graph::reset`] between steps: the tape arena (and, through the
+/// buffer [`pool`](crate::pool), every node's backing) is then reused
+/// instead of reallocated.
+///
+/// Node storage is split into parallel `values` / `grads` / `ops` arrays
+/// so the backward sweep can hold a node's gradient and value while
+/// mutating other nodes' gradients — the basis of the clone-free
+/// backward pass in `backward.rs`.
 ///
 /// # Panics
 ///
@@ -126,7 +133,12 @@ pub(crate) struct Node {
 /// API.
 #[derive(Debug, Default)]
 pub struct Graph {
-    pub(crate) nodes: Vec<Node>,
+    /// Forward value of each node.
+    pub(crate) values: Vec<Array>,
+    /// Accumulated gradient of each node (populated by backward).
+    pub(crate) grads: Vec<Option<Array>>,
+    /// Recorded operation of each node.
+    pub(crate) ops: Vec<Op>,
     param_bindings: HashMap<u64, Var>,
     /// Pack-cache identity of bound parameter nodes (node index →
     /// ident), recorded by [`Graph::bind_param_ident`] and consumed by
@@ -137,30 +149,44 @@ pub struct Graph {
 impl Graph {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Graph {
-            nodes: Vec::new(),
-            param_bindings: HashMap::new(),
-            param_idents: HashMap::new(),
-        }
+        Graph::default()
     }
 
     /// Number of nodes recorded so far.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.values.len()
     }
 
     /// Whether the tape is empty.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.values.is_empty()
+    }
+
+    /// Clears the tape for the next training step while keeping the
+    /// arena's capacity.
+    ///
+    /// Every node value, gradient, and op-saved buffer is dropped — and
+    /// therefore recycled through the buffer [`pool`](crate::pool) — so
+    /// the following step's allocations become pool hits. All
+    /// previously returned [`Var`] handles are invalidated; parameter
+    /// bindings are cleared (parameters themselves live outside the
+    /// graph and are simply re-bound). Pack-cache identities recorded
+    /// via [`Graph::bind_param_ident`] are keyed on the external
+    /// parameter store, not on this graph, so re-binding after a reset
+    /// keeps hitting the same packed entries.
+    pub fn reset(&mut self) {
+        self.values.clear();
+        self.grads.clear();
+        self.ops.clear();
+        self.param_bindings.clear();
+        self.param_idents.clear();
     }
 
     fn push(&mut self, value: Array, op: Op) -> Var {
-        self.nodes.push(Node {
-            value,
-            grad: None,
-            op,
-        });
-        Var(self.nodes.len() - 1)
+        self.values.push(value);
+        self.grads.push(None);
+        self.ops.push(op);
+        Var(self.values.len() - 1)
     }
 
     /// Adds a differentiable input node.
@@ -223,24 +249,24 @@ impl Graph {
 
     /// The forward value of `v`.
     pub fn value(&self, v: Var) -> &Array {
-        &self.nodes[v.0].value
+        &self.values[v.0]
     }
 
     /// The accumulated gradient of `v`, if any was produced by
     /// [`Graph::backward`].
     pub fn grad(&self, v: Var) -> Option<&Array> {
-        self.nodes[v.0].grad.as_ref()
+        self.grads[v.0].as_ref()
     }
 
     /// Mutable access to the accumulated gradient of `v` (for gradient
     /// clipping and similar post-backward transforms).
     pub fn grad_mut(&mut self, v: Var) -> Option<&mut Array> {
-        self.nodes[v.0].grad.as_mut()
+        self.grads[v.0].as_mut()
     }
 
     /// The shape of the forward value of `v`.
     pub fn shape(&self, v: Var) -> &[usize] {
-        self.nodes[v.0].value.shape()
+        self.values[v.0].shape()
     }
 
     // ---- arithmetic ----
@@ -417,10 +443,15 @@ impl Graph {
         self.push(v, Op::Relu(a))
     }
 
-    /// GELU with the tanh approximation.
+    /// GELU with the tanh approximation (thread-parallel elementwise).
+    /// The forward saves each element's inner `tanh` so the backward
+    /// pass skips the second transcendental evaluation.
     pub fn gelu(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(gelu_scalar);
-        self.push(v, Op::Gelu(a))
+        let x = self.value(a);
+        let mut v = Array::zeros(x.shape());
+        let mut saved = Array::zeros(x.shape());
+        rowwise::gelu_fwd(x.data(), v.data_mut(), saved.data_mut());
+        self.push(v, Op::Gelu { a, saved })
     }
 
     /// Hyperbolic tangent.
@@ -453,20 +484,13 @@ impl Graph {
         self.push(v, Op::SoftmaxLast(a))
     }
 
-    /// Log-softmax over the last axis (numerically stable).
+    /// Log-softmax over the last axis (numerically stable, fused and
+    /// row-parallel).
     pub fn log_softmax_last(&mut self, a: Var) -> Var {
         let x = self.value(a);
         let cols = *x.shape().last().unwrap_or(&1);
-        let rows = x.len() / cols.max(1);
-        let mut v = x.clone();
-        for r in 0..rows {
-            let row = &mut v.data_mut()[r * cols..(r + 1) * cols];
-            let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            let lse = m + row.iter().map(|&x| (x - m).exp()).sum::<f32>().ln();
-            for e in row.iter_mut() {
-                *e -= lse;
-            }
-        }
+        let mut v = Array::zeros(x.shape());
+        rowwise::log_softmax_fwd(x.data(), v.data_mut(), cols.max(1));
         self.push(v, Op::LogSoftmaxLast(a))
     }
 
@@ -481,41 +505,33 @@ impl Graph {
     ///
     /// Panics when the affine parameter shapes do not match the last axis.
     pub fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Var {
-        let xv = self.value(x);
-        let d = *xv.shape().last().expect("layer_norm: scalar input");
+        let d = *self
+            .value(x)
+            .shape()
+            .last()
+            .expect("layer_norm: scalar input");
         assert_eq!(self.shape(gamma), &[d], "layer_norm: gamma shape");
         assert_eq!(self.shape(beta), &[d], "layer_norm: beta shape");
+        let xv = &self.values[x.0];
         let rows = xv.len() / d;
-        let mut normalized = xv.clone();
-        let mut inv_std = Vec::with_capacity(rows);
-        for r in 0..rows {
-            let row = &mut normalized.data_mut()[r * d..(r + 1) * d];
-            let mean = row.iter().sum::<f32>() / d as f32;
-            let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
-            let is = 1.0 / (var + eps).sqrt();
-            inv_std.push(is);
-            for v in row.iter_mut() {
-                *v = (*v - mean) * is;
-            }
-        }
-        let gv = self.value(gamma).clone();
-        let bv = self.value(beta).clone();
-        let mut out = normalized.clone();
-        for r in 0..rows {
-            let row = &mut out.data_mut()[r * d..(r + 1) * d];
-            for (i, v) in row.iter_mut().enumerate() {
-                *v = *v * gv.data()[i] + bv.data()[i];
-            }
-        }
-        let _ = eps;
+        let mut out = Array::zeros(xv.shape());
+        let mut saved = Array::zeros(&[rows, rowwise::ln_saved_stride(d)]);
+        rowwise::layer_norm_fwd(
+            xv.data(),
+            self.values[gamma.0].data(),
+            self.values[beta.0].data(),
+            eps,
+            out.data_mut(),
+            saved.data_mut(),
+            d,
+        );
         self.push(
             out,
             Op::LayerNorm {
                 x,
                 gamma,
                 beta,
-                normalized,
-                inv_std,
+                saved,
             },
         )
     }
@@ -538,10 +554,14 @@ impl Graph {
             targets.iter().all(|&t| t < c),
             "cross_entropy_logits: target out of range"
         );
-        let softmax = lv.softmax_last();
+        // Fused kernel: per-row log-probs computed in parallel (each row
+        // repeating the exact float sequence of materializing the row
+        // softmax first), then summed serially in row order.
+        let mut losses = vec![0.0f64; b];
+        rowwise::cross_entropy_fwd(lv.data(), targets, c, &mut losses);
         let mut loss = 0.0f64;
-        for (r, &t) in targets.iter().enumerate() {
-            loss -= (softmax.data()[r * c + t].max(1e-12) as f64).ln();
+        for l in &losses {
+            loss -= *l;
         }
         let v = Array::scalar((loss / b as f64) as f32);
         self.push(
@@ -549,7 +569,6 @@ impl Graph {
             Op::CrossEntropyLogits {
                 logits,
                 targets: targets.to_vec(),
-                softmax,
             },
         )
     }
@@ -726,7 +745,7 @@ impl Graph {
             indices.iter().all(|&i| i < v),
             "embedding: index out of range"
         );
-        let mut data = Vec::with_capacity(indices.len() * d);
+        let mut data = pool::take(indices.len() * d);
         for &i in indices {
             data.extend_from_slice(&wv.data()[i * d..(i + 1) * d]);
         }
@@ -770,13 +789,16 @@ impl Graph {
     }
 }
 
-/// GELU (tanh approximation) of a scalar.
+/// GELU (tanh approximation) of a scalar — the reference the fused
+/// parallel kernels in [`crate::rowwise`] are tested against.
+#[cfg(test)]
 pub(crate) fn gelu_scalar(x: f32) -> f32 {
     const C: f32 = 0.797_884_6; // sqrt(2/pi)
     0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
 }
 
 /// Derivative of [`gelu_scalar`].
+#[cfg(test)]
 pub(crate) fn gelu_grad_scalar(x: f32) -> f32 {
     const C: f32 = 0.797_884_6;
     let u = C * (x + 0.044715 * x * x * x);
@@ -798,6 +820,26 @@ mod tests {
         assert_eq!(g.value(s).data(), &[4.0, 6.0]);
         let p = g.mul(a, b);
         assert_eq!(g.value(p).data(), &[3.0, 8.0]);
+    }
+
+    #[test]
+    fn reset_reuses_arena_and_replays_identically() {
+        let mut g = Graph::new();
+        let w = Array::from_slice(&[1.0, 2.0]);
+        let run = |g: &mut Graph| {
+            let a = g.leaf(Array::from_slice(&[3.0, 4.0]));
+            let wv = g.bind_param(7, &w);
+            let p = g.mul(a, wv);
+            let loss = g.sum_all(p);
+            g.backward(loss);
+            (g.value(loss).item(), g.grad(wv).unwrap().clone())
+        };
+        let (loss1, grad1) = run(&mut g);
+        g.reset();
+        assert_eq!(g.param_bindings().count(), 0, "reset clears bindings");
+        let (loss2, grad2) = run(&mut g);
+        assert_eq!(loss1.to_bits(), loss2.to_bits());
+        assert_eq!(grad1, grad2);
     }
 
     #[test]

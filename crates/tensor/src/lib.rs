@@ -39,7 +39,9 @@ mod graph;
 mod linalg;
 mod ops;
 pub mod packcache;
+pub mod pool;
 mod random;
+mod rowwise;
 mod shape;
 
 pub use array::Array;

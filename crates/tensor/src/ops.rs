@@ -4,6 +4,7 @@
 use crate::array::Array;
 use crate::error::{Result, TensorError};
 use crate::shape::{broadcast_shapes, broadcast_source_index, strides_for};
+use crate::{pool, rowwise};
 
 impl Array {
     /// Elementwise binary operation with broadcasting.
@@ -19,12 +20,8 @@ impl Array {
     ) -> Result<Array> {
         if self.shape() == rhs.shape() {
             // Fast path: no index translation needed.
-            let data = self
-                .data()
-                .iter()
-                .zip(rhs.data())
-                .map(|(&a, &b)| f(a, b))
-                .collect::<Vec<_>>();
+            let mut data = pool::take(self.len());
+            data.extend(self.data().iter().zip(rhs.data()).map(|(&a, &b)| f(a, b)));
             return Array::from_vec(data, self.shape());
         }
         let out_shape = broadcast_shapes(self.shape(), rhs.shape()).map_err(|_| {
@@ -37,7 +34,7 @@ impl Array {
         let n: usize = out_shape.iter().product();
         let ls = strides_for(self.shape());
         let rs = strides_for(rhs.shape());
-        let mut data = Vec::with_capacity(n);
+        let mut data = pool::take(n);
         for i in 0..n {
             let li = broadcast_source_index(i, &out_shape, self.shape(), &ls);
             let ri = broadcast_source_index(i, &out_shape, rhs.shape(), &rs);
@@ -186,23 +183,13 @@ impl Array {
 
     /// Row-wise softmax over the last axis.
     ///
-    /// Numerically stabilized by subtracting the per-row max.
+    /// Numerically stabilized by subtracting the per-row max. Writes
+    /// straight into one pooled buffer (no copy-then-overwrite) via the
+    /// fused, row-parallel kernel.
     pub fn softmax_last(&self) -> Array {
         let cols = *self.shape().last().unwrap_or(&1);
-        let rows = self.len() / cols.max(1);
-        let mut out = self.clone();
-        for r in 0..rows {
-            let row = &mut out.data_mut()[r * cols..(r + 1) * cols];
-            let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0;
-            for v in row.iter_mut() {
-                *v = (*v - m).exp();
-                sum += *v;
-            }
-            for v in row.iter_mut() {
-                *v /= sum;
-            }
-        }
+        let mut out = Array::zeros(self.shape());
+        rowwise::softmax_fwd(self.data(), out.data_mut(), cols.max(1));
         out
     }
 
@@ -244,7 +231,7 @@ impl Array {
         out_shape[axis] = total_axis;
         let outer: usize = first.shape()[..axis].iter().product();
         let inner: usize = first.shape()[axis + 1..].iter().product();
-        let mut data = Vec::with_capacity(out_shape.iter().product());
+        let mut data = pool::take(out_shape.iter().product());
         for o in 0..outer {
             for p in parts {
                 let m = p.shape()[axis];
@@ -283,7 +270,7 @@ impl Array {
         for &m in sizes {
             let mut shape = self.shape().to_vec();
             shape[axis] = m;
-            let mut data = Vec::with_capacity(outer * m * inner);
+            let mut data = pool::take(outer * m * inner);
             for o in 0..outer {
                 let start = (o * axis_len + offset) * inner;
                 data.extend_from_slice(&self.data()[start..start + m * inner]);

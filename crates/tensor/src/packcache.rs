@@ -67,6 +67,16 @@ pub fn worth_caching(b: &Array) -> bool {
     b.rank() == 2 && b.len() >= MIN_CACHED_LEN
 }
 
+/// Count of packing operations actually performed (cache misses plus
+/// below-threshold packs). Tests assert this stays flat across
+/// `Graph::reset` + re-bind cycles to prove no spurious repacks.
+static PACKS: AtomicU64 = AtomicU64::new(0);
+
+/// Total packs performed since process start (see [`PACKS`]).
+pub fn packs() -> u64 {
+    PACKS.load(Ordering::Relaxed)
+}
+
 struct Entry {
     version: u64,
     pack: Arc<PackedB>,
@@ -87,7 +97,10 @@ fn cache() -> &'static Mutex<HashMap<(u64, u64), Entry>> {
 pub fn lookup_or_pack(ident: PackIdent, b: &Array) -> Arc<PackedB> {
     assert_eq!(b.rank(), 2, "packcache: weight must be 2-D");
     let (k, n) = (b.shape()[0], b.shape()[1]);
-    let pack_now = || Arc::new(gemm::pack_b(gemm::MatRef::row_major(b.data(), n), k, n));
+    let pack_now = || {
+        PACKS.fetch_add(1, Ordering::Relaxed);
+        Arc::new(gemm::pack_b(gemm::MatRef::row_major(b.data(), n), k, n))
+    };
     if b.len() < MIN_CACHED_LEN {
         return pack_now();
     }

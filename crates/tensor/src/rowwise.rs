@@ -1,0 +1,596 @@
+//! Fused, parallel row-wise kernels: softmax, log-softmax, layer norm
+//! and cross-entropy, forward and backward, plus parallel elementwise
+//! maps.
+//!
+//! Each kernel fuses the passes of its operation into a single sweep per
+//! row and shards **whole rows** over [`acme_runtime::global_pool`].
+//! The determinism contract matches the GEMM engine's: within a row the
+//! reduction order is fixed (ascending index, exactly the order the
+//! historical serial loops used), and threads own disjoint contiguous
+//! row ranges, so results are bit-identical to the serial implementation
+//! at any thread count.
+//!
+//! Cross-row reductions (layer norm's `dgamma`/`dbeta`, cross-entropy's
+//! scalar loss) are the one place row sharding would change float
+//! associativity. They are handled without giving up parallelism:
+//! per-**column** accumulator chains are independent, so `dgamma`/`dbeta`
+//! shard over columns with each thread walking all rows in ascending
+//! order, and the cross-entropy per-row losses are written to a scratch
+//! slice in parallel and summed serially in row order.
+
+use acme_runtime::global_pool;
+
+/// Tensors smaller than this run serially: below ~a few thousand
+/// elements the scope setup outweighs the arithmetic.
+const PAR_MIN: usize = 1 << 12;
+
+/// Runs `body(first_row, chunk)` over `out` split into contiguous
+/// per-thread row chunks of `row_len` elements each.
+fn par_rows(rows: usize, row_len: usize, out: &mut [f32], body: impl Fn(usize, &mut [f32]) + Sync) {
+    debug_assert_eq!(out.len(), rows * row_len);
+    let pool = global_pool();
+    let threads = pool.threads().min(rows.max(1));
+    if threads <= 1 || rows * row_len < PAR_MIN {
+        body(0, out);
+        return;
+    }
+    let per = rows.div_ceil(threads);
+    pool.scope(|s| {
+        let body = &body;
+        let mut rest = out;
+        let mut r0 = 0;
+        while !rest.is_empty() {
+            let take = (per * row_len).min(rest.len());
+            let (chunk, tail) = rest.split_at_mut(take);
+            rest = tail;
+            s.spawn(move || body(r0, chunk));
+            r0 += per;
+        }
+    });
+}
+
+/// GELU forward value **and** the inner `tanh` it evaluated, in one
+/// call. The `tanh` (the expensive half of both the forward and the
+/// derivative) is saved by the forward so the backward never recomputes
+/// it — same floats, same bits, half the transcendentals per step.
+#[inline]
+fn gelu_parts(x: f32) -> (f32, f32) {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    let t = (C * (x + 0.044715 * x * x * x)).tanh();
+    (0.5 * x * (1.0 + t), t)
+}
+
+/// Parallel GELU forward (tanh approximation). Writes the output to
+/// `out` and the per-element inner `tanh` to `saved` for the backward.
+/// Elementwise, so any chunking is bit-identical to the serial loop.
+pub(crate) fn gelu_fwd(x: &[f32], out: &mut [f32], saved: &mut [f32]) {
+    debug_assert_eq!(x.len(), out.len());
+    debug_assert_eq!(x.len(), saved.len());
+    let n = x.len();
+    let body = |i0: usize, ochunk: &mut [f32], schunk: &mut [f32]| {
+        for (k, (o, s)) in ochunk.iter_mut().zip(schunk.iter_mut()).enumerate() {
+            let (v, t) = gelu_parts(x[i0 + k]);
+            *o = v;
+            *s = t;
+        }
+    };
+    let pool = global_pool();
+    let threads = pool.threads().min(n.max(1));
+    if threads <= 1 || n < PAR_MIN {
+        body(0, out, saved);
+        return;
+    }
+    let per = n.div_ceil(threads);
+    pool.scope(|s| {
+        let body = &body;
+        let mut out_rest = out;
+        let mut saved_rest = saved;
+        let mut i0 = 0;
+        while !out_rest.is_empty() {
+            let take = per.min(out_rest.len());
+            let (ochunk, otail) = out_rest.split_at_mut(take);
+            let (schunk, stail) = saved_rest.split_at_mut(take);
+            out_rest = otail;
+            saved_rest = stail;
+            s.spawn(move || body(i0, ochunk, schunk));
+            i0 += take;
+        }
+    });
+}
+
+/// Parallel GELU backward: `out = g * gelu'(x)`, with the inner `tanh`
+/// read from the forward's `saved` buffer instead of recomputed. The
+/// remaining arithmetic matches [`gelu_grad_scalar`] term for term, so
+/// the result is bit-identical to the recompute-everything path.
+pub(crate) fn gelu_bwd(x: &[f32], saved: &[f32], g: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(x.len(), out.len());
+    debug_assert_eq!(saved.len(), out.len());
+    debug_assert_eq!(g.len(), out.len());
+    const C: f32 = 0.797_884_6;
+    par_rows(x.len(), 1, out, |i0, chunk| {
+        let n = chunk.len();
+        for (((o, &xv), &t), &gv) in chunk
+            .iter_mut()
+            .zip(&x[i0..i0 + n])
+            .zip(&saved[i0..i0 + n])
+            .zip(&g[i0..i0 + n])
+        {
+            let d =
+                0.5 * (1.0 + t) + 0.5 * xv * (1.0 - t * t) * C * (1.0 + 3.0 * 0.044715 * xv * xv);
+            *o = gv * d;
+        }
+    });
+}
+
+/// Fused softmax over rows of `cols` elements: one max pass, one
+/// exp-and-sum pass, one divide pass per row, all in the staging buffer.
+pub(crate) fn softmax_fwd(x: &[f32], out: &mut [f32], cols: usize) {
+    debug_assert_eq!(x.len(), out.len());
+    let rows = x.len() / cols.max(1);
+    par_rows(rows, cols, out, |r0, chunk| {
+        for (i, orow) in chunk.chunks_exact_mut(cols).enumerate() {
+            let r = r0 + i;
+            let xrow = &x[r * cols..(r + 1) * cols];
+            let m = xrow.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for (o, &v) in orow.iter_mut().zip(xrow) {
+                *o = (v - m).exp();
+                sum += *o;
+            }
+            for o in orow.iter_mut() {
+                *o /= sum;
+            }
+        }
+    });
+}
+
+/// Softmax backward: `out = y * (g - sum(g * y))` per row, with the dot
+/// product reduced in ascending column order.
+pub(crate) fn softmax_bwd(y: &[f32], g: &[f32], out: &mut [f32], cols: usize) {
+    debug_assert_eq!(y.len(), out.len());
+    debug_assert_eq!(g.len(), out.len());
+    let rows = y.len() / cols.max(1);
+    par_rows(rows, cols, out, |r0, chunk| {
+        for (i, orow) in chunk.chunks_exact_mut(cols).enumerate() {
+            let r = r0 + i;
+            let ys = &y[r * cols..(r + 1) * cols];
+            let gs = &g[r * cols..(r + 1) * cols];
+            let dot: f32 = ys.iter().zip(gs).map(|(&a, &b)| a * b).sum();
+            for ((o, &yi), &gi) in orow.iter_mut().zip(ys).zip(gs) {
+                *o = yi * (gi - dot);
+            }
+        }
+    });
+}
+
+/// Fused log-softmax: `out = x - (m + ln(sum(exp(x - m))))` per row.
+pub(crate) fn log_softmax_fwd(x: &[f32], out: &mut [f32], cols: usize) {
+    debug_assert_eq!(x.len(), out.len());
+    let rows = x.len() / cols.max(1);
+    par_rows(rows, cols, out, |r0, chunk| {
+        for (i, orow) in chunk.chunks_exact_mut(cols).enumerate() {
+            let r = r0 + i;
+            let xrow = &x[r * cols..(r + 1) * cols];
+            let m = xrow.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let lse = m + xrow.iter().map(|&v| (v - m).exp()).sum::<f32>().ln();
+            for (o, &v) in orow.iter_mut().zip(xrow) {
+                *o = v - lse;
+            }
+        }
+    });
+}
+
+/// Log-softmax backward: `out = g - exp(y) * sum(g)` per row.
+pub(crate) fn log_softmax_bwd(y: &[f32], g: &[f32], out: &mut [f32], cols: usize) {
+    debug_assert_eq!(y.len(), out.len());
+    debug_assert_eq!(g.len(), out.len());
+    let rows = y.len() / cols.max(1);
+    par_rows(rows, cols, out, |r0, chunk| {
+        for (i, orow) in chunk.chunks_exact_mut(cols).enumerate() {
+            let r = r0 + i;
+            let ys = &y[r * cols..(r + 1) * cols];
+            let gs = &g[r * cols..(r + 1) * cols];
+            let gsum: f32 = gs.iter().sum();
+            for ((o, &yi), &gi) in orow.iter_mut().zip(ys).zip(gs) {
+                *o = gi - yi.exp() * gsum;
+            }
+        }
+    });
+}
+
+/// Row stride of the layer-norm saved buffer: `d` normalized values
+/// followed by the row's `1 / sqrt(var + eps)`.
+#[inline]
+pub(crate) fn ln_saved_stride(d: usize) -> usize {
+    d + 1
+}
+
+/// Fused layer-norm forward. One sweep per row computes mean, variance,
+/// the normalized values, and the affine output. The backward state —
+/// normalized row plus `inv_std` — is packed into `saved`, one
+/// `(d + 1)`-stride row per input row, replacing the former
+/// `normalized: Array` + `inv_std: Vec<f32>` pair of buffers.
+pub(crate) fn layer_norm_fwd(
+    x: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+    out: &mut [f32],
+    saved: &mut [f32],
+    d: usize,
+) {
+    debug_assert_eq!(x.len(), out.len());
+    let rows = x.len() / d.max(1);
+    debug_assert_eq!(saved.len(), rows * ln_saved_stride(d));
+    let stride = ln_saved_stride(d);
+    let pool = global_pool();
+    let threads = pool.threads().min(rows.max(1));
+    let row_body = |r: usize, orow: &mut [f32], srow: &mut [f32]| {
+        let xrow = &x[r * d..(r + 1) * d];
+        let mean = xrow.iter().sum::<f32>() / d as f32;
+        let var = xrow.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+        let is = 1.0 / (var + eps).sqrt();
+        srow[d] = is;
+        for (i, ((s, o), &v)) in srow[..d]
+            .iter_mut()
+            .zip(orow.iter_mut())
+            .zip(xrow)
+            .enumerate()
+        {
+            let n = (v - mean) * is;
+            *s = n;
+            *o = n * gamma[i] + beta[i];
+        }
+    };
+    if threads <= 1 || rows * d < PAR_MIN {
+        for (r, (orow, srow)) in out
+            .chunks_exact_mut(d)
+            .zip(saved.chunks_exact_mut(stride))
+            .enumerate()
+        {
+            row_body(r, orow, srow);
+        }
+        return;
+    }
+    let per = rows.div_ceil(threads);
+    pool.scope(|s| {
+        let row_body = &row_body;
+        let mut out_rest = out;
+        let mut saved_rest = saved;
+        let mut r0 = 0;
+        while !out_rest.is_empty() {
+            let take_rows = per.min(out_rest.len() / d);
+            let (ochunk, otail) = out_rest.split_at_mut(take_rows * d);
+            let (schunk, stail) = saved_rest.split_at_mut(take_rows * stride);
+            out_rest = otail;
+            saved_rest = stail;
+            s.spawn(move || {
+                for (i, (orow, srow)) in ochunk
+                    .chunks_exact_mut(d)
+                    .zip(schunk.chunks_exact_mut(stride))
+                    .enumerate()
+                {
+                    row_body(r0 + i, orow, srow);
+                }
+            });
+            r0 += take_rows;
+        }
+    });
+}
+
+/// Fused layer-norm backward.
+///
+/// `gx` shards over rows (each row's gradient is self-contained);
+/// `dgamma`/`dbeta` shard over **columns**, each thread accumulating its
+/// columns over all rows in ascending row order — the exact per-column
+/// accumulation chains of the serial loop, so both phases are
+/// bit-identical at any thread count.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn layer_norm_bwd(
+    saved: &[f32],
+    gamma: &[f32],
+    grad: &[f32],
+    gx: &mut [f32],
+    dgamma: &mut [f32],
+    dbeta: &mut [f32],
+    d: usize,
+) {
+    let rows = grad.len() / d.max(1);
+    let stride = ln_saved_stride(d);
+    debug_assert_eq!(saved.len(), rows * stride);
+    debug_assert_eq!(gx.len(), grad.len());
+    // Phase 1: per-row input gradients.
+    par_rows(rows, d, gx, |r0, chunk| {
+        for (i, gxs) in chunk.chunks_exact_mut(d).enumerate() {
+            let r = r0 + i;
+            let xh = &saved[r * stride..r * stride + d];
+            let is = saved[r * stride + d];
+            let go = &grad[r * d..(r + 1) * d];
+            // dxh[i] = go[i] * gamma[i], recomputed on the fly; the two
+            // means keep the historical separate ascending reductions.
+            let mean_dxh = go.iter().zip(gamma).map(|(&g, &gm)| g * gm).sum::<f32>() / d as f32;
+            let mean_dxh_xh = go
+                .iter()
+                .zip(gamma)
+                .zip(xh)
+                .map(|((&g, &gm), &h)| g * gm * h)
+                .sum::<f32>()
+                / d as f32;
+            for (i, (o, &h)) in gxs.iter_mut().zip(xh).enumerate() {
+                let dxh = go[i] * gamma[i];
+                *o = is * (dxh - mean_dxh - h * mean_dxh_xh);
+            }
+        }
+    });
+    // Phase 2: affine gradients, sharded by column.
+    let pool = global_pool();
+    let threads = pool.threads().min(d.max(1));
+    let col_body = |c0: usize, dg: &mut [f32], db: &mut [f32]| {
+        for r in 0..rows {
+            let go = &grad[r * d..(r + 1) * d];
+            let xh = &saved[r * stride..r * stride + d];
+            for (i, (g, b)) in dg.iter_mut().zip(db.iter_mut()).enumerate() {
+                let c = c0 + i;
+                *g += go[c] * xh[c];
+                *b += go[c];
+            }
+        }
+    };
+    if threads <= 1 || rows * d < PAR_MIN {
+        col_body(0, dgamma, dbeta);
+        return;
+    }
+    let per = d.div_ceil(threads);
+    pool.scope(|s| {
+        let col_body = &col_body;
+        let mut dg_rest = dgamma;
+        let mut db_rest = dbeta;
+        let mut c0 = 0;
+        while !dg_rest.is_empty() {
+            let take = per.min(dg_rest.len());
+            let (dgc, dgt) = dg_rest.split_at_mut(take);
+            let (dbc, dbt) = db_rest.split_at_mut(take);
+            dg_rest = dgt;
+            db_rest = dbt;
+            s.spawn(move || col_body(c0, dgc, dbc));
+            c0 += take;
+        }
+    });
+}
+
+/// Fused cross-entropy forward: writes `ln(max(softmax[r, t_r], 1e-12))`
+/// per row into `losses` (as `f64`, matching the historical accumulator
+/// precision). Each row recomputes only what it needs — max, the
+/// exp-sum in ascending order, and the target's exp — which is
+/// bit-identical to materializing the full softmax first. The caller
+/// sums `losses` serially in row order.
+pub(crate) fn cross_entropy_fwd(
+    logits: &[f32],
+    targets: &[usize],
+    cols: usize,
+    losses: &mut [f64],
+) {
+    let rows = targets.len();
+    debug_assert_eq!(logits.len(), rows * cols);
+    debug_assert_eq!(losses.len(), rows);
+    // Shard over the f64 loss slice; each row reads its logits row.
+    let pool = global_pool();
+    let threads = pool.threads().min(rows.max(1));
+    let row_loss = |r: usize| -> f64 {
+        let xrow = &logits[r * cols..(r + 1) * cols];
+        let t = targets[r];
+        let m = xrow.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        let mut et = 0.0f32;
+        for (i, &v) in xrow.iter().enumerate() {
+            let e = (v - m).exp();
+            sum += e;
+            if i == t {
+                et = e;
+            }
+        }
+        ((et / sum).max(1e-12) as f64).ln()
+    };
+    if threads <= 1 || rows * cols < PAR_MIN {
+        for (r, l) in losses.iter_mut().enumerate() {
+            *l = row_loss(r);
+        }
+        return;
+    }
+    let per = rows.div_ceil(threads);
+    pool.scope(|s| {
+        let row_loss = &row_loss;
+        let mut rest = losses;
+        let mut r0 = 0;
+        while !rest.is_empty() {
+            let take = per.min(rest.len());
+            let (chunk, tail) = rest.split_at_mut(take);
+            rest = tail;
+            s.spawn(move || {
+                for (i, l) in chunk.iter_mut().enumerate() {
+                    *l = row_loss(r0 + i);
+                }
+            });
+            r0 += take;
+        }
+    });
+}
+
+/// Fused cross-entropy backward: recomputes each row's softmax from the
+/// logits (cheaper than carrying a saved copy through the graph) and
+/// writes `(softmax - onehot(t)) * scale`. The recomputation repeats the
+/// forward's exact float sequence, so the result is bit-identical to
+/// subtracting from a saved softmax.
+pub(crate) fn cross_entropy_bwd(
+    logits: &[f32],
+    targets: &[usize],
+    cols: usize,
+    scale: f32,
+    out: &mut [f32],
+) {
+    let rows = targets.len();
+    debug_assert_eq!(logits.len(), rows * cols);
+    debug_assert_eq!(out.len(), rows * cols);
+    par_rows(rows, cols, out, |r0, chunk| {
+        for (i, orow) in chunk.chunks_exact_mut(cols).enumerate() {
+            let r = r0 + i;
+            let xrow = &logits[r * cols..(r + 1) * cols];
+            let m = xrow.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for (o, &v) in orow.iter_mut().zip(xrow) {
+                *o = (v - m).exp();
+                sum += *o;
+            }
+            for o in orow.iter_mut() {
+                *o /= sum;
+            }
+            orow[targets[r]] -= 1.0;
+            for o in orow.iter_mut() {
+                *o *= scale;
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{gelu_grad_scalar, gelu_scalar};
+    use acme_runtime::set_global_threads;
+    use std::sync::Mutex;
+
+    /// `set_global_threads` is process-global; serialize these tests.
+    static GUARD: Mutex<()> = Mutex::new(());
+
+    fn fill(n: usize, seed: u64) -> Vec<f32> {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                ((s >> 40) as f32 / (1u64 << 22) as f32) - 2.0
+            })
+            .collect()
+    }
+
+    fn bits(x: &[f32]) -> Vec<u32> {
+        x.iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn softmax_fwd_bwd_bit_identical_across_threads() {
+        let _g = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        // Big enough to clear PAR_MIN so threads actually engage.
+        let (rows, cols) = (128, 48);
+        let x = fill(rows * cols, 1);
+        let g = fill(rows * cols, 2);
+        let mut y1 = vec![0.0; rows * cols];
+        let mut d1 = vec![0.0; rows * cols];
+        set_global_threads(1);
+        softmax_fwd(&x, &mut y1, cols);
+        softmax_bwd(&y1, &g, &mut d1, cols);
+        for t in [2, 3, 4] {
+            set_global_threads(t);
+            let mut y = vec![0.0; rows * cols];
+            let mut d = vec![0.0; rows * cols];
+            softmax_fwd(&x, &mut y, cols);
+            softmax_bwd(&y, &g, &mut d, cols);
+            assert_eq!(bits(&y), bits(&y1), "softmax fwd t{t}");
+            assert_eq!(bits(&d), bits(&d1), "softmax bwd t{t}");
+        }
+        set_global_threads(0);
+    }
+
+    #[test]
+    fn layer_norm_bit_identical_across_threads() {
+        let _g = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        let (rows, d) = (96, 64);
+        let x = fill(rows * d, 3);
+        let gamma = fill(d, 4);
+        let beta = fill(d, 5);
+        let grad = fill(rows * d, 6);
+        let run = |threads: usize| {
+            set_global_threads(threads);
+            let mut out = vec![0.0; rows * d];
+            let mut saved = vec![0.0; rows * ln_saved_stride(d)];
+            layer_norm_fwd(&x, &gamma, &beta, 1e-5, &mut out, &mut saved, d);
+            let mut gx = vec![0.0; rows * d];
+            let mut dg = vec![0.0; d];
+            let mut db = vec![0.0; d];
+            layer_norm_bwd(&saved, &gamma, &grad, &mut gx, &mut dg, &mut db, d);
+            (bits(&out), bits(&gx), bits(&dg), bits(&db))
+        };
+        let base = run(1);
+        for t in [2, 3, 4] {
+            assert_eq!(run(t), base, "layer_norm t{t}");
+        }
+        set_global_threads(0);
+    }
+
+    #[test]
+    fn cross_entropy_bit_identical_across_threads() {
+        let _g = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        let (rows, cols) = (128, 40);
+        let x = fill(rows * cols, 7);
+        let targets: Vec<usize> = (0..rows).map(|r| (r * 7) % cols).collect();
+        let run = |threads: usize| {
+            set_global_threads(threads);
+            let mut losses = vec![0.0f64; rows];
+            cross_entropy_fwd(&x, &targets, cols, &mut losses);
+            let mut g = vec![0.0; rows * cols];
+            cross_entropy_bwd(&x, &targets, cols, 0.125, &mut g);
+            let loss_bits: Vec<u64> = losses.iter().map(|l| l.to_bits()).collect();
+            (loss_bits, bits(&g))
+        };
+        let base = run(1);
+        for t in [2, 3, 4] {
+            assert_eq!(run(t), base, "cross_entropy t{t}");
+        }
+        set_global_threads(0);
+    }
+
+    #[test]
+    fn gelu_map_matches_serial_map() {
+        let _g = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        let x = fill(5000, 9);
+        let expect: Vec<f32> = x.iter().map(|&v| gelu_scalar(v)).collect();
+        set_global_threads(4);
+        let mut out = vec![0.0; x.len()];
+        let mut saved = vec![0.0; x.len()];
+        gelu_fwd(&x, &mut out, &mut saved);
+        assert_eq!(bits(&out), bits(&expect));
+        let g = fill(x.len(), 10);
+        // The saved-tanh backward must match the full recompute path.
+        let expect_b: Vec<f32> = x
+            .iter()
+            .zip(&g)
+            .map(|(&xv, &gv)| gv * gelu_grad_scalar(xv))
+            .collect();
+        let mut outb = vec![0.0; x.len()];
+        gelu_bwd(&x, &saved, &g, &mut outb);
+        assert_eq!(bits(&outb), bits(&expect_b));
+        set_global_threads(0);
+    }
+
+    #[test]
+    fn log_softmax_matches_serial() {
+        let _g = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        let (rows, cols) = (64, 80);
+        let x = fill(rows * cols, 11);
+        let g = fill(rows * cols, 12);
+        let run = |threads: usize| {
+            set_global_threads(threads);
+            let mut y = vec![0.0; rows * cols];
+            log_softmax_fwd(&x, &mut y, cols);
+            let mut d = vec![0.0; rows * cols];
+            log_softmax_bwd(&y, &g, &mut d, cols);
+            (bits(&y), bits(&d))
+        };
+        let base = run(1);
+        for t in [2, 4] {
+            assert_eq!(run(t), base, "log_softmax t{t}");
+        }
+        set_global_threads(0);
+    }
+}

@@ -107,13 +107,16 @@ pub fn fit(
     let steps_per_epoch = train.len().div_ceil(cfg.batch_size.max(1));
     let total_steps = (cfg.epochs * steps_per_epoch).max(1);
     let mut step = 0usize;
+    // One tape arena for the whole run: reset per step recycles every
+    // node buffer through the pool instead of reallocating.
+    let mut g = Graph::new();
     for _ in 0..cfg.epochs {
         let mut total = 0.0f64;
         let mut count = 0usize;
         for batch in train.batches(cfg.batch_size, &mut rng) {
             opt.set_learning_rate(cfg.schedule.lr_at(cfg.lr, step, total_steps));
             step += 1;
-            let mut g = Graph::new();
+            g.reset();
             let logits = model.logits(&mut g, ps, &batch.images);
             let loss = g.cross_entropy_logits(logits, &batch.labels);
             g.backward(loss);
@@ -142,8 +145,9 @@ pub fn evaluate(
     let mut rng = SmallRng64::new(0);
     let mut correct = 0.0f64;
     let mut total = 0usize;
+    let mut g = Graph::new();
     for batch in test.batches(batch_size, &mut rng) {
-        let mut g = Graph::new();
+        g.reset();
         let logits = model.logits(&mut g, ps, &batch.images);
         let acc = accuracy(g.value(logits), &batch.labels);
         correct += acc as f64 * batch.labels.len() as f64;

@@ -95,13 +95,17 @@ pub fn distill(
     let mut rng = SmallRng64::new(cfg.seed);
     let mut opt = Adam::new(cfg.lr);
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    // Two reusable arenas: the teacher tape is torn down every batch and
+    // the student tape every step, both recycling through the pool.
+    let mut tg = Graph::new();
+    let mut g = Graph::new();
     for _ in 0..cfg.epochs {
         let mut total = 0.0f64;
         let mut count = 0usize;
         for batch in transfer.batches(cfg.batch_size, &mut rng) {
             // Teacher pass: plain values, no student gradients flow here.
             let (t_logits, t_embed, t_hidden) = {
-                let mut tg = Graph::new();
+                tg.reset();
                 let emb = teacher.embed(&mut tg, teacher_ps, &batch.images);
                 let feats = teacher.forward(&mut tg, teacher_ps, &batch.images);
                 let logits = teacher.logits_from(&mut tg, teacher_ps, &feats);
@@ -111,7 +115,7 @@ pub fn distill(
                     tg.value(feats.tokens).clone(),
                 )
             };
-            let mut g = Graph::new();
+            g.reset();
             let s_embed = student.embed(&mut g, student_ps, &batch.images);
             let s_feats = student.forward(&mut g, student_ps, &batch.images);
             let s_logits = student.logits_from(&mut g, student_ps, &s_feats);

@@ -41,5 +41,10 @@ cargo test --workspace --release -q "${CARGO_FLAGS[@]}"
 step "kernel bench smoke (quick sweep -> BENCH_kernels.json)"
 cargo bench -p acme-bench --bench kernels "${CARGO_FLAGS[@]}" -- --quick
 
+step "training-step bench smoke (quick sweep -> BENCH_training_step.json)"
+# Panics (and fails CI) unless the pooled engine step is bit-identical
+# to the pre-pool replica at every thread count.
+cargo bench -p acme-bench --bench training_step "${CARGO_FLAGS[@]}" -- --quick
+
 echo
 echo "CI checks passed."
