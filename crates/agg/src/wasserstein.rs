@@ -5,9 +5,14 @@ use acme_tensor::{randn, Array};
 use rand::Rng;
 
 /// Exact 1-Wasserstein distance between two empirical sample sets on the
-/// line (L1 ground cost): sort both and average `|x_(i) - y_(j)|` over
-/// matched quantiles. Sample counts may differ; the quantile coupling is
-/// used.
+/// line (L1 ground cost): `∫₀¹ |F_a⁻¹(t) - F_b⁻¹(t)| dt` under the
+/// quantile coupling. Sample counts may differ.
+///
+/// The quantile functions are piecewise constant with breakpoints at
+/// `i/n` and `j/m`, so the integral is evaluated *exactly* by walking the
+/// merged breakpoint set — no sampling grid is involved. Breakpoints are
+/// compared as scaled integers over the common denominator `n·m`, so the
+/// segmentation itself is exact too.
 ///
 /// Returns 0 when either set is empty.
 pub fn wasserstein_1d_samples(xs: &[f32], ys: &[f32]) -> f64 {
@@ -18,18 +23,27 @@ pub fn wasserstein_1d_samples(xs: &[f32], ys: &[f32]) -> f64 {
     let mut b: Vec<f32> = ys.to_vec();
     a.sort_by(|p, q| p.partial_cmp(q).expect("finite samples"));
     b.sort_by(|p, q| p.partial_cmp(q).expect("finite samples"));
-    // Integrate |F_a^{-1}(t) - F_b^{-1}(t)| over t in [0,1) on the merged
-    // quantile grid.
-    let (n, m) = (a.len(), b.len());
-    let steps = n.max(m) * 2;
+    let (n, m) = (a.len() as u64, b.len() as u64);
+    // On segment [t_prev, t_next), F_a⁻¹ = a[i] and F_b⁻¹ = b[j]. The
+    // next breakpoint is min((i+1)/n, (j+1)/m); times n·m that is
+    // min((i+1)·m, (j+1)·n).
+    let (mut i, mut j) = (0u64, 0u64);
+    let mut t_prev = 0u64; // in units of 1/(n·m)
     let mut total = 0.0f64;
-    for s in 0..steps {
-        let t = (s as f64 + 0.5) / steps as f64;
-        let qa = a[((t * n as f64) as usize).min(n - 1)];
-        let qb = b[((t * m as f64) as usize).min(m - 1)];
-        total += (qa - qb).abs() as f64;
+    while i < n && j < m {
+        let next_a = (i + 1) * m;
+        let next_b = (j + 1) * n;
+        let t_next = next_a.min(next_b);
+        total += (t_next - t_prev) as f64 * (a[i as usize] - b[j as usize]).abs() as f64;
+        if next_a == t_next {
+            i += 1;
+        }
+        if next_b == t_next {
+            j += 1;
+        }
+        t_prev = t_next;
     }
-    total / steps as f64
+    total / (n * m) as f64
 }
 
 /// Exact 1-Wasserstein distance between two histograms over the same
@@ -122,6 +136,31 @@ mod tests {
     #[test]
     fn empty_sets_are_zero() {
         assert_eq!(wasserstein_1d_samples(&[], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn unequal_counts_match_hand_computed_quantile_integrals() {
+        // a=[0,1], b=[0,1,2]: segments of |F_a⁻¹ - F_b⁻¹| are
+        // [1/3,1/2)→1 and [2/3,1)→1, so W1 = 1/6 + 1/3 = 1/2.
+        let d = wasserstein_1d_samples(&[0.0, 1.0], &[0.0, 1.0, 2.0]);
+        assert!((d - 0.5).abs() < 1e-9, "got {d}");
+        // a=[0], b=[1,3]: W1 = 0.5·1 + 0.5·3 = 2.
+        let d = wasserstein_1d_samples(&[0.0], &[1.0, 3.0]);
+        assert!((d - 2.0).abs() < 1e-9, "got {d}");
+        // Order must not matter.
+        let d2 = wasserstein_1d_samples(&[1.0, 3.0], &[0.0]);
+        assert!((d - d2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merged_breakpoints_beat_the_old_uniform_grid() {
+        // Regression: with n=3, m=4 the breakpoints 1/3 and 2/3 are not
+        // representable on a uniform 2·max(n,m)=8 grid, which misweights
+        // the segments and yields 8.75. The exact integral over the
+        // merged breakpoints {1/4, 1/3, 1/2, 2/3, 3/4} is
+        // (1 + 18 + 16 + 18 + 51)/12 = 104/12.
+        let d = wasserstein_1d_samples(&[0.0, 10.0, 20.0], &[0.0, 1.0, 2.0, 3.0]);
+        assert!((d - 104.0 / 12.0).abs() < 1e-9, "got {d}");
     }
 
     #[test]

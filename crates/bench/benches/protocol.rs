@@ -18,7 +18,9 @@ fn bench_acme_protocol(c: &mut Criterion) {
 fn bench_centralized(c: &mut Criterion) {
     let fleet = Fleet::paper_default(4, 5);
     c.bench_function("centralized_transfers_20_devices", |b| {
-        b.iter(|| black_box(centralized_transfers(&fleet, 500, 3072, 1_000_000)))
+        b.iter(|| {
+            black_box(centralized_transfers(&fleet, 500, 3072, 1_000_000).expect("baseline run"))
+        })
     });
 }
 
@@ -33,6 +35,7 @@ fn bench_metered_send(c: &mut Criterion) {
                     NodeId::Edge(acme_energy::EdgeId(0)),
                     NodeId::Cloud,
                     Payload::ImportanceUpload {
+                        round: 0,
                         values: vec![0.0; 4096],
                     },
                 )

@@ -37,6 +37,7 @@ fn main() {
         header_params: 4_000,
         header_tokens: 8,
         importance_len: 4_000,
+        ..ProtocolConfig::default()
     };
 
     let links = LinkModel::default();
@@ -45,7 +46,8 @@ fn main() {
         let clusters = n / devices_per_cluster;
         let fleet = Fleet::paper_default(clusters, devices_per_cluster);
         let acme = run_acme_protocol(&fleet, &proto).expect("protocol run");
-        let cs = centralized_transfers(&fleet, 500, 3072, proto.backbone_params);
+        let cs =
+            centralized_transfers(&fleet, 500, 3072, proto.backbone_params).expect("baseline run");
         let ours_space = header_space * clusters as u128;
         let cs_space = cs_per_device * n as u128;
         rows.push(vec![

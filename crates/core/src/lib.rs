@@ -55,7 +55,10 @@ mod phase2;
 mod pipeline;
 mod refine;
 
-pub use acme_distsys::{ProtocolConfig, ProtocolOutcome};
+pub use acme_distsys::{
+    DropPoint, FaultAction, FaultPlan, FaultRule, NodeStatus, ProtocolConfig, ProtocolOutcome,
+    RetryPolicy,
+};
 pub use acme_runtime::Pool;
 pub use config::{AcmeConfig, AcmeConfigBuilder};
 pub use error::AcmeError;
@@ -83,4 +86,22 @@ pub fn run_acme_protocol(
     config: &ProtocolConfig,
 ) -> Result<ProtocolOutcome, AcmeError> {
     acme_distsys::protocol::run_acme_protocol(fleet, config).map_err(AcmeError::from)
+}
+
+/// Like [`run_acme_protocol`], but with a deterministic [`FaultPlan`]
+/// injected into the message fabric: lost or delayed messages are
+/// retried per [`RetryPolicy`] and silent nodes degrade their cluster
+/// instead of failing the run (see [`ProtocolOutcome::nodes`]).
+///
+/// # Errors
+///
+/// Returns [`AcmeError::Protocol`] only on structural faults (a
+/// panicking node thread).
+pub fn run_acme_protocol_with_faults(
+    fleet: &acme_energy::Fleet,
+    config: &ProtocolConfig,
+    faults: FaultPlan,
+) -> Result<ProtocolOutcome, AcmeError> {
+    acme_distsys::protocol::run_acme_protocol_with_faults(fleet, config, faults)
+        .map_err(AcmeError::from)
 }

@@ -92,6 +92,8 @@ mod tests {
                 messages: 0,
                 total_bytes: 0,
                 uplink_bytes: 0,
+                retransmissions: 0,
+                retransmitted_bytes: 0,
                 per_kind: vec![],
             },
             header_search_space: 1,

@@ -281,7 +281,7 @@ pub fn refine_cluster(
         .map(|(d, ps)| evaluate(&model, ps, &d.test, cfg.batch_size))
         .collect();
 
-    for _round in 0..cfg.loop_rounds {
+    for round in 0..cfg.loop_rounds {
         // Local training + importance sets (device side).
         let mut sets = Vec::with_capacity(n);
         for (i, dev) in devices.iter().enumerate() {
@@ -314,6 +314,7 @@ pub fn refine_cluster(
                     NodeId::Device(dev.device),
                     NodeId::Edge(edge),
                     Payload::ImportanceUpload {
+                        round,
                         values: set.iter().map(|&v| v as f32).collect(),
                     },
                 )?;
@@ -328,6 +329,7 @@ pub fn refine_cluster(
                     NodeId::Edge(edge),
                     NodeId::Device(dev.device),
                     Payload::PersonalizedImportance {
+                        round,
                         values: fused.iter().map(|&v| v as f32).collect(),
                     },
                 )?;

@@ -8,6 +8,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::ledger::TransferReport;
+use crate::message::LinkClass;
 
 /// Bandwidth/latency parameters of one link class.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -21,7 +22,14 @@ pub struct Link {
 impl Link {
     /// Time to move `bytes` over this link in one message.
     pub fn transfer_seconds(&self, bytes: u64) -> f64 {
-        self.rtt_seconds + bytes as f64 / self.bandwidth_bps.max(1.0)
+        self.schedule_seconds(1, bytes)
+    }
+
+    /// Time to move `bytes` over this link spread across `messages`
+    /// sequential messages: one RTT per message plus the serialized
+    /// payload time.
+    pub fn schedule_seconds(&self, messages: u64, bytes: u64) -> f64 {
+        messages as f64 * self.rtt_seconds + bytes as f64 / self.bandwidth_bps.max(1.0)
     }
 }
 
@@ -52,26 +60,28 @@ impl Default for LinkModel {
 }
 
 impl LinkModel {
-    /// Sequential wall-clock estimate of an entire transfer report,
-    /// attributing device-involved message kinds to the device↔edge link
-    /// and the rest to edge↔cloud. This is an upper bound (no link-level
-    /// parallelism); divide by the fleet's parallel width for the usual
-    /// lower bound.
+    /// The link a payload class travels on. Matched exhaustively over
+    /// [`LinkClass`], so a payload kind can never silently fall through
+    /// to the wrong tier.
+    pub fn link(&self, class: LinkClass) -> &Link {
+        match class {
+            LinkClass::DeviceEdge => &self.device_edge,
+            LinkClass::EdgeCloud => &self.edge_cloud,
+        }
+    }
+
+    /// Sequential wall-clock estimate of an entire transfer report. Each
+    /// per-kind row carries the [`LinkClass`] the ledger derived from
+    /// the payload itself ([`crate::Payload::link_class`]). This is an
+    /// upper bound (no link-level parallelism); divide by the fleet's
+    /// parallel width for the usual lower bound.
     pub fn sequential_seconds(&self, report: &TransferReport) -> f64 {
         report
             .per_kind
             .iter()
             .map(|row| {
-                let link = match row.kind.as_str() {
-                    "header-spec" | "importance-upload" | "personalized-importance" => {
-                        &self.device_edge
-                    }
-                    // Raw-data uploads go straight to the cloud in the
-                    // centralized baseline.
-                    _ => &self.edge_cloud,
-                };
-                row.messages as f64 * link.rtt_seconds
-                    + row.bytes as f64 / link.bandwidth_bps.max(1.0)
+                self.link(row.link)
+                    .schedule_seconds(row.messages, row.bytes())
             })
             .sum()
     }
@@ -82,15 +92,19 @@ mod tests {
     use super::*;
     use crate::ledger::{KindRow, TransferReport};
 
-    fn report(kind: &str, messages: u64, bytes: u64) -> TransferReport {
+    fn report(kind: &str, link: LinkClass, messages: u64, bytes: u64) -> TransferReport {
         TransferReport {
             messages,
             total_bytes: bytes,
             uplink_bytes: bytes,
+            retransmissions: 0,
+            retransmitted_bytes: 0,
             per_kind: vec![KindRow {
                 kind: kind.to_string(),
                 messages,
-                bytes,
+                uplink_bytes: bytes,
+                downlink_bytes: 0,
+                link,
             }],
         }
     }
@@ -103,13 +117,25 @@ mod tests {
         };
         assert!(link.transfer_seconds(0) >= 0.01);
         assert!((link.transfer_seconds(1_000_000) - 1.01).abs() < 1e-9);
+        // One message through transfer_seconds equals the schedule form.
+        assert_eq!(link.transfer_seconds(999), link.schedule_seconds(1, 999));
     }
 
     #[test]
     fn device_messages_use_lan_link() {
         let model = LinkModel::default();
-        let lan = model.sequential_seconds(&report("importance-upload", 10, 1_000_000));
-        let wan = model.sequential_seconds(&report("raw-data-upload", 10, 1_000_000));
+        let lan = model.sequential_seconds(&report(
+            "importance-upload",
+            LinkClass::DeviceEdge,
+            10,
+            1_000_000,
+        ));
+        let wan = model.sequential_seconds(&report(
+            "raw-data-upload",
+            LinkClass::EdgeCloud,
+            10,
+            1_000_000,
+        ));
         assert!(lan < wan, "LAN must be faster: {lan} vs {wan}");
     }
 
@@ -120,7 +146,7 @@ mod tests {
         let fleet = Fleet::paper_default(2, 5);
         let model = LinkModel::default();
         let acme = run_acme_protocol(&fleet, &ProtocolConfig::default()).expect("protocol run");
-        let cs = centralized_transfers(&fleet, 500, 3072, 1_000_000);
+        let cs = centralized_transfers(&fleet, 500, 3072, 1_000_000).expect("baseline run");
         // The CS downloads full models too, so compare total schedules.
         let t_acme = model.sequential_seconds(&acme.report);
         let t_cs = model.sequential_seconds(&cs);

@@ -5,14 +5,24 @@ use std::collections::BTreeMap;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
-use crate::message::Envelope;
+use crate::message::{Envelope, LinkClass};
+
+#[derive(Debug, Clone, Copy)]
+struct KindTotals {
+    messages: u64,
+    uplink_bytes: u64,
+    downlink_bytes: u64,
+    link: LinkClass,
+}
 
 #[derive(Debug, Default, Clone)]
 struct Totals {
     messages: u64,
     bytes: u64,
     uplink_bytes: u64,
-    per_kind: BTreeMap<&'static str, (u64, u64)>,
+    retransmissions: u64,
+    retransmitted_bytes: u64,
+    per_kind: BTreeMap<&'static str, KindTotals>,
 }
 
 /// Accumulates message counts and byte volumes across all network links.
@@ -30,16 +40,43 @@ impl Ledger {
 
     /// Records one envelope.
     pub fn record(&self, env: &Envelope) {
+        self.meter(env, false);
+    }
+
+    /// Records one envelope that is a *retransmission* of an earlier
+    /// send. It is metered like any other wire traffic (it really
+    /// crossed the link) and additionally counted in the separate
+    /// retransmission totals, so fault-recovery overhead can be isolated
+    /// from the schedule's intrinsic volume.
+    pub fn record_retransmission(&self, env: &Envelope) {
+        self.meter(env, true);
+    }
+
+    fn meter(&self, env: &Envelope, retransmission: bool) {
         let bytes = env.payload.wire_bytes();
+        let uplink = env.is_uplink();
         let mut t = self.totals.lock();
         t.messages += 1;
         t.bytes += bytes;
-        if env.is_uplink() {
+        if uplink {
             t.uplink_bytes += bytes;
         }
-        let e = t.per_kind.entry(env.payload.kind()).or_insert((0, 0));
-        e.0 += 1;
-        e.1 += bytes;
+        if retransmission {
+            t.retransmissions += 1;
+            t.retransmitted_bytes += bytes;
+        }
+        let e = t.per_kind.entry(env.payload.kind()).or_insert(KindTotals {
+            messages: 0,
+            uplink_bytes: 0,
+            downlink_bytes: 0,
+            link: env.payload.link_class(),
+        });
+        e.messages += 1;
+        if uplink {
+            e.uplink_bytes += bytes;
+        } else {
+            e.downlink_bytes += bytes;
+        }
     }
 
     /// Total bytes over all links.
@@ -57,6 +94,11 @@ impl Ledger {
         self.totals.lock().messages
     }
 
+    /// Messages that were retransmissions.
+    pub fn retransmission_count(&self) -> u64 {
+        self.totals.lock().retransmissions
+    }
+
     /// Snapshot for reporting.
     pub fn report(&self) -> TransferReport {
         let t = self.totals.lock();
@@ -64,13 +106,17 @@ impl Ledger {
             messages: t.messages,
             total_bytes: t.bytes,
             uplink_bytes: t.uplink_bytes,
+            retransmissions: t.retransmissions,
+            retransmitted_bytes: t.retransmitted_bytes,
             per_kind: t
                 .per_kind
                 .iter()
-                .map(|(&k, &(c, b))| KindRow {
+                .map(|(&k, &kt)| KindRow {
                     kind: k.to_string(),
-                    messages: c,
-                    bytes: b,
+                    messages: kt.messages,
+                    uplink_bytes: kt.uplink_bytes,
+                    downlink_bytes: kt.downlink_bytes,
+                    link: kt.link,
                 })
                 .collect(),
         }
@@ -82,15 +128,27 @@ impl Ledger {
     }
 }
 
-/// Per-kind breakdown row of a [`TransferReport`].
+/// Per-kind breakdown row of a [`TransferReport`], split by transfer
+/// direction so reports keep uplink and downlink volumes per kind.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct KindRow {
     /// Payload kind label.
     pub kind: String,
     /// Messages of this kind.
     pub messages: u64,
-    /// Bytes of this kind.
-    pub bytes: u64,
+    /// Bytes of this kind flowing toward the cloud.
+    pub uplink_bytes: u64,
+    /// Bytes of this kind flowing away from the cloud.
+    pub downlink_bytes: u64,
+    /// The link tier this kind travels on.
+    pub link: LinkClass,
+}
+
+impl KindRow {
+    /// Total bytes of this kind in both directions.
+    pub fn bytes(&self) -> u64 {
+        self.uplink_bytes + self.downlink_bytes
+    }
 }
 
 /// Immutable snapshot of a [`Ledger`].
@@ -102,6 +160,10 @@ pub struct TransferReport {
     pub total_bytes: u64,
     /// Bytes flowing toward the cloud.
     pub uplink_bytes: u64,
+    /// Messages that were retransmissions (zero in a fault-free run).
+    pub retransmissions: u64,
+    /// Bytes carried by retransmissions.
+    pub retransmitted_bytes: u64,
     /// Per-kind breakdown.
     pub per_kind: Vec<KindRow>,
 }
@@ -141,6 +203,7 @@ mod tests {
         ledger.record(&env(
             true,
             Payload::ImportanceUpload {
+                round: 0,
                 values: vec![0.0; 4],
             },
         ));
@@ -148,29 +211,60 @@ mod tests {
         assert_eq!(ledger.message_count(), 2);
         assert_eq!(ledger.total_bytes(), (16 + 16) + 16);
         assert_eq!(ledger.uplink_bytes(), 32);
+        assert_eq!(ledger.retransmission_count(), 0);
     }
 
     #[test]
-    fn report_breaks_down_by_kind() {
+    fn report_breaks_down_by_kind_and_direction() {
         let ledger = Ledger::new();
         for _ in 0..3 {
             ledger.record(&env(true, Payload::Ack));
         }
-        ledger.record(&env(true, Payload::ImportanceUpload { values: vec![0.0] }));
+        ledger.record(&env(false, Payload::Ack));
+        ledger.record(&env(
+            true,
+            Payload::ImportanceUpload {
+                round: 0,
+                values: vec![0.0],
+            },
+        ));
         let report = ledger.report();
-        assert_eq!(report.messages, 4);
+        assert_eq!(report.messages, 5);
         let ack = report.per_kind.iter().find(|r| r.kind == "ack").unwrap();
-        assert_eq!(ack.messages, 3);
+        assert_eq!(ack.messages, 4);
+        assert_eq!(ack.uplink_bytes, 3 * 16);
+        assert_eq!(ack.downlink_bytes, 16);
+        assert_eq!(ack.bytes(), 4 * 16);
+        let imp = report
+            .per_kind
+            .iter()
+            .find(|r| r.kind == "importance-upload")
+            .unwrap();
+        assert_eq!(imp.link, LinkClass::DeviceEdge);
         assert!((report.uplink_megabytes() - report.uplink_bytes as f64 / 1e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retransmissions_are_metered_separately_and_in_totals() {
+        let ledger = Ledger::new();
+        ledger.record(&env(true, Payload::Ack));
+        ledger.record_retransmission(&env(true, Payload::Ack));
+        let report = ledger.report();
+        // Retransmitted traffic crossed the wire: counted in totals too.
+        assert_eq!(report.messages, 2);
+        assert_eq!(report.total_bytes, 32);
+        assert_eq!(report.retransmissions, 1);
+        assert_eq!(report.retransmitted_bytes, 16);
     }
 
     #[test]
     fn reset_clears() {
         let ledger = Ledger::new();
-        ledger.record(&env(true, Payload::Ack));
+        ledger.record_retransmission(&env(true, Payload::Ack));
         ledger.reset();
         assert_eq!(ledger.total_bytes(), 0);
         assert_eq!(ledger.message_count(), 0);
+        assert_eq!(ledger.retransmission_count(), 0);
     }
 
     #[test]

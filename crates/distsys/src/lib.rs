@@ -17,6 +17,14 @@
 //!   [`protocol::centralized_transfers`] models the centralized-system
 //!   baseline in which devices ship raw data to the cloud.
 //!
+//! The runtime is fault tolerant: every wait is a bounded
+//! `recv_timeout` governed by a [`RetryPolicy`], and a deterministic
+//! [`FaultPlan`] can drop, delay, or duplicate scheduled messages or
+//! kill nodes outright ([`protocol::run_acme_protocol_with_faults`]).
+//! Clusters degrade gracefully — silent devices are dropped and the
+//! surviving quorum finishes all rounds — and the ledger meters
+//! retransmissions separately so fault-free accounting is unchanged.
+//!
 //! ```
 //! use acme_distsys::{Ledger, Network, NodeId, Payload};
 //! use acme_energy::EdgeId;
@@ -37,14 +45,18 @@
 //! assert!(network.ledger().total_bytes() > 0);
 //! ```
 
+mod fault;
 mod latency;
 mod ledger;
 mod message;
 mod network;
 pub mod protocol;
 
+pub use fault::{FaultAction, FaultPlan, FaultRule};
 pub use latency::{Link, LinkModel};
-pub use ledger::{Ledger, TransferReport};
-pub use message::{Envelope, NodeId, Payload};
+pub use ledger::{KindRow, Ledger, TransferReport};
+pub use message::{Envelope, LinkClass, NodeId, Payload};
 pub use network::{Network, SendError};
-pub use protocol::{ProtocolConfig, ProtocolError, ProtocolOutcome};
+pub use protocol::{
+    DropPoint, NodeStatus, ProtocolConfig, ProtocolError, ProtocolOutcome, RetryPolicy,
+};

@@ -63,12 +63,20 @@ pub enum Payload {
     },
     /// Device → edge (loop uplink): the importance set `Q_n` (Eq. 18).
     ImportanceUpload {
+        /// Single-loop round this set belongs to (0-based). Rides in the
+        /// 16-byte routing header already charged per message, so it
+        /// adds no wire bytes; it lets receivers deduplicate retransmits
+        /// and discard stale copies.
+        round: usize,
         /// Importance scores, one per header parameter.
         values: Vec<f32>,
     },
     /// Edge → device (loop downlink): the personalized set `Q'_n`
     /// (Eq. 21).
     PersonalizedImportance {
+        /// Single-loop round this set answers (0-based); part of the
+        /// routing header, see [`Payload::ImportanceUpload::round`].
+        round: usize,
         /// Aggregated importance scores.
         values: Vec<f32>,
     },
@@ -83,10 +91,24 @@ pub enum Payload {
     Ack,
 }
 
+/// The physical tier a payload kind travels on, used by
+/// [`crate::LinkModel`] to route transfer-time estimates. Deriving the
+/// class from the payload (exhaustively) instead of string-matching kind
+/// labels means a new payload kind cannot silently fall through to the
+/// wrong link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkClass {
+    /// Device ↔ edge traffic (LAN-ish).
+    DeviceEdge,
+    /// Traffic that touches the cloud (WAN-ish).
+    EdgeCloud,
+}
+
 impl Payload {
     /// Bytes this message occupies on the wire. Weights and importance
     /// values are 4-byte floats; architecture tokens 2 bytes; attribute
-    /// scalars 8 bytes; a 16-byte routing header is charged per message.
+    /// scalars 8 bytes; a 16-byte routing header (which carries the loop
+    /// round tag) is charged per message.
     pub fn wire_bytes(&self) -> u64 {
         const HEADER: u64 = 16;
         HEADER
@@ -98,14 +120,31 @@ impl Payload {
                     param_count,
                     ..
                 } => 8 + 2 * tokens.len() as u64 + 4 * param_count,
-                Payload::ImportanceUpload { values }
-                | Payload::PersonalizedImportance { values } => 4 * values.len() as u64,
+                Payload::ImportanceUpload { values, .. }
+                | Payload::PersonalizedImportance { values, .. } => 4 * values.len() as u64,
                 Payload::RawDataUpload {
                     samples,
                     bytes_per_sample,
                 } => samples * bytes_per_sample,
                 Payload::Ack => 0,
             }
+    }
+
+    /// The link tier this payload kind travels on. The match is
+    /// exhaustive so adding a payload kind forces a routing decision.
+    pub fn link_class(&self) -> LinkClass {
+        match self {
+            Payload::HeaderSpec { .. }
+            | Payload::ImportanceUpload { .. }
+            | Payload::PersonalizedImportance { .. } => LinkClass::DeviceEdge,
+            // Attribute reports and backbone weights cross the WAN; raw
+            // data (centralized baseline) goes straight to the cloud;
+            // control acks are charged at the coordinator tier.
+            Payload::AttributeReport { .. }
+            | Payload::BackboneAssignment { .. }
+            | Payload::RawDataUpload { .. }
+            | Payload::Ack => LinkClass::EdgeCloud,
+        }
     }
 
     /// Short kind label used by the ledger's per-kind breakdown.
@@ -172,8 +211,11 @@ mod tests {
         };
         assert_eq!(hs.wire_bytes(), 16 + 8 + 24 + 40);
         let imp = Payload::ImportanceUpload {
+            round: 2,
             values: vec![0.0; 7],
         };
+        // The round tag is part of the 16-byte routing header: no extra
+        // wire bytes.
         assert_eq!(imp.wire_bytes(), 16 + 28);
         let raw = Payload::RawDataUpload {
             samples: 10,
@@ -204,8 +246,16 @@ mod tests {
     fn kinds_are_distinct() {
         let kinds = [
             Payload::Ack.kind(),
-            Payload::ImportanceUpload { values: vec![] }.kind(),
-            Payload::PersonalizedImportance { values: vec![] }.kind(),
+            Payload::ImportanceUpload {
+                round: 0,
+                values: vec![],
+            }
+            .kind(),
+            Payload::PersonalizedImportance {
+                round: 0,
+                values: vec![],
+            }
+            .kind(),
             Payload::RawDataUpload {
                 samples: 0,
                 bytes_per_sample: 0,
@@ -216,6 +266,45 @@ mod tests {
         unique.sort_unstable();
         unique.dedup();
         assert_eq!(unique.len(), kinds.len());
+    }
+
+    #[test]
+    fn link_classes_route_device_traffic_to_lan() {
+        assert_eq!(
+            Payload::ImportanceUpload {
+                round: 0,
+                values: vec![]
+            }
+            .link_class(),
+            LinkClass::DeviceEdge
+        );
+        assert_eq!(
+            Payload::HeaderSpec {
+                tokens: vec![],
+                u: 1,
+                param_count: 0
+            }
+            .link_class(),
+            LinkClass::DeviceEdge
+        );
+        assert_eq!(
+            Payload::RawDataUpload {
+                samples: 1,
+                bytes_per_sample: 1
+            }
+            .link_class(),
+            LinkClass::EdgeCloud
+        );
+        assert_eq!(
+            Payload::AttributeReport {
+                device_count: 0,
+                min_storage: 0,
+                min_gpu: 0.0,
+                max_gpu: 0.0
+            }
+            .link_class(),
+            LinkClass::EdgeCloud
+        );
     }
 
     #[test]

@@ -1,11 +1,14 @@
-//! Channel-based message routing between node threads.
+//! Channel-based message routing between node threads, with optional
+//! deterministic fault injection.
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::thread;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
+use crate::fault::{FaultPlan, FaultState, Verdict};
 use crate::ledger::Ledger;
 use crate::message::{Envelope, NodeId, Payload};
 
@@ -44,12 +47,29 @@ pub struct Network {
 struct Inner {
     ledger: Arc<Ledger>,
     routes: RwLock<HashMap<NodeId, Sender<Envelope>>>,
+    faults: Option<Mutex<FaultState>>,
 }
 
 impl Network {
-    /// Creates an empty fabric.
+    /// Creates an empty fault-free fabric.
     pub fn new() -> Self {
         Network::default()
+    }
+
+    /// Creates a fabric whose sends pass through the given fault plan.
+    /// An empty plan behaves exactly like [`Network::new`].
+    pub fn with_faults(plan: FaultPlan) -> Self {
+        Network {
+            inner: Arc::new(Inner {
+                ledger: Arc::default(),
+                routes: RwLock::default(),
+                faults: if plan.is_empty() {
+                    None
+                } else {
+                    Some(Mutex::new(FaultState::new(plan)))
+                },
+            }),
+        }
     }
 
     /// Registers a node, returning its inbox. Re-registering replaces the
@@ -67,13 +87,69 @@ impl Network {
     /// Returns [`SendError`] when the recipient is unknown or its inbox
     /// was dropped.
     pub fn send(&self, from: NodeId, to: NodeId, payload: Payload) -> Result<(), SendError> {
+        self.transmit(from, to, payload, false)
+    }
+
+    /// Sends a retransmission of an earlier message: delivered like
+    /// [`Network::send`], but metered in the ledger's separate
+    /// retransmission totals as well.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] when the recipient is unknown or its inbox
+    /// was dropped.
+    pub fn send_retransmit(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        payload: Payload,
+    ) -> Result<(), SendError> {
+        self.transmit(from, to, payload, true)
+    }
+
+    fn transmit(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        payload: Payload,
+        retransmission: bool,
+    ) -> Result<(), SendError> {
         let env = Envelope { from, to, payload };
+        let verdict = match &self.inner.faults {
+            Some(f) => f.lock().on_send(&env),
+            None => Verdict::Deliver,
+        };
+        if verdict == Verdict::SenderDead {
+            // A dead node's sends never reach the wire: swallowed
+            // silently and unmetered so the sender cannot observe its
+            // own death through an error.
+            return Ok(());
+        }
+        if let Verdict::Delay(d) = verdict {
+            // Delivery delay is modeled as a sender-side stall before
+            // the message enters the wire.
+            thread::sleep(d);
+        }
+        // Unknown recipients error before metering (nothing was sent).
         let tx = {
             let routes = self.inner.routes.read();
             routes.get(&to).cloned().ok_or(SendError::UnknownNode(to))?
         };
-        self.inner.ledger.record(&env);
-        tx.send(env).map_err(|_| SendError::Disconnected(to))
+        let copies = if verdict == Verdict::Duplicate { 2 } else { 1 };
+        let deliver = verdict != Verdict::Lose;
+        for _ in 0..copies {
+            // Lost messages still crossed the sender's link: metered.
+            if retransmission {
+                self.inner.ledger.record_retransmission(&env);
+            } else {
+                self.inner.ledger.record(&env);
+            }
+            if deliver {
+                tx.send(env.clone())
+                    .map_err(|_| SendError::Disconnected(to))?;
+            }
+        }
+        Ok(())
     }
 
     /// Drops every registered route, disconnecting all inboxes. Blocked
@@ -178,5 +254,75 @@ mod tests {
     fn send_error_display() {
         let e = SendError::UnknownNode(NodeId::Cloud);
         assert!(e.to_string().contains("unknown"));
+    }
+
+    #[test]
+    fn injected_drop_is_metered_but_not_delivered() {
+        use crate::fault::{FaultAction, FaultPlan, FaultRule};
+        let net = Network::with_faults(
+            FaultPlan::none().rule(FaultRule::on(FaultAction::Drop).kind("ack").nth(0)),
+        );
+        let rx = net.register(NodeId::Cloud);
+        net.register(NodeId::Edge(EdgeId(0)));
+        let from = NodeId::Edge(EdgeId(0));
+        net.send(from, NodeId::Cloud, Payload::Ack).unwrap();
+        net.send(from, NodeId::Cloud, Payload::Ack).unwrap();
+        // Both metered, only the second delivered.
+        assert_eq!(net.ledger().message_count(), 2);
+        assert_eq!(rx.try_iter().count(), 1);
+    }
+
+    #[test]
+    fn injected_duplicate_delivers_and_meters_twice() {
+        use crate::fault::{FaultAction, FaultPlan, FaultRule};
+        let net = Network::with_faults(
+            FaultPlan::none().rule(FaultRule::on(FaultAction::Duplicate).nth(0)),
+        );
+        let rx = net.register(NodeId::Cloud);
+        net.register(NodeId::Edge(EdgeId(0)));
+        net.send(NodeId::Edge(EdgeId(0)), NodeId::Cloud, Payload::Ack)
+            .unwrap();
+        assert_eq!(net.ledger().message_count(), 2);
+        assert_eq!(rx.try_iter().count(), 2);
+    }
+
+    #[test]
+    fn dead_sender_is_swallowed_unmetered() {
+        use crate::fault::FaultPlan;
+        let dead = NodeId::Device(DeviceId(3));
+        let net = Network::with_faults(FaultPlan::none().kill(dead, 0));
+        let rx = net.register(NodeId::Cloud);
+        net.register(dead);
+        // The dead node's send "succeeds" but nothing reaches the wire.
+        net.send(dead, NodeId::Cloud, Payload::Ack).unwrap();
+        assert_eq!(net.ledger().message_count(), 0);
+        assert!(rx.try_recv().is_err());
+        // Traffic toward the dead node is lost in flight but metered.
+        net.send(NodeId::Cloud, dead, Payload::Ack).unwrap();
+        assert_eq!(net.ledger().message_count(), 1);
+    }
+
+    #[test]
+    fn retransmit_counts_in_both_totals() {
+        let net = Network::new();
+        let _rx = net.register(NodeId::Cloud);
+        net.register(NodeId::Edge(EdgeId(0)));
+        net.send(NodeId::Edge(EdgeId(0)), NodeId::Cloud, Payload::Ack)
+            .unwrap();
+        net.send_retransmit(NodeId::Edge(EdgeId(0)), NodeId::Cloud, Payload::Ack)
+            .unwrap();
+        assert_eq!(net.ledger().message_count(), 2);
+        assert_eq!(net.ledger().retransmission_count(), 1);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_fault_free() {
+        use crate::fault::FaultPlan;
+        let net = Network::with_faults(FaultPlan::none());
+        let rx = net.register(NodeId::Cloud);
+        net.register(NodeId::Edge(EdgeId(0)));
+        net.send(NodeId::Edge(EdgeId(0)), NodeId::Cloud, Payload::Ack)
+            .unwrap();
+        assert_eq!(rx.try_iter().count(), 1);
     }
 }

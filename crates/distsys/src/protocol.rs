@@ -9,21 +9,51 @@
 //! 3. every edge distributes the coarse header to its devices;
 //! 4. `T` single-loop rounds: devices upload importance sets, the edge
 //!    returns personalized sets.
+//!
+//! # Fault tolerance
+//!
+//! Every wait is a `recv_timeout` governed by a [`RetryPolicy`]
+//! (bounded attempts with exponential backoff), and the runtime degrades
+//! per cluster instead of tearing the fabric down:
+//!
+//! * a device that gets no reply retransmits its upload and, after the
+//!   retry budget, drops out on its own;
+//! * an edge that stops hearing from a device marks it dropped and keeps
+//!   serving the surviving quorum (at least
+//!   [`ProtocolConfig::min_quorum`] devices, capped at the cluster
+//!   size); below quorum the cluster is abandoned;
+//! * the cloud assigns backbones to whichever edges report within the
+//!   retry window and keeps replaying assignments whose downlink was
+//!   lost; unreachable edges are simply left behind.
+//!
+//! Retransmissions are metered separately by the ledger
+//! ([`TransferReport::retransmissions`]), so a fault-free run's transfer
+//! accounting is bit-identical to the original blocking protocol. Faults
+//! are injected deterministically through a
+//! [`FaultPlan`](crate::FaultPlan) via
+//! [`run_acme_protocol_with_faults`].
 
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::thread;
+use std::time::{Duration, Instant};
 
-use acme_energy::Fleet;
+use crossbeam::channel::{Receiver, RecvTimeoutError};
 
+use acme_energy::{DeviceId, EdgeId, Fleet};
+
+use crate::fault::FaultPlan;
 use crate::ledger::TransferReport;
-use crate::message::{NodeId, Payload};
+use crate::message::{Envelope, NodeId, Payload};
 use crate::network::{Network, SendError};
 
 /// A fault detected while executing the protocol schedule.
 ///
-/// Any of these indicates a broken deployment (a node vanished or spoke
-/// out of turn) rather than a recoverable condition; the run that
-/// produced it tears down the whole message fabric so no peer blocks
-/// forever.
+/// With the fault-tolerant runtime, recoverable conditions (lost or
+/// delayed messages, silent peers) are handled by retry and degradation
+/// and never surface here; this error remains for structural faults — a
+/// panicking node thread, or transport misuse outside the schedule.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ProtocolError {
     /// A message could not be delivered.
@@ -77,7 +107,69 @@ impl From<SendError> for ProtocolError {
     }
 }
 
-/// Sizes and loop depth of one protocol run.
+/// Bounded-retry policy with exponential backoff shared by every
+/// protocol wait: attempt `k` (0-based) times out after
+/// `min(base * 2^k, cap)`, and a peer silent through all
+/// `max_attempts` windows is considered gone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Number of timed wait attempts before giving a peer up.
+    pub max_attempts: u32,
+    /// Timeout of the first attempt.
+    pub base: Duration,
+    /// Upper bound on any single attempt's timeout.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Deliberately conservative defaults (attempts 4, base 500 ms, cap
+    /// 1 s): healthy in-process runs answer in microseconds, so spurious
+    /// retransmissions — which would perturb the transfer accounting —
+    /// require a half-second scheduler stall. Fault experiments should
+    /// tighten these.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base: Duration::from_millis(500),
+            cap: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Timeout of the `attempt`-th (0-based) wait:
+    /// `min(base * 2^attempt, cap)`.
+    pub fn attempt_timeout(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt.min(20)).unwrap_or(u32::MAX);
+        self.base.saturating_mul(factor).min(self.cap)
+    }
+
+    /// Total patience across all attempts — the window a receiver grants
+    /// a retrying peer before declaring it dropped.
+    pub fn round_budget(&self) -> Duration {
+        (0..self.max_attempts)
+            .map(|a| self.attempt_timeout(a))
+            .sum()
+    }
+
+    /// Deadline an edge grants its cluster per collection round: all but
+    /// the last attempt window. A device burning retransmissions still
+    /// fits inside it, while the reserved final window keeps the edge's
+    /// deadline-time replies from racing the devices' own give-up (a
+    /// device's patience is the full [`RetryPolicy::round_budget`]).
+    pub fn collection_deadline(&self) -> Duration {
+        let d: Duration = (0..self.max_attempts.saturating_sub(1))
+            .map(|a| self.attempt_timeout(a))
+            .sum();
+        if d.is_zero() {
+            self.attempt_timeout(0)
+        } else {
+            d
+        }
+    }
+}
+
+/// Sizes, loop depth, and fault-tolerance knobs of one protocol run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProtocolConfig {
     /// Single-loop iterations `T` of Algorithm 2.
@@ -90,6 +182,12 @@ pub struct ProtocolConfig {
     pub header_tokens: usize,
     /// Importance-set length `R` (header parameters scored).
     pub importance_len: usize,
+    /// Timeout/backoff policy for every protocol wait.
+    pub retry: RetryPolicy,
+    /// Minimum surviving devices a cluster needs to keep running its
+    /// single-loop rounds (capped at the cluster size). Below it the
+    /// edge abandons the cluster.
+    pub min_quorum: usize,
 }
 
 impl Default for ProtocolConfig {
@@ -100,6 +198,63 @@ impl Default for ProtocolConfig {
             header_params: 4_000,
             header_tokens: 12,
             importance_len: 4_000,
+            retry: RetryPolicy::default(),
+            min_quorum: 1,
+        }
+    }
+}
+
+/// Where in the schedule a node dropped out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropPoint {
+    /// Before its first single-loop round (attribute/assignment/header
+    /// phase).
+    Setup,
+    /// During the given 0-based single-loop round.
+    Round(usize),
+}
+
+impl std::fmt::Display for DropPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DropPoint::Setup => write!(f, "setup"),
+            DropPoint::Round(r) => write!(f, "round {r}"),
+        }
+    }
+}
+
+/// Per-node outcome of a protocol run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeStatus {
+    /// The node.
+    pub node: NodeId,
+    /// Single-loop rounds this node completed. For the cloud this counts
+    /// backbone assignments issued instead.
+    pub completed_rounds: usize,
+    /// Where the node dropped out, or `None` if it finished its
+    /// schedule.
+    pub dropped_at: Option<DropPoint>,
+    /// Timed-out waits this node recovered from (each typically paired
+    /// with one retransmission).
+    pub retries: u64,
+}
+
+impl NodeStatus {
+    fn completed(node: NodeId, completed_rounds: usize, retries: u64) -> Self {
+        NodeStatus {
+            node,
+            completed_rounds,
+            dropped_at: None,
+            retries,
+        }
+    }
+
+    fn dropped(node: NodeId, completed_rounds: usize, at: DropPoint, retries: u64) -> Self {
+        NodeStatus {
+            node,
+            completed_rounds,
+            dropped_at: Some(at),
+            retries,
         }
     }
 }
@@ -107,28 +262,70 @@ impl Default for ProtocolConfig {
 /// Outcome of a protocol run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProtocolOutcome {
-    /// Metered transfers.
+    /// Metered transfers (retransmissions counted separately inside).
     pub report: TransferReport,
-    /// Loop rounds each device completed.
+    /// Minimum loop rounds completed over all devices; `0` when the
+    /// fleet has no devices. Per-device counts are in [`Self::nodes`].
     pub rounds_completed: usize,
+    /// Per-node status: the cloud first, then each cluster's edge
+    /// followed by its devices, in fleet order.
+    pub nodes: Vec<NodeStatus>,
 }
 
-/// Executes the ACME schedule over `fleet` with one OS thread per node
-/// (1 cloud + S edges + N devices), returning the metered transfer
-/// report.
+impl ProtocolOutcome {
+    /// Status of one node, if it took part in the run.
+    pub fn node(&self, node: NodeId) -> Option<&NodeStatus> {
+        self.nodes.iter().find(|s| s.node == node)
+    }
+
+    /// Every node that dropped out, in fleet order.
+    pub fn dropped_nodes(&self) -> Vec<&NodeStatus> {
+        self.nodes
+            .iter()
+            .filter(|s| s.dropped_at.is_some())
+            .collect()
+    }
+
+    /// Total retries across all nodes.
+    pub fn total_retries(&self) -> u64 {
+        self.nodes.iter().map(|s| s.retries).sum()
+    }
+}
+
+/// Executes the ACME schedule over `fleet` on a fault-free fabric with
+/// one OS thread per node (1 cloud + S edges + N devices), returning the
+/// metered transfer report and per-node statuses.
 ///
 /// # Errors
 ///
-/// Returns a [`ProtocolError`] if any node faults (channel
-/// disconnection, out-of-schedule payload, or a panicking node thread).
-/// The first fault observed closes the fabric so every other node
-/// unwinds instead of blocking, and the earliest-tier error (cloud,
-/// then edges, then devices) is reported.
+/// Returns a [`ProtocolError`] only for structural faults (a panicking
+/// node thread); lost peers degrade the run per cluster instead, visible
+/// in [`ProtocolOutcome::nodes`].
 pub fn run_acme_protocol(
     fleet: &Fleet,
     config: &ProtocolConfig,
 ) -> Result<ProtocolOutcome, ProtocolError> {
-    let net = Network::new();
+    run_acme_protocol_with_faults(fleet, config, FaultPlan::none())
+}
+
+/// Executes the ACME schedule over `fleet` with the given deterministic
+/// fault plan injected into the message fabric.
+///
+/// The run always terminates: every wait is bounded by
+/// `config.retry`, so even a fully dark fleet unwinds within the retry
+/// budget per schedule phase, and surviving clusters complete all
+/// [`ProtocolConfig::loop_rounds`].
+///
+/// # Errors
+///
+/// Returns a [`ProtocolError`] only for structural faults (a panicking
+/// node thread).
+pub fn run_acme_protocol_with_faults(
+    fleet: &Fleet,
+    config: &ProtocolConfig,
+    faults: FaultPlan,
+) -> Result<ProtocolOutcome, ProtocolError> {
+    let net = Network::with_faults(faults);
     let cloud_rx = net.register(NodeId::Cloud);
     let num_edges = fleet.num_edges();
 
@@ -143,210 +340,413 @@ pub fn run_acme_protocol(
             .iter()
             .map(|&d| net.register(NodeId::Device(d)))
             .collect();
-        let min_storage = cluster.min_storage();
-        let min_gpu = cluster.weakest_device().gpu_capacity();
-        let max_gpu = cluster
-            .devices()
-            .iter()
-            .map(|d| d.gpu_capacity())
-            .fold(f64::NEG_INFINITY, f64::max);
+        let attrs = Payload::AttributeReport {
+            device_count: device_ids.len(),
+            min_storage: cluster.min_storage(),
+            min_gpu: finite_or_zero(
+                cluster
+                    .devices()
+                    .iter()
+                    .map(|d| d.gpu_capacity())
+                    .fold(f64::INFINITY, f64::min),
+            ),
+            max_gpu: finite_or_zero(
+                cluster
+                    .devices()
+                    .iter()
+                    .map(|d| d.gpu_capacity())
+                    .fold(f64::NEG_INFINITY, f64::max),
+            ),
+        };
 
         // Edge thread.
-        let net_e = net.clone();
-        let cfg = config.clone();
-        let dev_ids = device_ids.clone();
-        edge_handles.push(thread::spawn(move || {
-            let me = NodeId::Edge(edge_id);
-            let run = || -> Result<(), ProtocolError> {
-                net_e.send(
-                    me,
-                    NodeId::Cloud,
-                    Payload::AttributeReport {
-                        device_count: dev_ids.len(),
-                        min_storage,
-                        min_gpu,
-                        max_gpu,
-                    },
-                )?;
-                // Wait for the backbone assignment.
-                let assignment = edge_rx.recv().map_err(|_| ProtocolError::ChannelClosed {
-                    node: me,
-                    waiting_for: "backbone assignment",
-                })?;
-                if !matches!(assignment.payload, Payload::BackboneAssignment { .. }) {
-                    return Err(ProtocolError::UnexpectedPayload {
-                        node: me,
-                        expected: "backbone-assignment",
-                    });
-                }
-                // Distribute the coarse header (+ backbone hand-off) to
-                // devices.
-                for &d in &dev_ids {
-                    net_e.send(
-                        me,
-                        NodeId::Device(d),
-                        Payload::HeaderSpec {
-                            tokens: vec![0; cfg.header_tokens],
-                            u: 1,
-                            param_count: cfg.header_params + cfg.backbone_params,
-                        },
-                    )?;
-                }
-                // Single-loop rounds.
-                for _ in 0..cfg.loop_rounds {
-                    let mut sets = Vec::with_capacity(dev_ids.len());
-                    for _ in 0..dev_ids.len() {
-                        let env = edge_rx.recv().map_err(|_| ProtocolError::ChannelClosed {
-                            node: me,
-                            waiting_for: "importance upload",
-                        })?;
-                        if let Payload::ImportanceUpload { values } = env.payload {
-                            sets.push((env.from, values));
-                        } else {
-                            return Err(ProtocolError::UnexpectedPayload {
-                                node: me,
-                                expected: "importance-upload",
-                            });
-                        }
-                    }
-                    // Personalized aggregation happens here in the real
-                    // pipeline; the wire cost is one downlink per device.
-                    for (from, values) in sets {
-                        net_e.send(me, from, Payload::PersonalizedImportance { values })?;
-                    }
-                }
-                Ok(())
-            };
-            let outcome = run();
-            if outcome.is_err() {
-                net_e.close();
-            }
-            outcome
-        }));
+        {
+            let net = net.clone();
+            let cfg = config.clone();
+            let dev_ids = device_ids.clone();
+            edge_handles.push(thread::spawn(move || {
+                run_edge(net, edge_rx, edge_id, dev_ids, attrs, cfg)
+            }));
+        }
 
         // Device threads.
         for (device_id, rx) in device_ids.into_iter().zip(device_rxs) {
-            let net_d = net.clone();
+            let net = net.clone();
             let cfg = config.clone();
             device_handles.push(thread::spawn(move || {
-                let me = NodeId::Device(device_id);
-                let run = || -> Result<usize, ProtocolError> {
-                    let spec = rx.recv().map_err(|_| ProtocolError::ChannelClosed {
-                        node: me,
-                        waiting_for: "header spec",
-                    })?;
-                    if !matches!(spec.payload, Payload::HeaderSpec { .. }) {
-                        return Err(ProtocolError::UnexpectedPayload {
-                            node: me,
-                            expected: "header-spec",
-                        });
-                    }
-                    let mut completed = 0;
-                    for _ in 0..cfg.loop_rounds {
-                        net_d.send(
-                            me,
-                            NodeId::Edge(edge_id),
-                            Payload::ImportanceUpload {
-                                values: vec![0.0; cfg.importance_len],
-                            },
-                        )?;
-                        let reply = rx.recv().map_err(|_| ProtocolError::ChannelClosed {
-                            node: me,
-                            waiting_for: "personalized importance",
-                        })?;
-                        if !matches!(reply.payload, Payload::PersonalizedImportance { .. }) {
-                            return Err(ProtocolError::UnexpectedPayload {
-                                node: me,
-                                expected: "personalized-importance",
-                            });
-                        }
-                        completed += 1;
-                    }
-                    Ok(completed)
-                };
-                let outcome = run();
-                if outcome.is_err() {
-                    net_d.close();
-                }
-                outcome
+                run_device(net, rx, device_id, edge_id, cfg)
             }));
         }
     }
 
-    // Cloud: collect one report per edge, then assign backbones.
-    let cloud = || -> Result<(), ProtocolError> {
-        for _ in 0..num_edges {
-            let env = cloud_rx.recv().map_err(|_| ProtocolError::ChannelClosed {
-                node: NodeId::Cloud,
-                waiting_for: "attribute report",
-            })?;
-            let edge = env.from;
-            if !matches!(env.payload, Payload::AttributeReport { .. }) {
-                return Err(ProtocolError::UnexpectedPayload {
-                    node: NodeId::Cloud,
-                    expected: "attribute-report",
-                });
-            }
-            net.send(
-                NodeId::Cloud,
-                edge,
-                Payload::BackboneAssignment {
-                    w: 1.0,
-                    d: 6,
-                    param_count: config.backbone_params,
-                },
-            )?;
-        }
-        Ok(())
+    // Cloud thread: collects attribute reports, assigns backbones, and
+    // keeps replaying assignments whose downlink was lost until every
+    // other node has finished.
+    let stop = Arc::new(AtomicBool::new(false));
+    let cloud_handle = {
+        let net = net.clone();
+        let cfg = config.clone();
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || run_cloud(net, cloud_rx, num_edges, cfg, stop))
     };
-    let cloud_outcome = cloud();
-    if cloud_outcome.is_err() {
-        // Unblock every node still waiting on a peer before joining.
-        net.close();
-    }
 
-    let mut first_err = cloud_outcome.err();
+    let mut first_err = None;
+    let mut edge_statuses = Vec::with_capacity(edge_handles.len());
     for h in edge_handles {
         match h.join() {
-            Ok(Ok(())) => {}
-            Ok(Err(e)) => {
-                first_err.get_or_insert(e);
-            }
+            Ok(status) => edge_statuses.push(status),
             Err(_) => {
                 first_err.get_or_insert(ProtocolError::NodePanicked);
             }
         }
     }
-    let mut rounds_completed = config.loop_rounds;
+    let mut device_statuses = Vec::with_capacity(device_handles.len());
     for h in device_handles {
         match h.join() {
-            Ok(Ok(r)) => rounds_completed = r,
-            Ok(Err(e)) => {
-                first_err.get_or_insert(e);
-            }
+            Ok(status) => device_statuses.push(status),
             Err(_) => {
                 first_err.get_or_insert(ProtocolError::NodePanicked);
             }
         }
     }
+    // All peers are done: release the cloud's replay service.
+    stop.store(true, Ordering::Relaxed);
+    let cloud_status = match cloud_handle.join() {
+        Ok(status) => Some(status),
+        Err(_) => {
+            first_err.get_or_insert(ProtocolError::NodePanicked);
+            None
+        }
+    };
     if let Some(e) = first_err {
         return Err(e);
+    }
+
+    let rounds_completed = device_statuses
+        .iter()
+        .map(|s| s.completed_rounds)
+        .min()
+        .unwrap_or(0);
+    let mut nodes = Vec::with_capacity(1 + edge_statuses.len() + device_statuses.len());
+    nodes.extend(cloud_status);
+    // Interleave back into fleet order: each cluster's edge, then its
+    // devices.
+    let mut devices = device_statuses.into_iter();
+    for (cluster, edge) in fleet.clusters().iter().zip(edge_statuses) {
+        nodes.push(edge);
+        nodes.extend(devices.by_ref().take(cluster.devices().len()));
     }
     Ok(ProtocolOutcome {
         report: net.ledger().report(),
         rounds_completed,
+        nodes,
     })
+}
+
+fn finite_or_zero(x: f64) -> f64 {
+    if x.is_finite() {
+        x
+    } else {
+        0.0
+    }
+}
+
+/// Edge-server schedule: report attributes, await the backbone, hand the
+/// header to the cluster, then serve `T` rounds over the surviving
+/// quorum.
+fn run_edge(
+    net: Network,
+    rx: Receiver<Envelope>,
+    edge_id: EdgeId,
+    dev_ids: Vec<DeviceId>,
+    attrs: Payload,
+    cfg: ProtocolConfig,
+) -> NodeStatus {
+    let me = NodeId::Edge(edge_id);
+    let mut retries = 0u64;
+
+    if net.send(me, NodeId::Cloud, attrs.clone()).is_err() {
+        return NodeStatus::dropped(me, 0, DropPoint::Setup, retries);
+    }
+    // Await the backbone assignment, retransmitting the attribute report
+    // whenever a wait times out (the report or the assignment was lost).
+    let mut attempt = 0u32;
+    let assigned = loop {
+        match rx.recv_timeout(cfg.retry.attempt_timeout(attempt)) {
+            Ok(env) => {
+                if matches!(env.payload, Payload::BackboneAssignment { .. }) {
+                    break true;
+                }
+                // Stale duplicate: ignore without consuming an attempt.
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                retries += 1;
+                attempt += 1;
+                if attempt >= cfg.retry.max_attempts {
+                    break false;
+                }
+                if net
+                    .send_retransmit(me, NodeId::Cloud, attrs.clone())
+                    .is_err()
+                {
+                    break false;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break false,
+        }
+    };
+    if !assigned {
+        return NodeStatus::dropped(me, 0, DropPoint::Setup, retries);
+    }
+
+    // Distribute the coarse header (+ backbone hand-off) to devices. A
+    // dead device's copy is lost in flight; it will drop itself.
+    for &d in &dev_ids {
+        let _ = net.send(
+            me,
+            NodeId::Device(d),
+            Payload::HeaderSpec {
+                tokens: vec![0; cfg.header_tokens],
+                u: 1,
+                param_count: cfg.header_params + cfg.backbone_params,
+            },
+        );
+    }
+
+    // Single-loop rounds over the surviving quorum.
+    let quorum = cfg.min_quorum.min(dev_ids.len());
+    let mut live: HashSet<NodeId> = dev_ids.iter().map(|&d| NodeId::Device(d)).collect();
+    // Last personalized set served per device, replayed when a device
+    // signals (by re-uploading an old round) that its downlink was lost.
+    let mut served: HashMap<NodeId, (usize, Vec<f32>)> = HashMap::new();
+    let mut completed = 0usize;
+    for round in 0..cfg.loop_rounds {
+        let mut sets: Vec<(NodeId, Vec<f32>)> = Vec::with_capacity(live.len());
+        let mut got: HashSet<NodeId> = HashSet::with_capacity(live.len());
+        // One shared deadline covering a device's retransmission window
+        // (its final attempt stays reserved for the reply's flight back).
+        let deadline = Instant::now() + cfg.retry.collection_deadline();
+        while got.len() < live.len() {
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                break;
+            };
+            match rx.recv_timeout(remaining) {
+                Ok(env) => {
+                    let from = env.from;
+                    if let Payload::ImportanceUpload { round: r, values } = env.payload {
+                        if !live.contains(&from) {
+                            // Already dropped from this cluster: ignore.
+                        } else if r == round {
+                            // Deduplicates retransmitted and duplicated
+                            // uploads by sender.
+                            if got.insert(from) {
+                                sets.push((from, values));
+                            }
+                        } else if r < round {
+                            // The device never saw its round-`r` reply:
+                            // replay the served set.
+                            if let Some((sr, vals)) = served.get(&from) {
+                                if *sr == r {
+                                    retries += 1;
+                                    let _ = net.send_retransmit(
+                                        me,
+                                        from,
+                                        Payload::PersonalizedImportance {
+                                            round: r,
+                                            values: vals.clone(),
+                                        },
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    // Duplicated assignments and other stale control
+                    // traffic are ignored.
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => {
+                    return NodeStatus::dropped(me, completed, DropPoint::Round(round), retries)
+                }
+            }
+        }
+        if got.len() < live.len() {
+            // Devices silent through the whole retry window are dropped;
+            // the cluster continues with the survivors.
+            live.retain(|d| got.contains(d));
+        }
+        if live.len() < quorum {
+            return NodeStatus::dropped(me, completed, DropPoint::Round(round), retries);
+        }
+        // Personalized aggregation happens here in the real pipeline;
+        // the wire cost is one downlink per surviving device.
+        for (from, values) in sets {
+            served.insert(from, (round, values.clone()));
+            let _ = net.send(me, from, Payload::PersonalizedImportance { round, values });
+        }
+        completed += 1;
+    }
+    NodeStatus::completed(me, completed, retries)
+}
+
+/// Device schedule: await the header, then `T` rounds of upload →
+/// personalized reply, retransmitting the upload on every timed-out
+/// wait.
+fn run_device(
+    net: Network,
+    rx: Receiver<Envelope>,
+    device_id: DeviceId,
+    edge_id: EdgeId,
+    cfg: ProtocolConfig,
+) -> NodeStatus {
+    let me = NodeId::Device(device_id);
+    let edge = NodeId::Edge(edge_id);
+    let mut retries = 0u64;
+
+    // Setup: the edge drives this phase, so there is nothing to
+    // retransmit — just bounded patience.
+    let mut attempt = 0u32;
+    let got_spec = loop {
+        match rx.recv_timeout(cfg.retry.attempt_timeout(attempt)) {
+            Ok(env) => {
+                if matches!(env.payload, Payload::HeaderSpec { .. }) {
+                    break true;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                retries += 1;
+                attempt += 1;
+                if attempt >= cfg.retry.max_attempts {
+                    break false;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break false,
+        }
+    };
+    if !got_spec {
+        return NodeStatus::dropped(me, 0, DropPoint::Setup, retries);
+    }
+
+    let mut completed = 0usize;
+    'rounds: for round in 0..cfg.loop_rounds {
+        let upload = Payload::ImportanceUpload {
+            round,
+            values: vec![0.0; cfg.importance_len],
+        };
+        if net.send(me, edge, upload.clone()).is_err() {
+            return NodeStatus::dropped(me, completed, DropPoint::Round(round), retries);
+        }
+        let mut attempt = 0u32;
+        loop {
+            match rx.recv_timeout(cfg.retry.attempt_timeout(attempt)) {
+                Ok(env) => {
+                    if let Payload::PersonalizedImportance { round: r, .. } = env.payload {
+                        if r == round {
+                            completed += 1;
+                            continue 'rounds;
+                        }
+                        // A duplicated or replayed earlier reply: ignore.
+                    }
+                    // Duplicated header specs are ignored too.
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    retries += 1;
+                    attempt += 1;
+                    if attempt >= cfg.retry.max_attempts {
+                        return NodeStatus::dropped(
+                            me,
+                            completed,
+                            DropPoint::Round(round),
+                            retries,
+                        );
+                    }
+                    // The upload or the reply was lost: retransmit.
+                    if net.send_retransmit(me, edge, upload.clone()).is_err() {
+                        return NodeStatus::dropped(
+                            me,
+                            completed,
+                            DropPoint::Round(round),
+                            retries,
+                        );
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return NodeStatus::dropped(me, completed, DropPoint::Round(round), retries);
+                }
+            }
+        }
+    }
+    NodeStatus::completed(me, completed, retries)
+}
+
+/// Cloud schedule: assign a backbone to every edge that reports within
+/// the retry window, then keep replaying assignments for retransmitted
+/// reports (lost downlinks) until the driver signals completion.
+fn run_cloud(
+    net: Network,
+    rx: Receiver<Envelope>,
+    num_edges: usize,
+    cfg: ProtocolConfig,
+    stop: Arc<AtomicBool>,
+) -> NodeStatus {
+    let me = NodeId::Cloud;
+    let mut assigned: HashSet<NodeId> = HashSet::with_capacity(num_edges);
+    let mut retries = 0u64;
+    let serve = |env: Envelope, assigned: &mut HashSet<NodeId>, retries: &mut u64| {
+        if matches!(env.payload, Payload::AttributeReport { .. }) {
+            let assignment = Payload::BackboneAssignment {
+                w: 1.0,
+                d: 6,
+                param_count: cfg.backbone_params,
+            };
+            if assigned.insert(env.from) {
+                let _ = net.send(me, env.from, assignment);
+            } else {
+                // A re-reported edge never saw its assignment: replay.
+                *retries += 1;
+                let _ = net.send_retransmit(me, env.from, assignment);
+            }
+        }
+    };
+
+    // Collection phase: bounded patience for every edge's report.
+    let deadline = Instant::now() + cfg.retry.round_budget();
+    while assigned.len() < num_edges {
+        let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+            break;
+        };
+        match rx.recv_timeout(remaining) {
+            Ok(env) => serve(env, &mut assigned, &mut retries),
+            Err(RecvTimeoutError::Timeout) => break,
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    // Replay service: a lost assignment downlink surfaces as a
+    // retransmitted attribute report, possibly long after the collection
+    // deadline. Late first reports are served here too.
+    while !stop.load(Ordering::Relaxed) {
+        match rx.recv_timeout(Duration::from_millis(10)) {
+            Ok(env) => serve(env, &mut assigned, &mut retries),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    NodeStatus::completed(me, assigned.len(), retries)
 }
 
 /// The centralized-system baseline of Table I: every device uploads its
 /// raw training data to the cloud, which returns a customized full model
 /// per device.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::Send`] when a transfer cannot be delivered
+/// (a registration raced or an inbox was dropped).
 pub fn centralized_transfers(
     fleet: &Fleet,
     samples_per_device: u64,
     bytes_per_sample: u64,
     model_params: u64,
-) -> TransferReport {
+) -> Result<TransferReport, ProtocolError> {
     let net = Network::new();
     let _cloud_rx = net.register(NodeId::Cloud);
     let mut inboxes = Vec::new();
@@ -361,8 +761,7 @@ pub fn centralized_transfers(
                     samples: samples_per_device,
                     bytes_per_sample,
                 },
-            )
-            .expect("raw upload");
+            )?;
             net.send(
                 NodeId::Cloud,
                 d,
@@ -371,16 +770,16 @@ pub fn centralized_transfers(
                     d: 12,
                     param_count: model_params,
                 },
-            )
-            .expect("model downlink");
+            )?;
         }
     }
-    net.ledger().report()
+    Ok(net.ledger().report())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use acme_energy::DeviceCluster;
 
     #[test]
     fn protocol_completes_with_expected_message_count() {
@@ -398,6 +797,18 @@ mod tests {
         // per device per loop round.
         let expected = s + s + n + t * n * 2;
         assert_eq!(out.report.messages, expected);
+        // Fault-free: no retransmissions, nobody dropped, full statuses.
+        assert_eq!(out.report.retransmissions, 0);
+        assert_eq!(out.nodes.len(), 1 + 3 + 12);
+        assert!(out.dropped_nodes().is_empty());
+        assert_eq!(out.total_retries(), 0);
+        for status in &out.nodes {
+            match status.node {
+                NodeId::Device(_) => assert_eq!(status.completed_rounds, 2),
+                NodeId::Edge(_) => assert_eq!(status.completed_rounds, 2),
+                NodeId::Cloud => assert_eq!(status.completed_rounds, 3),
+            }
+        }
     }
 
     #[test]
@@ -415,6 +826,8 @@ mod tests {
             .find(|r| r.kind == "importance-upload")
             .expect("importance rows");
         assert_eq!(imp.messages, 2 * 5 * 3);
+        // Importance uploads flow only toward the cloud.
+        assert_eq!(imp.downlink_bytes, 0);
         assert!(out.report.uplink_bytes > 0);
         // ACME never uploads raw data.
         assert!(out
@@ -429,13 +842,33 @@ mod tests {
         let fleet = Fleet::paper_default(2, 5);
         let acme = run_acme_protocol(&fleet, &ProtocolConfig::default()).expect("protocol run");
         // CIFAR-scale: 500 samples of 3 KiB each per device.
-        let cs = centralized_transfers(&fleet, 500, 3072, 1_000_000);
+        let cs = centralized_transfers(&fleet, 500, 3072, 1_000_000).expect("baseline run");
         assert!(
             acme.report.uplink_bytes * 5 < cs.uplink_bytes,
             "acme {} vs cs {}",
             acme.report.uplink_bytes,
             cs.uplink_bytes
         );
+    }
+
+    #[test]
+    fn centralized_report_keeps_direction_per_kind() {
+        let fleet = Fleet::paper_default(2, 3);
+        let cs = centralized_transfers(&fleet, 10, 100, 1_000).expect("baseline run");
+        let raw = cs
+            .per_kind
+            .iter()
+            .find(|r| r.kind == "raw-data-upload")
+            .expect("raw rows");
+        assert!(raw.uplink_bytes > 0);
+        assert_eq!(raw.downlink_bytes, 0);
+        let model = cs
+            .per_kind
+            .iter()
+            .find(|r| r.kind == "backbone-assignment")
+            .expect("model rows");
+        assert_eq!(model.uplink_bytes, 0);
+        assert!(model.downlink_bytes > 0);
     }
 
     #[test]
@@ -461,8 +894,67 @@ mod tests {
     }
 
     #[test]
+    fn rounds_completed_is_min_over_devices_and_zero_for_empty_fleet() {
+        // Regression: the old implementation reported the *last-joined*
+        // device's count and `loop_rounds` for a deviceless fleet.
+        let empty = Fleet::new(vec![DeviceCluster::new(EdgeId(0), Vec::new())]);
+        let cfg = ProtocolConfig {
+            loop_rounds: 3,
+            ..ProtocolConfig::default()
+        };
+        let out = run_acme_protocol(&empty, &cfg).expect("protocol run");
+        assert_eq!(out.rounds_completed, 0, "no devices -> zero rounds");
+        // The edge itself idles through its (deviceless) rounds rather
+        // than failing: quorum is capped at the cluster size.
+        let edge = out.node(NodeId::Edge(EdgeId(0))).expect("edge status");
+        assert_eq!(edge.dropped_at, None);
+        assert_eq!(edge.completed_rounds, 3);
+        // Setup traffic still flows: attribute report + assignment.
+        assert_eq!(out.report.messages, 2);
+    }
+
+    #[test]
+    fn empty_cluster_does_not_hold_back_populated_ones() {
+        let mut clusters = Fleet::paper_default(1, 3).clusters().to_vec();
+        clusters.push(DeviceCluster::new(EdgeId(1), Vec::new()));
+        let fleet = Fleet::new(clusters);
+        let cfg = ProtocolConfig {
+            loop_rounds: 2,
+            ..ProtocolConfig::default()
+        };
+        let out = run_acme_protocol(&fleet, &cfg).expect("protocol run");
+        // Min over existing devices only: the deviceless cluster
+        // contributes no device statuses.
+        assert_eq!(out.rounds_completed, 2);
+        assert!(out.dropped_nodes().is_empty());
+    }
+
+    #[test]
+    fn retry_policy_backoff_doubles_up_to_cap() {
+        let p = RetryPolicy {
+            max_attempts: 4,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(35),
+        };
+        assert_eq!(p.attempt_timeout(0), Duration::from_millis(10));
+        assert_eq!(p.attempt_timeout(1), Duration::from_millis(20));
+        assert_eq!(p.attempt_timeout(2), Duration::from_millis(35));
+        assert_eq!(p.attempt_timeout(3), Duration::from_millis(35));
+        assert_eq!(p.round_budget(), Duration::from_millis(10 + 20 + 35 + 35));
+        // The edge's collection deadline excludes the final window.
+        assert_eq!(p.collection_deadline(), Duration::from_millis(10 + 20 + 35));
+        // Huge attempt indices saturate instead of overflowing.
+        assert_eq!(p.attempt_timeout(u32::MAX), Duration::from_millis(35));
+        // A single-attempt policy still waits one full window.
+        let one = RetryPolicy {
+            max_attempts: 1,
+            ..p
+        };
+        assert_eq!(one.collection_deadline(), Duration::from_millis(10));
+    }
+
+    #[test]
     fn protocol_error_display_names_the_node() {
-        use acme_energy::EdgeId;
         let e = ProtocolError::ChannelClosed {
             node: NodeId::Edge(EdgeId(2)),
             waiting_for: "backbone assignment",
@@ -470,5 +962,11 @@ mod tests {
         assert!(e.to_string().contains("edge-2"));
         let e = ProtocolError::Send(SendError::UnknownNode(NodeId::Cloud));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn drop_point_display() {
+        assert_eq!(DropPoint::Setup.to_string(), "setup");
+        assert_eq!(DropPoint::Round(2).to_string(), "round 2");
     }
 }

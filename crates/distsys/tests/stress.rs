@@ -57,7 +57,7 @@ fn concurrent_protocol_runs_are_isolated() {
 fn ledger_totals_match_per_kind_sum() {
     let fleet = Fleet::paper_default(3, 4);
     let out = run_acme_protocol(&fleet, &ProtocolConfig::default()).expect("protocol run");
-    let kind_bytes: u64 = out.report.per_kind.iter().map(|k| k.bytes).sum();
+    let kind_bytes: u64 = out.report.per_kind.iter().map(|k| k.bytes()).sum();
     let kind_msgs: u64 = out.report.per_kind.iter().map(|k| k.messages).sum();
     assert_eq!(kind_bytes, out.report.total_bytes);
     assert_eq!(kind_msgs, out.report.messages);

@@ -25,13 +25,10 @@ pub struct DeviceCluster {
 }
 
 impl DeviceCluster {
-    /// Creates a cluster.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an empty device list.
+    /// Creates a cluster. An empty device list is allowed: clusters can
+    /// drain as devices drop out, and the protocol runtime treats a
+    /// deviceless cluster as trivially complete.
     pub fn new(edge: EdgeId, devices: Vec<Device>) -> Self {
-        assert!(!devices.is_empty(), "cluster must contain devices");
         DeviceCluster { edge, devices }
     }
 
@@ -46,18 +43,23 @@ impl DeviceCluster {
     }
 
     /// `min_{n in N_s} C_n`: the binding storage constraint used in
-    /// Eq. (10).
+    /// Eq. (10). Zero for an empty cluster (nothing can be stored on no
+    /// devices).
     pub fn min_storage(&self) -> u64 {
         self.devices
             .iter()
             .map(Device::storage_limit)
             .min()
-            .expect("nonempty")
+            .unwrap_or(0)
     }
 
     /// The device with the largest energy footprint proxy (lowest GPU
     /// capacity): the paper uses the cluster's max energy as the
     /// representative metric in Eq. (10).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty cluster.
     pub fn weakest_device(&self) -> &Device {
         self.devices
             .iter()
@@ -212,6 +214,13 @@ mod tests {
         assert_eq!(c.min_storage(), 100);
         assert_eq!(c.weakest_device().id().0, 1);
         assert_eq!(c.edge(), EdgeId(0));
+    }
+
+    #[test]
+    fn empty_cluster_is_allowed_and_stores_nothing() {
+        let c = DeviceCluster::new(EdgeId(3), Vec::new());
+        assert_eq!(c.devices().len(), 0);
+        assert_eq!(c.min_storage(), 0);
     }
 
     #[test]

@@ -10,7 +10,11 @@
 
 use acme::{build_candidate_pool_on, customize_backbone_for_cluster, Pool};
 use acme_data::{cifar100_like, SyntheticSpec};
-use acme_distsys::protocol::{centralized_transfers, run_acme_protocol, ProtocolConfig};
+use acme_distsys::protocol::{
+    centralized_transfers, run_acme_protocol, run_acme_protocol_with_faults, ProtocolConfig,
+    RetryPolicy,
+};
+use acme_distsys::{FaultPlan, NodeId};
 use acme_energy::{EnergyModel, Fleet};
 use acme_nn::ParamSet;
 use acme_pareto::{select_with, Candidate, EfficiencyMetrics, GridSpec, MatchingMethod};
@@ -138,7 +142,8 @@ fn main() {
     };
     let acme_run = run_acme_protocol(&fleet, &proto).expect("protocol run");
     let image_bytes = (spec.channels * spec.size * spec.size * 4) as u64;
-    let cs = centralized_transfers(&fleet, 500, image_bytes, proto.backbone_params);
+    let cs = centralized_transfers(&fleet, 500, image_bytes, proto.backbone_params)
+        .expect("baseline run");
     println!("\ntransfer volume ({} devices):", fleet.num_devices());
     println!(
         "  ACME upload: {:.3} MB",
@@ -148,5 +153,47 @@ fn main() {
     println!(
         "  ratio: {:.1}%",
         100.0 * acme_run.report.uplink_bytes as f64 / cs.uplink_bytes.max(1) as f64
+    );
+
+    // Graceful degradation: kill one device outright and drop the first
+    // importance upload of another; the surviving fleet still finishes
+    // every round, with the recovery overhead metered separately.
+    let victim = fleet.clusters()[0].devices()[0].id();
+    let faults = FaultPlan::seeded(7).kill(NodeId::Device(victim), 0).rule(
+        acme_distsys::FaultRule::on(acme_distsys::FaultAction::Drop)
+            .kind("importance-upload")
+            .nth(1),
+    );
+    let faulty_cfg = ProtocolConfig {
+        retry: RetryPolicy {
+            max_attempts: 3,
+            base: std::time::Duration::from_millis(50),
+            cap: std::time::Duration::from_millis(200),
+        },
+        ..proto.clone()
+    };
+    let degraded =
+        run_acme_protocol_with_faults(&fleet, &faulty_cfg, faults).expect("degraded run");
+    println!("\nfault-injected run (1 dead device, 1 dropped upload):");
+    println!(
+        "  rounds completed by all survivors: {}",
+        degraded
+            .nodes
+            .iter()
+            .filter(|s| s.dropped_at.is_none() && matches!(s.node, NodeId::Device(_)))
+            .map(|s| s.completed_rounds)
+            .min()
+            .unwrap_or(0)
+    );
+    for s in degraded.dropped_nodes() {
+        println!(
+            "  dropped: {} at {}",
+            s.node,
+            s.dropped_at.expect("dropped")
+        );
+    }
+    println!(
+        "  retransmissions: {} ({} bytes)",
+        degraded.report.retransmissions, degraded.report.retransmitted_bytes
     );
 }

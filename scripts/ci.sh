@@ -38,6 +38,12 @@ cargo build --workspace --release "${CARGO_FLAGS[@]}"
 step "cargo test (release)"
 cargo test --workspace --release -q "${CARGO_FLAGS[@]}"
 
+step "fault-matrix smoke (release, real timers)"
+# The fault matrix exercises recv timeouts, retransmission, and
+# per-cluster degradation against wall-clock budgets; run it in release
+# on its own so a hang or budget blowout is attributable at a glance.
+cargo test -p acme-distsys --release --test fault_matrix -q "${CARGO_FLAGS[@]}"
+
 step "kernel bench smoke (quick sweep -> BENCH_kernels.json)"
 cargo bench -p acme-bench --bench kernels "${CARGO_FLAGS[@]}" -- --quick
 

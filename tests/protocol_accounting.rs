@@ -17,6 +17,7 @@ fn acme_upload_matches_closed_form() {
         header_params: 100,
         header_tokens: 8,
         importance_len: 50,
+        ..ProtocolConfig::default()
     };
     let out = run_acme_protocol(&fleet, &cfg).expect("protocol run");
     let n = (s * n_per) as u64;
@@ -45,7 +46,7 @@ fn upload_ratio_matches_paper_band_at_paper_scale() {
             },
         )
         .expect("protocol run");
-        let cs = centralized_transfers(&fleet, 500, 3072, 1_000_000);
+        let cs = centralized_transfers(&fleet, 500, 3072, 1_000_000).expect("baseline run");
         let ratio = acme.report.uplink_bytes as f64 / cs.uplink_bytes as f64;
         assert!(ratio < 0.10, "N={} ratio {ratio}", fleet.num_devices());
         assert!(ratio > 0.001, "ratio suspiciously small: {ratio}");
