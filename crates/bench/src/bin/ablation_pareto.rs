@@ -89,7 +89,11 @@ fn main() {
             let bound = cluster.min_storage() as f64;
             let chosen = if use_pfg {
                 let spec = GridSpec::from_candidates(&candidates, 0.15).ok();
-                spec.and_then(|s| select_constrained(&candidates, &s, bound).cloned())
+                spec.and_then(|s| {
+                    select_constrained(&candidates, &s, bound)
+                        .expect("candidate objectives are finite")
+                        .cloned()
+                })
             } else {
                 weighted_sum(&candidates, bound).cloned()
             };

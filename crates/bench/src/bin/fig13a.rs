@@ -75,6 +75,7 @@ fn main() {
     let budget = (cfg.exact_params() as f64 * 0.7) as u64;
     let cluster = DeviceCluster::new(EdgeId(0), vec![Device::new(0, 5.0, budget)]);
     let idx = customize_backbone_for_cluster(&pool, &cluster, &EnergyModel::default(), 5, 0.15)
+        .expect("finite pool")
         .expect("budget feasible");
     let chosen = &pool[idx];
     let mut aps = chosen.ps.clone();

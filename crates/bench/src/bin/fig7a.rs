@@ -85,6 +85,7 @@ fn main() {
     let cluster = DeviceCluster::new(EdgeId(0), vec![Device::new(0, 5.0, budget)]);
     let idx =
         acme::customize_backbone_for_cluster(&pool, &cluster, &EnergyModel::default(), 5, 0.15)
+            .expect("finite pool")
             .expect("budget feasible");
     let chosen = &pool[idx];
     let mut aps = chosen.ps.clone();

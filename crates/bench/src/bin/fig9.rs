@@ -78,7 +78,8 @@ fn main() {
                     &spec,
                     device.storage_limit() as f64,
                     &mut rng,
-                );
+                )
+                .expect("candidate objectives are finite");
                 latency += out.selection_seconds;
                 if let Some(c) = out.candidate {
                     let m = EfficiencyMetrics::for_candidate(&c, &candidates);

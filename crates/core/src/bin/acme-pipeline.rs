@@ -22,10 +22,22 @@ OPTIONS:
     --loops <T>           Algorithm 2 single-loop rounds    [default: preset]
     --seed <S>            root RNG seed                     [default: 7]
     --threads <N>         worker threads (1 = serial)       [default: all cores]
+    --trace-out <PATH>    write an acme-obs-trace-v1 JSON document
+                          (pipeline phases, metrics registry, profile
+                          table; requires building with --features obs)
+    --chrome-out <PATH>   also write chrome://tracing trace-event JSON
     --help                print this help
 ";
 
-fn parse_args() -> Result<AcmeConfig, String> {
+/// Everything the CLI parses: the pipeline configuration plus the
+/// observability output paths.
+struct CliOptions {
+    config: AcmeConfig,
+    trace_out: Option<String>,
+    chrome_out: Option<String>,
+}
+
+fn parse_args() -> Result<CliOptions, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut config = if args.iter().any(|a| a == "--paper") {
         AcmeConfig::paper_scaled()
@@ -33,6 +45,8 @@ fn parse_args() -> Result<AcmeConfig, String> {
         AcmeConfig::quick()
     };
     config.seed = 7;
+    let mut trace_out = None;
+    let mut chrome_out = None;
     let mut i = 0;
     while i < args.len() {
         let take_value = |i: &mut usize| -> Result<String, String> {
@@ -72,6 +86,12 @@ fn parse_args() -> Result<AcmeConfig, String> {
                     .parse()
                     .map_err(|e| format!("--threads: {e}"))?;
             }
+            "--trace-out" => {
+                trace_out = Some(take_value(&mut i)?);
+            }
+            "--chrome-out" => {
+                chrome_out = Some(take_value(&mut i)?);
+            }
             "--confusion" => {
                 config.confusion = match take_value(&mut i)?.to_lowercase().as_str() {
                     "iid" => ConfusionLevel::Iid,
@@ -86,17 +106,33 @@ fn parse_args() -> Result<AcmeConfig, String> {
         i += 1;
     }
     config.validate().map_err(|e| e.to_string())?;
-    Ok(config)
+    Ok(CliOptions {
+        config,
+        trace_out,
+        chrome_out,
+    })
 }
 
 fn main() {
-    let config = match parse_args() {
+    let opts = match parse_args() {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
             std::process::exit(2);
         }
     };
+    let config = opts.config;
+    let tracing = opts.trace_out.is_some() || opts.chrome_out.is_some();
+    if tracing {
+        if !acme_obs::compiled() {
+            eprintln!(
+                "error: --trace-out/--chrome-out need observability compiled in; \
+                 rebuild with `cargo build -p acme --features obs`"
+            );
+            std::process::exit(2);
+        }
+        acme_obs::trace::set_enabled(true);
+    }
     println!(
         "running ACME: {} clusters x {} devices, {} classes, confusion {}, T={}, seed {}, {} threads",
         config.clusters,
@@ -146,4 +182,30 @@ fn main() {
         outcome.mean_improvement(),
         outcome.header_search_space as f64 / 1e3
     );
+
+    if tracing {
+        // Publish the kernel-side pool/pack-cache counters into the
+        // registry so the exported snapshot is complete.
+        acme_tensor::publish_obs_metrics();
+        let trace = acme_obs::trace::drain();
+        let metrics = acme_obs::metrics::snapshot();
+        let phases = acme_obs::profile::snapshot();
+        let write = |path: &str, doc: String, what: &str| {
+            if let Err(e) = std::fs::write(path, doc) {
+                eprintln!("error: failed to write {what} to {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("{what} written to {path}");
+        };
+        if let Some(path) = &opts.trace_out {
+            write(
+                path,
+                acme_obs::export::trace_json(&trace, &metrics, &phases),
+                "trace",
+            );
+        }
+        if let Some(path) = &opts.chrome_out {
+            write(path, acme_obs::export::chrome_json(&trace), "chrome trace");
+        }
+    }
 }

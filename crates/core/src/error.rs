@@ -1,11 +1,12 @@
 //! The unified error type of the public pipeline API.
 
 use acme_distsys::{ProtocolError, SendError};
+use acme_pareto::SelectError;
 
 /// Everything that can go wrong on the documented `acme` surface:
 /// constructing a pipeline from an inconsistent configuration, running
-/// it over a faulted transfer fabric, or selecting from an empty
-/// candidate pool.
+/// it over a faulted transfer fabric, or selecting from an empty or
+/// degenerate candidate pool.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AcmeError {
     /// The configuration failed cross-field validation (see
@@ -13,6 +14,10 @@ pub enum AcmeError {
     InvalidConfig(String),
     /// Phase 1 produced no `(w, d)` candidates to assign from.
     EmptyCandidatePool,
+    /// Pareto selection rejected the candidate pool (e.g. every
+    /// candidate carried a non-finite objective after a diverged
+    /// distillation run).
+    Selection(SelectError),
     /// A metered transfer could not be delivered.
     Transfer(SendError),
     /// The distributed schedule faulted.
@@ -26,6 +31,7 @@ impl std::fmt::Display for AcmeError {
             AcmeError::EmptyCandidatePool => {
                 write!(f, "phase 1 produced an empty candidate pool")
             }
+            AcmeError::Selection(e) => write!(f, "candidate selection failed: {e}"),
             AcmeError::Transfer(e) => write!(f, "transfer failed: {e}"),
             AcmeError::Protocol(e) => write!(f, "protocol fault: {e}"),
         }
@@ -35,10 +41,17 @@ impl std::fmt::Display for AcmeError {
 impl std::error::Error for AcmeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
+            AcmeError::Selection(e) => Some(e),
             AcmeError::Transfer(e) => Some(e),
             AcmeError::Protocol(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<SelectError> for AcmeError {
+    fn from(e: SelectError) -> Self {
+        AcmeError::Selection(e)
     }
 }
 
@@ -74,5 +87,9 @@ mod tests {
         assert!(matches!(e, AcmeError::Transfer(_)));
         let e: AcmeError = ProtocolError::NodePanicked.into();
         assert!(matches!(e, AcmeError::Protocol(_)));
+        let e: AcmeError = SelectError::NoFiniteCandidate { total: 3 }.into();
+        assert!(matches!(e, AcmeError::Selection(_)));
+        assert!(e.to_string().contains("non-finite"));
+        assert!(std::error::Error::source(&e).is_some());
     }
 }

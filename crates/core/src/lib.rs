@@ -59,6 +59,7 @@ pub use acme_distsys::{
     DropPoint, FaultAction, FaultPlan, FaultRule, NodeStatus, ProtocolConfig, ProtocolOutcome,
     RetryPolicy,
 };
+pub use acme_pareto::SelectError;
 pub use acme_runtime::Pool;
 pub use config::{AcmeConfig, AcmeConfigBuilder};
 pub use error::AcmeError;

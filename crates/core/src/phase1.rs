@@ -4,7 +4,7 @@
 use acme_data::Dataset;
 use acme_energy::{DeviceCluster, EnergyModel};
 use acme_nn::ParamSet;
-use acme_pareto::{select_constrained, Candidate, GridSpec};
+use acme_pareto::{select_constrained, Candidate, GridSpec, SelectError};
 use acme_runtime::Pool;
 use acme_tensor::{Graph, SmallRng64};
 use acme_vit::{
@@ -173,15 +173,22 @@ pub fn build_candidate_pool_on(
 /// Eq. 10), constructs the Pareto Front Grid, truncates by
 /// `min_n C_n`, and applies the Eq. (13) selection rule.
 ///
-/// Returns the index into `pool` of the chosen candidate, or `None` when
-/// nothing fits the cluster's storage bound.
+/// Returns the index into `pool` of the chosen candidate, or `Ok(None)`
+/// when nothing fits the cluster's storage bound.
+///
+/// # Errors
+///
+/// Returns [`SelectError::NoFiniteCandidate`] when the pool is non-empty
+/// but every candidate carries a non-finite objective (e.g. a diverged
+/// distillation loss) — selection refuses to rank NaNs instead of
+/// panicking.
 pub fn customize_backbone_for_cluster(
     pool: &[CandidateModel],
     cluster: &DeviceCluster,
     energy: &EnergyModel,
     energy_epochs: usize,
     gamma_p: f64,
-) -> Option<usize> {
+) -> Result<Option<usize>, SelectError> {
     let candidates: Vec<Candidate> = pool
         .iter()
         .map(|c| {
@@ -195,9 +202,26 @@ pub fn customize_backbone_for_cluster(
             Candidate::new(c.w, c.d, [c.loss, e, c.params as f64]).with_accuracy(c.accuracy)
         })
         .collect();
-    let spec = GridSpec::from_candidates(&candidates, gamma_p).ok()?;
-    let chosen = select_constrained(&candidates, &spec, cluster.min_storage() as f64)?;
-    pool.iter().position(|c| c.w == chosen.w && c.d == chosen.d)
+    // The grid is built over the finite sub-pool so a single NaN loss
+    // cannot poison the interval bounds for everyone else.
+    let finite: Vec<Candidate> = candidates
+        .iter()
+        .filter(|c| c.is_finite())
+        .cloned()
+        .collect();
+    if finite.is_empty() {
+        if candidates.is_empty() {
+            return Ok(None);
+        }
+        return Err(SelectError::NoFiniteCandidate {
+            total: candidates.len(),
+        });
+    }
+    let Ok(spec) = GridSpec::from_candidates(&finite, gamma_p) else {
+        return Ok(None);
+    };
+    let chosen = select_constrained(&finite, &spec, cluster.min_storage() as f64)?;
+    Ok(chosen.and_then(|chosen| pool.iter().position(|c| c.w == chosen.w && c.d == chosen.d)))
 }
 
 #[cfg(test)]
@@ -266,13 +290,48 @@ mod tests {
             vec![Device::new(0, 5.0, (min_params + max_params) / 2)],
         );
         let i = customize_backbone_for_cluster(&pool, &tight, &EnergyModel::default(), 3, 0.2)
+            .expect("finite pool")
             .expect("feasible");
         assert!(pool[i].params < (min_params + max_params) / 2);
         // An infeasible bound yields None.
         let hopeless = DeviceCluster::new(EdgeId(1), vec![Device::new(1, 5.0, 1)]);
         assert!(
             customize_backbone_for_cluster(&pool, &hopeless, &EnergyModel::default(), 3, 0.2)
+                .expect("finite pool")
                 .is_none()
+        );
+    }
+
+    #[test]
+    fn nan_losses_are_skipped_and_all_nan_pool_is_an_error() {
+        let (vit, ps, train, val, mut rng) = setup();
+        let mut pool = build_candidate_pool(
+            &vit,
+            &ps,
+            &train,
+            &val,
+            &[0.5, 1.0],
+            &[1, 2],
+            &DistillConfig {
+                epochs: 0,
+                ..DistillConfig::default()
+            },
+            1,
+            &mut rng,
+        );
+        let roomy = DeviceCluster::new(EdgeId(0), vec![Device::new(0, 5.0, u64::MAX / 2)]);
+        // A single diverged candidate is skipped, not compared.
+        pool[0].loss = f64::NAN;
+        let i = customize_backbone_for_cluster(&pool, &roomy, &EnergyModel::default(), 3, 0.2)
+            .expect("finite candidates remain")
+            .expect("feasible");
+        assert!(pool[i].loss.is_finite());
+        // A fully diverged pool is a typed error, not a panic.
+        for c in &mut pool {
+            c.loss = f64::NAN;
+        }
+        assert!(
+            customize_backbone_for_cluster(&pool, &roomy, &EnergyModel::default(), 3, 0.2).is_err()
         );
     }
 

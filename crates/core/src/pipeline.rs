@@ -128,10 +128,14 @@ impl Acme {
         // Cloud pre-training of the reference model θ0.
         let mut teacher_ps = ParamSet::new();
         let teacher = Vit::new(&mut teacher_ps, &cfg.reference, &mut model_rng);
-        fit(&teacher, &mut teacher_ps, &public_train, &cfg.pretrain);
+        {
+            let _phase = acme_obs::profile::phase("pipeline.pretrain");
+            fit(&teacher, &mut teacher_ps, &public_train, &cfg.pretrain);
+        }
 
         // Phase 1: candidate pool (one task per candidate) and
         // per-cluster backbone customization (one task per cluster).
+        let phase1 = acme_obs::profile::phase("pipeline.phase1");
         let pool = build_candidate_pool_on(
             &pool_rt,
             &teacher,
@@ -144,16 +148,15 @@ impl Acme {
             cfg.importance_batches,
             &mut pipe_rng,
         );
-        let choices: Vec<Option<usize>> =
-            pool_rt.par_map((0..fleet.clusters().len()).collect(), |_, s| {
-                customize_backbone_for_cluster(
-                    &pool,
-                    &fleet.clusters()[s],
-                    &cfg.energy,
-                    cfg.energy_epochs,
-                    cfg.gamma_p,
-                )
-            });
+        let choices = pool_rt.par_map((0..fleet.clusters().len()).collect(), |_, s| {
+            customize_backbone_for_cluster(
+                &pool,
+                &fleet.clusters()[s],
+                &cfg.energy,
+                cfg.energy_epochs,
+                cfg.gamma_p,
+            )
+        });
         // Fall back to the smallest candidate when nothing fits.
         let smallest = pool
             .iter()
@@ -165,6 +168,9 @@ impl Acme {
         let mut assignments = Vec::with_capacity(cfg.clusters);
         let mut cluster_choice = Vec::with_capacity(cfg.clusters);
         for (cluster, choice) in fleet.clusters().iter().zip(choices) {
+            // A fully diverged candidate pool surfaces as a typed
+            // selection error instead of panicking inside the comparator.
+            let choice = choice?;
             let edge = cluster.edge();
             net.send(
                 NodeId::Edge(edge),
@@ -206,6 +212,7 @@ impl Acme {
             });
             cluster_choice.push(idx);
         }
+        drop(phase1);
 
         // Phases 2-1 and 2-2: one task per cluster. Each task owns RNG
         // streams forked off the roots in cluster order *before* the
@@ -219,6 +226,7 @@ impl Acme {
         let cluster_streams: Vec<(usize, SmallRng64, SmallRng64)> = (0..fleet.clusters().len())
             .map(|s| (s, data_rng.fork(s as u64), pipe_rng.fork(s as u64)))
             .collect();
+        let phase2 = acme_obs::profile::phase("pipeline.phase2");
         let per_cluster = pool_rt.par_map(
             cluster_streams,
             |_, (s, mut c_data_rng, mut c_pipe_rng)| -> Result<_, AcmeError> {
@@ -252,14 +260,21 @@ impl Acme {
                     });
                 }
                 // Phase 2-1: NAS on the edge's shared dataset.
-                let customization = coarse_header_search(
-                    edge,
-                    &backbone,
-                    &mut edge_ps,
-                    &edge_data,
-                    &cfg.search,
-                    &mut c_pipe_rng,
-                );
+                let customization = {
+                    let _span = acme_obs::span!(
+                        acme_obs::Detail::Phase,
+                        "pipeline.phase2_1",
+                        "cluster" => s as u64,
+                    );
+                    coarse_header_search(
+                        edge,
+                        &backbone,
+                        &mut edge_ps,
+                        &edge_data,
+                        &cfg.search,
+                        &mut c_pipe_rng,
+                    )
+                };
                 let header = customization.header;
                 let header_params =
                     edge_ps.num_scalars_of(&acme_vit::headers::Header::param_ids(&header)) as u64;
@@ -275,6 +290,11 @@ impl Acme {
                     )?;
                 }
                 // Phase 2-2: the single-loop refinement.
+                let _span = acme_obs::span!(
+                    acme_obs::Detail::Phase,
+                    "pipeline.phase2_2",
+                    "cluster" => s as u64,
+                );
                 let refine = refine_cluster(
                     &pool_rt,
                     edge,
@@ -293,6 +313,7 @@ impl Acme {
         for cluster_results in per_cluster {
             device_results.extend(cluster_results?);
         }
+        drop(phase2);
 
         Ok(AcmeOutcome {
             assignments,

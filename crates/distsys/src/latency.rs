@@ -10,16 +10,94 @@ use serde::{Deserialize, Serialize};
 use crate::ledger::TransferReport;
 use crate::message::LinkClass;
 
+/// Rejected link parameters ([`Link::try_new`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkError {
+    /// Bandwidth was zero, negative, or not finite.
+    Bandwidth(f64),
+    /// Round-trip latency was zero, negative, or not finite.
+    Rtt(f64),
+}
+
+impl std::fmt::Display for LinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkError::Bandwidth(b) => {
+                write!(f, "link bandwidth must be positive and finite, got {b}")
+            }
+            LinkError::Rtt(r) => {
+                write!(f, "link RTT must be positive and finite, got {r}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
 /// Bandwidth/latency parameters of one link class.
+///
+/// Invalid parameters are rejected at construction ([`Link::try_new`]):
+/// a zero or negative bandwidth used to be silently clamped to
+/// 1 byte/s inside the schedule math, turning a misconfiguration into
+/// absurd-but-plausible latency estimates. The fields are private so a
+/// constructed `Link` is always valid — including one deserialized from
+/// a config file, which goes through the same validation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(try_from = "LinkSpec")]
 pub struct Link {
     /// Usable bandwidth in bytes per second.
-    pub bandwidth_bps: f64,
+    bandwidth_bps: f64,
     /// Per-message round-trip setup latency in seconds.
-    pub rtt_seconds: f64,
+    rtt_seconds: f64,
+}
+
+/// Raw wire form of a [`Link`], validated on conversion.
+#[derive(Debug, Clone, Copy, Deserialize)]
+struct LinkSpec {
+    bandwidth_bps: f64,
+    rtt_seconds: f64,
+}
+
+impl TryFrom<LinkSpec> for Link {
+    type Error = LinkError;
+
+    fn try_from(spec: LinkSpec) -> Result<Self, Self::Error> {
+        Link::try_new(spec.bandwidth_bps, spec.rtt_seconds)
+    }
 }
 
 impl Link {
+    /// Creates a link, rejecting non-positive or non-finite parameters.
+    /// (An idealized zero-latency link should use a small positive RTT.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinkError`] when `bandwidth_bps` or `rtt_seconds` is
+    /// zero, negative, or not finite.
+    pub fn try_new(bandwidth_bps: f64, rtt_seconds: f64) -> Result<Self, LinkError> {
+        if !(bandwidth_bps.is_finite() && bandwidth_bps > 0.0) {
+            return Err(LinkError::Bandwidth(bandwidth_bps));
+        }
+        if !(rtt_seconds.is_finite() && rtt_seconds > 0.0) {
+            return Err(LinkError::Rtt(rtt_seconds));
+        }
+        Ok(Link {
+            bandwidth_bps,
+            rtt_seconds,
+        })
+    }
+
+    /// Usable bandwidth in bytes per second (always positive and finite).
+    pub fn bandwidth_bps(&self) -> f64 {
+        self.bandwidth_bps
+    }
+
+    /// Per-message round-trip setup latency in seconds (always positive
+    /// and finite).
+    pub fn rtt_seconds(&self) -> f64 {
+        self.rtt_seconds
+    }
+
     /// Time to move `bytes` over this link in one message.
     pub fn transfer_seconds(&self, bytes: u64) -> f64 {
         self.schedule_seconds(1, bytes)
@@ -27,9 +105,10 @@ impl Link {
 
     /// Time to move `bytes` over this link spread across `messages`
     /// sequential messages: one RTT per message plus the serialized
-    /// payload time.
+    /// payload time. Division is safe: construction guarantees a
+    /// positive, finite bandwidth.
     pub fn schedule_seconds(&self, messages: u64, bytes: u64) -> f64 {
-        messages as f64 * self.rtt_seconds + bytes as f64 / self.bandwidth_bps.max(1.0)
+        messages as f64 * self.rtt_seconds + bytes as f64 / self.bandwidth_bps
     }
 }
 
@@ -111,10 +190,7 @@ mod tests {
 
     #[test]
     fn transfer_time_has_rtt_floor() {
-        let link = Link {
-            bandwidth_bps: 1e6,
-            rtt_seconds: 0.01,
-        };
+        let link = Link::try_new(1e6, 0.01).expect("valid link");
         assert!(link.transfer_seconds(0) >= 0.01);
         assert!((link.transfer_seconds(1_000_000) - 1.01).abs() < 1e-9);
         // One message through transfer_seconds equals the schedule form.
@@ -154,11 +230,33 @@ mod tests {
     }
 
     #[test]
-    fn zero_bandwidth_does_not_divide_by_zero() {
-        let link = Link {
-            bandwidth_bps: 0.0,
-            rtt_seconds: 0.0,
-        };
+    fn invalid_links_are_rejected_at_construction() {
+        // Regression: zero bandwidth used to be clamped to 1 byte/s
+        // inside schedule_seconds, producing absurd-but-finite times.
+        assert_eq!(Link::try_new(0.0, 0.01), Err(LinkError::Bandwidth(0.0)));
+        assert_eq!(Link::try_new(-5.0, 0.01), Err(LinkError::Bandwidth(-5.0)));
+        assert!(matches!(
+            Link::try_new(f64::NAN, 0.01),
+            Err(LinkError::Bandwidth(_))
+        ));
+        assert!(matches!(
+            Link::try_new(f64::INFINITY, 0.01),
+            Err(LinkError::Bandwidth(_))
+        ));
+        assert_eq!(Link::try_new(1e6, 0.0), Err(LinkError::Rtt(0.0)));
+        assert_eq!(Link::try_new(1e6, -0.1), Err(LinkError::Rtt(-0.1)));
+        assert!(matches!(
+            Link::try_new(1e6, f64::NAN),
+            Err(LinkError::Rtt(_))
+        ));
+        let err = Link::try_new(0.0, 0.01).unwrap_err();
+        assert!(err.to_string().contains("bandwidth"));
+        // A valid link round-trips its parameters through the accessors.
+        let link = Link::try_new(2.5e6, 0.04).expect("valid link");
+        assert_eq!(link.bandwidth_bps(), 2.5e6);
+        assert_eq!(link.rtt_seconds(), 0.04);
+        // Validation makes the estimate trustworthy: the default model
+        // cannot produce the old clamp's pathological values.
         assert!(link.transfer_seconds(100).is_finite());
     }
 }

@@ -53,7 +53,7 @@ mod network;
 pub mod protocol;
 
 pub use fault::{FaultAction, FaultPlan, FaultRule};
-pub use latency::{Link, LinkModel};
+pub use latency::{Link, LinkError, LinkModel};
 pub use ledger::{KindRow, Ledger, TransferReport};
 pub use message::{Envelope, LinkClass, NodeId, Payload};
 pub use network::{Network, SendError};

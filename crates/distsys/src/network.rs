@@ -123,11 +123,25 @@ impl Network {
             // A dead node's sends never reach the wire: swallowed
             // silently and unmetered so the sender cannot observe its
             // own death through an error.
+            acme_obs::event!(
+                acme_obs::Detail::Task,
+                "net.dead_sender",
+                "from" => from.to_string(),
+                "kind" => env.payload.kind(),
+            );
             return Ok(());
         }
         if let Verdict::Delay(d) = verdict {
             // Delivery delay is modeled as a sender-side stall before
             // the message enters the wire.
+            acme_obs::event!(
+                acme_obs::Detail::Task,
+                "net.delay",
+                "from" => from.to_string(),
+                "to" => to.to_string(),
+                "kind" => env.payload.kind(),
+                "delay_us" => d.as_micros() as u64,
+            );
             thread::sleep(d);
         }
         // Unknown recipients error before metering (nothing was sent).
@@ -137,6 +151,24 @@ impl Network {
         };
         let copies = if verdict == Verdict::Duplicate { 2 } else { 1 };
         let deliver = verdict != Verdict::Lose;
+        if !deliver {
+            acme_obs::event!(
+                acme_obs::Detail::Task,
+                "net.drop",
+                "from" => from.to_string(),
+                "to" => to.to_string(),
+                "kind" => env.payload.kind(),
+                "bytes" => env.payload.wire_bytes(),
+            );
+        } else if copies > 1 {
+            acme_obs::event!(
+                acme_obs::Detail::Task,
+                "net.duplicate",
+                "from" => from.to_string(),
+                "to" => to.to_string(),
+                "kind" => env.payload.kind(),
+            );
+        }
         for _ in 0..copies {
             // Lost messages still crossed the sender's link: metered.
             if retransmission {
@@ -144,6 +176,15 @@ impl Network {
             } else {
                 self.inner.ledger.record(&env);
             }
+            acme_obs::event!(
+                acme_obs::Detail::Task,
+                "net.send",
+                "from" => from.to_string(),
+                "to" => to.to_string(),
+                "kind" => env.payload.kind(),
+                "bytes" => env.payload.wire_bytes(),
+                "retransmit" => retransmission as u64,
+            );
             if deliver {
                 tx.send(env.clone())
                     .map_err(|_| SendError::Disconnected(to))?;

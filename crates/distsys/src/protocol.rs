@@ -113,7 +113,10 @@ impl From<SendError> for ProtocolError {
 /// `max_attempts` windows is considered gone.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RetryPolicy {
-    /// Number of timed wait attempts before giving a peer up.
+    /// Number of timed wait attempts before giving a peer up. `0` is
+    /// treated as "no retries" — a single bounded wait with no
+    /// retransmissions, identical to `1` (see
+    /// [`RetryPolicy::effective_attempts`]).
     pub max_attempts: u32,
     /// Timeout of the first attempt.
     pub base: Duration,
@@ -144,10 +147,23 @@ impl RetryPolicy {
         self.base.saturating_mul(factor).min(self.cap)
     }
 
+    /// Wait attempts the protocol actually performs:
+    /// `max_attempts.max(1)`. A `max_attempts` of `0` means "no
+    /// retries", not "no patience" — every wait still blocks for one
+    /// full [`RetryPolicy::attempt_timeout`] window. Without this floor
+    /// the budget sums below would underflow into empty sums reporting
+    /// zero wait while the recv loops still attempted once, letting
+    /// receivers declare peers dropped before their first reply could
+    /// possibly arrive.
+    pub fn effective_attempts(&self) -> u32 {
+        self.max_attempts.max(1)
+    }
+
     /// Total patience across all attempts — the window a receiver grants
-    /// a retrying peer before declaring it dropped.
+    /// a retrying peer before declaring it dropped. Never zero: see
+    /// [`RetryPolicy::effective_attempts`].
     pub fn round_budget(&self) -> Duration {
-        (0..self.max_attempts)
+        (0..self.effective_attempts())
             .map(|a| self.attempt_timeout(a))
             .sum()
     }
@@ -158,7 +174,7 @@ impl RetryPolicy {
     /// deadline-time replies from racing the devices' own give-up (a
     /// device's patience is the full [`RetryPolicy::round_budget`]).
     pub fn collection_deadline(&self) -> Duration {
-        let d: Duration = (0..self.max_attempts.saturating_sub(1))
+        let d: Duration = (0..self.effective_attempts().saturating_sub(1))
             .map(|a| self.attempt_timeout(a))
             .sum();
         if d.is_zero() {
@@ -260,7 +276,7 @@ impl NodeStatus {
 }
 
 /// Outcome of a protocol run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ProtocolOutcome {
     /// Metered transfers (retransmissions counted separately inside).
     pub report: TransferReport,
@@ -270,6 +286,26 @@ pub struct ProtocolOutcome {
     /// Per-node status: the cloud first, then each cluster's edge
     /// followed by its devices, in fleet order.
     pub nodes: Vec<NodeStatus>,
+    /// Structured trace drained at the end of the run — per-round
+    /// `protocol.round` spans plus `protocol.retry` /
+    /// `protocol.device_drop` and `net.*` events — when observability is
+    /// compiled in (`obs` feature) and runtime-enabled; `None`
+    /// otherwise. Draining here hands the run's spans to the caller, so
+    /// a caller that also records its own spans should
+    /// [`merge`](acme_obs::Trace::merge) this into its final drain.
+    pub trace: Option<acme_obs::Trace>,
+}
+
+/// Equality deliberately ignores [`ProtocolOutcome::trace`]: the trace
+/// carries wall-clock timestamps and is `Some` only under observation,
+/// while the determinism contract promises that observed and unobserved
+/// runs produce bit-identical *outcomes*.
+impl PartialEq for ProtocolOutcome {
+    fn eq(&self, other: &Self) -> bool {
+        self.report == other.report
+            && self.rounds_completed == other.rounds_completed
+            && self.nodes == other.nodes
+    }
 }
 
 impl ProtocolOutcome {
@@ -325,6 +361,13 @@ pub fn run_acme_protocol_with_faults(
     config: &ProtocolConfig,
     faults: FaultPlan,
 ) -> Result<ProtocolOutcome, ProtocolError> {
+    let num_devices: usize = fleet.clusters().iter().map(|c| c.devices().len()).sum();
+    let run_span = acme_obs::span!(
+        acme_obs::Detail::Phase,
+        "protocol.run",
+        "edges" => fleet.num_edges(),
+        "devices" => num_devices,
+    );
     let net = Network::with_faults(faults);
     let cloud_rx = net.register(NodeId::Cloud);
     let num_edges = fleet.num_edges();
@@ -436,10 +479,35 @@ pub fn run_acme_protocol_with_faults(
         nodes.push(edge);
         nodes.extend(devices.by_ref().take(cluster.devices().len()));
     }
+    let report = net.ledger().report();
+    // Close the run span before draining so it lands in this run's
+    // trace, then absorb the ledger meters and per-node retry counts
+    // into the unified metrics registry (absolute values: the ledger
+    // keeps its own dependency-free accounting on the hot path).
+    drop(run_span);
+    let trace = if acme_obs::enabled() {
+        acme_obs::metrics::set_counter("net.messages", report.messages);
+        acme_obs::metrics::set_counter("net.retransmissions", report.retransmissions);
+        acme_obs::metrics::set_counter("net.retransmitted_bytes", report.retransmitted_bytes);
+        acme_obs::metrics::set_counter("net.total_bytes", report.total_bytes);
+        acme_obs::metrics::set_counter("net.uplink_bytes", report.uplink_bytes);
+        acme_obs::metrics::set_counter(
+            "protocol.retries",
+            nodes.iter().map(|s| s.retries).sum::<u64>(),
+        );
+        acme_obs::metrics::set_counter(
+            "protocol.dropped_nodes",
+            nodes.iter().filter(|s| s.dropped_at.is_some()).count() as u64,
+        );
+        Some(acme_obs::trace::drain())
+    } else {
+        None
+    };
     Ok(ProtocolOutcome {
-        report: net.ledger().report(),
+        report,
         rounds_completed,
         nodes,
+        trace,
     })
 }
 
@@ -482,7 +550,14 @@ fn run_edge(
             Err(RecvTimeoutError::Timeout) => {
                 retries += 1;
                 attempt += 1;
-                if attempt >= cfg.retry.max_attempts {
+                acme_obs::event!(
+                    acme_obs::Detail::Phase,
+                    "protocol.retry",
+                    "node" => me.to_string(),
+                    "waiting_for" => "backbone-assignment",
+                    "attempt" => attempt,
+                );
+                if attempt >= cfg.retry.effective_attempts() {
                     break false;
                 }
                 if net
@@ -521,6 +596,12 @@ fn run_edge(
     let mut served: HashMap<NodeId, (usize, Vec<f32>)> = HashMap::new();
     let mut completed = 0usize;
     for round in 0..cfg.loop_rounds {
+        let _round_span = acme_obs::span!(
+            acme_obs::Detail::Phase,
+            "protocol.round",
+            "node" => me.to_string(),
+            "round" => round,
+        );
         let mut sets: Vec<(NodeId, Vec<f32>)> = Vec::with_capacity(live.len());
         let mut got: HashSet<NodeId> = HashSet::with_capacity(live.len());
         // One shared deadline covering a device's retransmission window
@@ -548,6 +629,13 @@ fn run_edge(
                             if let Some((sr, vals)) = served.get(&from) {
                                 if *sr == r {
                                     retries += 1;
+                                    acme_obs::event!(
+                                        acme_obs::Detail::Phase,
+                                        "protocol.retry",
+                                        "node" => me.to_string(),
+                                        "waiting_for" => "personalized-replay",
+                                        "round" => r,
+                                    );
                                     let _ = net.send_retransmit(
                                         me,
                                         from,
@@ -572,6 +660,15 @@ fn run_edge(
         if got.len() < live.len() {
             // Devices silent through the whole retry window are dropped;
             // the cluster continues with the survivors.
+            for d in live.iter().filter(|d| !got.contains(*d)) {
+                acme_obs::event!(
+                    acme_obs::Detail::Phase,
+                    "protocol.device_drop",
+                    "node" => me.to_string(),
+                    "device" => d.to_string(),
+                    "round" => round,
+                );
+            }
             live.retain(|d| got.contains(d));
         }
         if live.len() < quorum {
@@ -615,7 +712,14 @@ fn run_device(
             Err(RecvTimeoutError::Timeout) => {
                 retries += 1;
                 attempt += 1;
-                if attempt >= cfg.retry.max_attempts {
+                acme_obs::event!(
+                    acme_obs::Detail::Phase,
+                    "protocol.retry",
+                    "node" => me.to_string(),
+                    "waiting_for" => "header-spec",
+                    "attempt" => attempt,
+                );
+                if attempt >= cfg.retry.effective_attempts() {
                     break false;
                 }
             }
@@ -628,6 +732,12 @@ fn run_device(
 
     let mut completed = 0usize;
     'rounds: for round in 0..cfg.loop_rounds {
+        let _round_span = acme_obs::span!(
+            acme_obs::Detail::Phase,
+            "protocol.round",
+            "node" => me.to_string(),
+            "round" => round,
+        );
         let upload = Payload::ImportanceUpload {
             round,
             values: vec![0.0; cfg.importance_len],
@@ -651,7 +761,15 @@ fn run_device(
                 Err(RecvTimeoutError::Timeout) => {
                     retries += 1;
                     attempt += 1;
-                    if attempt >= cfg.retry.max_attempts {
+                    acme_obs::event!(
+                        acme_obs::Detail::Phase,
+                        "protocol.retry",
+                        "node" => me.to_string(),
+                        "waiting_for" => "personalized-importance",
+                        "round" => round,
+                        "attempt" => attempt,
+                    );
+                    if attempt >= cfg.retry.effective_attempts() {
                         return NodeStatus::dropped(
                             me,
                             completed,
@@ -703,6 +821,13 @@ fn run_cloud(
             } else {
                 // A re-reported edge never saw its assignment: replay.
                 *retries += 1;
+                acme_obs::event!(
+                    acme_obs::Detail::Phase,
+                    "protocol.retry",
+                    "node" => me.to_string(),
+                    "waiting_for" => "assignment-replay",
+                    "edge" => env.from.to_string(),
+                );
                 let _ = net.send_retransmit(me, env.from, assignment);
             }
         }
@@ -951,6 +1076,53 @@ mod tests {
             ..p
         };
         assert_eq!(one.collection_deadline(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn zero_max_attempts_means_no_retries_not_zero_wait() {
+        // Regression: `max_attempts == 0` used to underflow the budget
+        // sums into empty ranges reporting zero patience while the recv
+        // loops still waited once — receivers would declare peers gone
+        // before a first reply could possibly arrive.
+        let p = RetryPolicy {
+            max_attempts: 0,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(40),
+        };
+        assert_eq!(p.effective_attempts(), 1);
+        assert_eq!(p.round_budget(), Duration::from_millis(10));
+        assert_eq!(p.collection_deadline(), Duration::from_millis(10));
+        // "0" and "1" are the same policy: one wait, no retransmissions.
+        let one = RetryPolicy {
+            max_attempts: 1,
+            ..p.clone()
+        };
+        assert_eq!(p.round_budget(), one.round_budget());
+        assert_eq!(p.collection_deadline(), one.collection_deadline());
+        assert_eq!(one.effective_attempts(), 1);
+    }
+
+    #[test]
+    fn protocol_completes_with_zero_retry_attempts() {
+        // "No retries" still grants every wait one full timeout window,
+        // so a healthy in-process fleet finishes its whole schedule.
+        let fleet = Fleet::paper_default(2, 3);
+        let cfg = ProtocolConfig {
+            loop_rounds: 2,
+            retry: RetryPolicy {
+                max_attempts: 0,
+                base: Duration::from_millis(250),
+                cap: Duration::from_millis(250),
+            },
+            ..ProtocolConfig::default()
+        };
+        let out = run_acme_protocol(&fleet, &cfg).expect("protocol run");
+        assert_eq!(out.rounds_completed, 2);
+        assert!(out.dropped_nodes().is_empty());
+        assert_eq!(out.report.retransmissions, 0);
+        // Observability is runtime-disabled here: no trace is attached,
+        // and outcome equality ignores the trace field regardless.
+        assert!(out.trace.is_none());
     }
 
     #[test]

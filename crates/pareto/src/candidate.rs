@@ -50,6 +50,14 @@ impl Candidate {
     pub fn size(&self) -> f64 {
         self.objectives[2]
     }
+
+    /// `true` iff every objective and the accuracy are finite. A
+    /// diverged distillation run can hand selection a NaN loss;
+    /// selection filters such candidates out instead of comparing them
+    /// (see [`crate::SelectError`]).
+    pub fn is_finite(&self) -> bool {
+        self.objectives.iter().all(|v| v.is_finite()) && self.accuracy.is_finite()
+    }
 }
 
 /// Whether `a` Pareto-dominates `b`: no objective worse, at least one

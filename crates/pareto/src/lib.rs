@@ -24,7 +24,9 @@
 //! let spec = GridSpec::from_candidates(&candidates, 0.25).unwrap();
 //! let front = pareto_front_grid(&candidates, &spec);
 //! assert!(!front.is_empty());
-//! let best = select_constrained(&candidates, &spec, 7.0).unwrap();
+//! // Selection is fallible: a pool whose candidates all carry
+//! // non-finite objectives yields a typed `SelectError`.
+//! let best = select_constrained(&candidates, &spec, 7.0).unwrap().unwrap();
 //! assert!(best.objectives[2] < 7.0);
 //! ```
 
@@ -35,5 +37,5 @@ mod select;
 pub use candidate::{dominates, Candidate};
 pub use grid::{pareto_front_grid, GridSpec};
 pub use select::{
-    select_constrained, select_with, EfficiencyMetrics, MatchOutcome, MatchingMethod,
+    select_constrained, select_with, EfficiencyMetrics, MatchOutcome, MatchingMethod, SelectError,
 };

@@ -8,6 +8,45 @@ use rand::Rng;
 use crate::candidate::Candidate;
 use crate::grid::{pareto_front_grid, GridSpec};
 
+/// Selection failed before any constraint was applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectError {
+    /// Every candidate in a non-empty pool carried a NaN or infinite
+    /// objective (or accuracy) — typically the residue of a diverged
+    /// distillation loss. Selection refuses to rank non-finite values;
+    /// there is nothing meaningful to pick.
+    NoFiniteCandidate {
+        /// Size of the rejected pool.
+        total: usize,
+    },
+}
+
+impl std::fmt::Display for SelectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SelectError::NoFiniteCandidate { total } => write!(
+                f,
+                "all {total} candidates have non-finite objectives; selection is meaningless"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SelectError {}
+
+/// The finite sub-pool of `candidates`, or [`SelectError`] when a
+/// non-empty pool contains no finite candidate at all. An empty pool
+/// stays empty (the "nothing fits" outcome, not an error).
+fn finite_pool(candidates: &[Candidate]) -> Result<Vec<&Candidate>, SelectError> {
+    let finite: Vec<&Candidate> = candidates.iter().filter(|c| c.is_finite()).collect();
+    if finite.is_empty() && !candidates.is_empty() {
+        return Err(SelectError::NoFiniteCandidate {
+            total: candidates.len(),
+        });
+    }
+    Ok(finite)
+}
+
 /// ACME's selection rule (Algorithm 1, lines 14–18): truncate the
 /// candidate space to models whose size respects `storage_limit` (the
 /// paper redefines the worst point `θ̃⁻` at the bound and discards
@@ -16,32 +55,44 @@ use crate::grid::{pareto_front_grid, GridSpec};
 /// within its performance grid row pick the candidate minimizing the
 /// Euclidean grid distance to the ideal point (Eq. 13).
 ///
-/// Returns `None` when no candidate fits the storage limit.
+/// Candidates with non-finite objectives are filtered before the
+/// truncation — a diverged distillation loss used to panic the
+/// comparator here.
+///
+/// Returns `Ok(None)` when no (finite) candidate fits the storage limit.
+///
+/// # Errors
+///
+/// Returns [`SelectError::NoFiniteCandidate`] when the pool is non-empty
+/// but every candidate carries a NaN or infinite objective.
 pub fn select_constrained<'a>(
     candidates: &'a [Candidate],
     spec: &GridSpec,
     storage_limit: f64,
-) -> Option<&'a Candidate> {
+) -> Result<Option<&'a Candidate>, SelectError> {
+    finite_pool(candidates)?;
     let feas_idx: Vec<usize> = (0..candidates.len())
-        .filter(|&i| candidates[i].size() < storage_limit)
+        .filter(|&i| candidates[i].is_finite() && candidates[i].size() < storage_limit)
         .collect();
     let truncated: Vec<Candidate> = feas_idx.iter().map(|&i| candidates[i].clone()).collect();
     let front = pareto_front_grid(&truncated, spec);
     let feasible: Vec<&'a Candidate> = front.iter().map(|&i| &candidates[feas_idx[i]]).collect();
-    let best_perf = feasible
-        .iter()
-        .min_by(|a, b| a.loss().partial_cmp(&b.loss()).expect("finite loss"))?;
+    // Every survivor is finite, so total_cmp agrees with the numeric
+    // order while staying panic-free by construction.
+    let Some(best_perf) = feasible.iter().min_by(|a, b| a.loss().total_cmp(&b.loss())) else {
+        return Ok(None);
+    };
     let best_row = spec.coords(&best_perf.objectives)[0];
     let ideal = spec.ideal_coords();
-    feasible
+    Ok(feasible
         .iter()
         .filter(|c| spec.coords(&c.objectives)[0] == best_row)
         .min_by(|a, b| {
             let da = GridSpec::grid_distance(&spec.coords(&a.objectives), &ideal);
             let db = GridSpec::grid_distance(&spec.coords(&b.objectives), &ideal);
-            da.partial_cmp(&db).expect("finite distance")
+            da.total_cmp(&db)
         })
-        .copied()
+        .copied())
 }
 
 /// The model-matching strategies compared in Fig. 9 of the paper.
@@ -102,30 +153,33 @@ pub const EVAL_COST_SECONDS: f64 = 2e-4;
 
 /// Runs one matching method over the candidate pool for a device with the
 /// given storage limit. `spec` must be prebuilt (that cost is amortized
-/// over all devices of a cluster, as in Algorithm 1).
+/// over all devices of a cluster, as in Algorithm 1). Non-finite
+/// candidates are filtered out for every method, exactly as in
+/// [`select_constrained`].
+///
+/// # Errors
+///
+/// Returns [`SelectError::NoFiniteCandidate`] when the pool is non-empty
+/// but every candidate carries a NaN or infinite objective.
 pub fn select_with(
     method: MatchingMethod,
     candidates: &[Candidate],
     spec: &GridSpec,
     storage_limit: f64,
     rng: &mut impl Rng,
-) -> MatchOutcome {
+) -> Result<MatchOutcome, SelectError> {
     let start = Instant::now();
-    let feasible: Vec<&Candidate> = candidates
-        .iter()
+    let feasible: Vec<&Candidate> = finite_pool(candidates)?
+        .into_iter()
         .filter(|c| c.size() < storage_limit)
         .collect();
     let (candidate, evaluations) = match method {
-        MatchingMethod::ParetoPfg => (select_constrained(candidates, spec, storage_limit), 0),
+        MatchingMethod::ParetoPfg => (select_constrained(candidates, spec, storage_limit)?, 0),
         MatchingMethod::GreedyAccuracy => {
             // Must evaluate every feasible candidate's accuracy.
             let best = feasible
                 .iter()
-                .max_by(|a, b| {
-                    a.accuracy
-                        .partial_cmp(&b.accuracy)
-                        .expect("finite accuracy")
-                })
+                .max_by(|a, b| a.accuracy.total_cmp(&b.accuracy))
                 .copied();
             (best, feasible.len())
         }
@@ -133,7 +187,7 @@ pub fn select_with(
             // Must measure every feasible candidate's size on device.
             let best = feasible
                 .iter()
-                .max_by(|a, b| a.size().partial_cmp(&b.size()).expect("finite size"))
+                .max_by(|a, b| a.size().total_cmp(&b.size()))
                 .copied();
             (best, feasible.len())
         }
@@ -146,11 +200,11 @@ pub fn select_with(
         }
     };
     let selection_seconds = start.elapsed().as_secs_f64() + evaluations as f64 * EVAL_COST_SECONDS;
-    MatchOutcome {
+    Ok(MatchOutcome {
         candidate: candidate.cloned(),
         selection_seconds,
         evaluations,
-    }
+    })
 }
 
 /// The efficiency metrics of Fig. 9: accuracy per unit energy, accuracy
@@ -230,18 +284,20 @@ mod tests {
     fn constrained_selection_respects_storage() {
         let cs = pool();
         let spec = GridSpec::from_candidates(&cs, 0.1).unwrap();
-        let c = select_constrained(&cs, &spec, 7.0).unwrap();
+        let c = select_constrained(&cs, &spec, 7.0).unwrap().unwrap();
         assert!(c.size() < 7.0);
         // Best feasible performance row: the 0.55-loss candidate.
         assert_eq!(c.loss(), 0.55);
-        assert!(select_constrained(&cs, &spec, 0.5).is_none());
+        assert!(select_constrained(&cs, &spec, 0.5).unwrap().is_none());
     }
 
     #[test]
     fn unconstrained_selection_prefers_best_loss_row() {
         let cs = pool();
         let spec = GridSpec::from_candidates(&cs, 0.1).unwrap();
-        let c = select_constrained(&cs, &spec, f64::INFINITY).unwrap();
+        let c = select_constrained(&cs, &spec, f64::INFINITY)
+            .unwrap()
+            .unwrap();
         assert_eq!(c.loss(), 0.40);
     }
 
@@ -250,7 +306,7 @@ mod tests {
         let cs = pool();
         let spec = GridSpec::from_candidates(&cs, 0.1).unwrap();
         let mut rng = SmallRng64::new(0);
-        let out = select_with(MatchingMethod::GreedyAccuracy, &cs, &spec, 7.0, &mut rng);
+        let out = select_with(MatchingMethod::GreedyAccuracy, &cs, &spec, 7.0, &mut rng).unwrap();
         assert_eq!(out.candidate.unwrap().accuracy, 0.74);
         assert_eq!(out.evaluations, 3);
         assert!(out.selection_seconds >= 3.0 * EVAL_COST_SECONDS);
@@ -261,7 +317,7 @@ mod tests {
         let cs = pool();
         let spec = GridSpec::from_candidates(&cs, 0.1).unwrap();
         let mut rng = SmallRng64::new(0);
-        let out = select_with(MatchingMethod::GreedySize, &cs, &spec, 7.0, &mut rng);
+        let out = select_with(MatchingMethod::GreedySize, &cs, &spec, 7.0, &mut rng).unwrap();
         assert_eq!(out.candidate.unwrap().size(), 6.0);
     }
 
@@ -271,7 +327,7 @@ mod tests {
         let spec = GridSpec::from_candidates(&cs, 0.1).unwrap();
         let mut rng = SmallRng64::new(7);
         for _ in 0..10 {
-            let out = select_with(MatchingMethod::Random, &cs, &spec, 7.0, &mut rng);
+            let out = select_with(MatchingMethod::Random, &cs, &spec, 7.0, &mut rng).unwrap();
             assert!(out.candidate.unwrap().size() < 7.0);
             assert_eq!(out.evaluations, 0);
         }
@@ -287,8 +343,9 @@ mod tests {
             .collect();
         let spec = GridSpec::from_candidates(&cs, 0.2).unwrap();
         let mut rng = SmallRng64::new(0);
-        let pfg = select_with(MatchingMethod::ParetoPfg, &cs, &spec, 9.0, &mut rng);
-        let greedy = select_with(MatchingMethod::GreedyAccuracy, &cs, &spec, 9.0, &mut rng);
+        let pfg = select_with(MatchingMethod::ParetoPfg, &cs, &spec, 9.0, &mut rng).unwrap();
+        let greedy =
+            select_with(MatchingMethod::GreedyAccuracy, &cs, &spec, 9.0, &mut rng).unwrap();
         assert!(pfg.selection_seconds < greedy.selection_seconds);
     }
 
@@ -298,9 +355,52 @@ mod tests {
         let spec = GridSpec::from_candidates(&cs, 0.1).unwrap();
         let mut rng = SmallRng64::new(0);
         for m in MatchingMethod::all() {
-            let out = select_with(m, &cs, &spec, 0.1, &mut rng);
+            let out = select_with(m, &cs, &spec, 0.1, &mut rng).unwrap();
             assert!(out.candidate.is_none(), "method {m}");
         }
+    }
+
+    #[test]
+    fn nan_candidates_are_filtered_not_compared() {
+        // Regression: a diverged distillation loss used to panic the
+        // `partial_cmp().expect("finite loss")` comparators in here.
+        let mut cs = pool();
+        cs.push(Candidate::new(0.6, 6, [f64::NAN, 2.0, 2.0]).with_accuracy(0.99));
+        cs.push(Candidate::new(0.6, 7, [0.2, f64::INFINITY, 2.0]).with_accuracy(0.99));
+        cs.push(Candidate::new(0.6, 8, [0.2, 2.0, 2.0]).with_accuracy(f64::NAN));
+        let spec = GridSpec::from_candidates(&pool(), 0.1).unwrap();
+        let c = select_constrained(&cs, &spec, 7.0).unwrap().unwrap();
+        assert!(c.is_finite());
+        assert_eq!(c.loss(), 0.55, "NaN candidates must not win selection");
+        let mut rng = SmallRng64::new(0);
+        for m in MatchingMethod::all() {
+            let out = select_with(m, &cs, &spec, 7.0, &mut rng).unwrap();
+            let chosen = out.candidate.expect("finite feasible candidates exist");
+            assert!(
+                chosen.is_finite(),
+                "method {m} picked a non-finite candidate"
+            );
+        }
+    }
+
+    #[test]
+    fn all_nan_pool_is_a_typed_error_and_empty_pool_is_none() {
+        let cs = vec![
+            Candidate::new(1.0, 12, [f64::NAN, 9.0, 9.0]),
+            Candidate::new(0.5, 6, [0.9, f64::NAN, 3.0]),
+        ];
+        let spec = GridSpec::from_candidates(&pool(), 0.1).unwrap();
+        assert_eq!(
+            select_constrained(&cs, &spec, 7.0),
+            Err(SelectError::NoFiniteCandidate { total: 2 })
+        );
+        let mut rng = SmallRng64::new(0);
+        let err =
+            select_with(MatchingMethod::GreedyAccuracy, &cs, &spec, 7.0, &mut rng).unwrap_err();
+        assert!(err.to_string().contains("non-finite"));
+        // An empty pool is still the ordinary "nothing fits" outcome,
+        // not an error.
+        assert!(select_constrained(&[], &spec, 7.0).unwrap().is_none());
     }
 
     #[test]

@@ -16,9 +16,11 @@
 //!    ([`Pool::scope`] is built on [`std::thread::scope`]), so the large
 //!    teacher model, datasets, and candidate pools are shared by
 //!    reference instead of cloned per task.
-//! 3. **No dependencies.** The pool uses std threads, mutex-backed
-//!    deques, and atomics only, so this crate builds and tests even in
-//!    offline environments where the crates.io registry is unreachable.
+//! 3. **No external dependencies.** The pool uses std threads,
+//!    mutex-backed deques, and atomics only (plus the std-only
+//!    `acme-obs` path crate for optional task spans), so this crate
+//!    builds and tests even in offline environments where the
+//!    crates.io registry is unreachable.
 //!
 //! Work distribution is round-robin across per-worker deques at spawn
 //! time; an idle worker pops its own deque LIFO and steals FIFO from its
@@ -43,6 +45,7 @@
 //! the per-cluster refinement parallelizes its inner similarity matrix.
 //! Spawning onto a *parent* scope from inside a task is not supported.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -166,7 +169,10 @@ impl Pool {
         F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
     {
         if self.threads == 1 {
-            return f(&Scope { shared: None });
+            return f(&Scope {
+                shared: None,
+                inline_seq: Cell::new(0),
+            });
         }
         let shared = Shared::new(self.threads);
         let result = std::thread::scope(|ts| {
@@ -179,6 +185,7 @@ impl Pool {
             }
             let scope = Scope {
                 shared: Some(&shared),
+                inline_seq: Cell::new(0),
             };
             let r = f(&scope);
             shared.drain_as(0);
@@ -243,6 +250,9 @@ impl Default for Pool {
 pub struct Scope<'scope, 'env> {
     /// `None` in single-threaded pools: tasks run inline at spawn.
     shared: Option<&'scope Shared<'env>>,
+    /// Task sequence of the inline path, mirroring `Shared::spawned` so
+    /// `runtime.task` spans carry the same `seq` at every thread count.
+    inline_seq: Cell<usize>,
 }
 
 impl<'scope, 'env> Scope<'scope, 'env> {
@@ -254,7 +264,12 @@ impl<'scope, 'env> Scope<'scope, 'env> {
         F: FnOnce() + Send + 'env,
     {
         match self.shared {
-            None => f(),
+            None => {
+                let seq = self.inline_seq.get();
+                self.inline_seq.set(seq + 1);
+                let _task = acme_obs::span!(acme_obs::Detail::Task, "runtime.task", "seq" => seq);
+                f()
+            }
             Some(sh) => sh.push(Box::new(f)),
         }
     }
@@ -312,7 +327,10 @@ impl<'env> Shared<'env> {
     }
 
     fn run_job(&self, seq: usize, job: Job<'env>) {
-        if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+        let task = acme_obs::span!(acme_obs::Detail::Task, "runtime.task", "seq" => seq);
+        let result = catch_unwind(AssertUnwindSafe(job));
+        drop(task);
+        if let Err(payload) = result {
             let mut slot = lock(&self.panic);
             match &*slot {
                 Some((first, _)) if *first <= seq => {}
@@ -451,10 +469,7 @@ mod tests {
                 })
             }))
             .expect_err("must propagate");
-            let msg = caught
-                .downcast_ref::<String>()
-                .cloned()
-                .unwrap_or_default();
+            let msg = caught.downcast_ref::<String>().cloned().unwrap_or_default();
             assert_eq!(msg, "boom 5", "threads = {threads}");
         }
     }
@@ -510,8 +525,7 @@ mod tests {
         assert_ne!(stream_seed(7, 3), stream_seed(7, 4));
         assert_ne!(stream_seed(7, 3), stream_seed(8, 3));
         // Consecutive indices must not collide for small grids.
-        let seeds: std::collections::HashSet<u64> =
-            (0..1024).map(|i| stream_seed(42, i)).collect();
+        let seeds: std::collections::HashSet<u64> = (0..1024).map(|i| stream_seed(42, i)).collect();
         assert_eq!(seeds.len(), 1024);
     }
 

@@ -403,6 +403,7 @@ pub fn gemm(
     assert_eq!(out.len(), m * n, "gemm: output buffer size");
     let flops = m * k * n;
     if flops <= BLOCKED_MIN_FLOPS {
+        let _t = acme_obs::timer!("tensor.gemm.naive", "m" => m, "k" => k, "n" => n);
         return gemm_naive(a, b, out, m, k, n);
     }
     let pb = pack_b(b, k, n);
@@ -417,6 +418,7 @@ pub fn gemm_prepacked(a: MatRef<'_>, pb: &PackedB, out: &mut [f32], m: usize, po
     if m == 0 || n == 0 || k == 0 {
         return;
     }
+    let _t = acme_obs::timer!("tensor.gemm.blocked", "m" => m, "k" => k, "n" => n);
     let chunks = row_chunks(m, k, n, pool);
     if chunks <= 1 {
         return gemm_rows(a, pb, out, 0, m);

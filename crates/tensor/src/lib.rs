@@ -46,6 +46,32 @@ mod shape;
 
 pub use array::Array;
 pub use error::{Result, TensorError};
+
+/// Publishes the tensor substrate's ad-hoc counters into the
+/// [`acme_obs::metrics`] registry: pool hits/misses/recycled/dropped
+/// (as `tensor.pool.*` counters), pack-cache packs
+/// (`tensor.packcache.packs`) and its current size
+/// (`tensor.packcache.entries` / `tensor.packcache.cached_floats`
+/// gauges). Call at a snapshot point (end of run, before
+/// `metrics::snapshot`); the hot paths keep their dependency-free
+/// atomics, so observation costs nothing per allocation. No-op unless
+/// observability is compiled in and runtime-enabled.
+pub fn publish_obs_metrics() {
+    if !acme_obs::enabled() {
+        return;
+    }
+    let stats = pool::stats();
+    acme_obs::metrics::set_counter("tensor.pool.hits", stats.hits);
+    acme_obs::metrics::set_counter("tensor.pool.misses", stats.misses);
+    acme_obs::metrics::set_counter("tensor.pool.recycled", stats.recycled);
+    acme_obs::metrics::set_counter("tensor.pool.dropped", stats.dropped);
+    acme_obs::metrics::set_counter("tensor.packcache.packs", packcache::packs());
+    acme_obs::metrics::set_gauge("tensor.packcache.entries", packcache::len() as f64);
+    acme_obs::metrics::set_gauge(
+        "tensor.packcache.cached_floats",
+        packcache::cached_floats() as f64,
+    );
+}
 pub use gradcheck::{gradcheck, GradCheckReport};
 pub use graph::{Graph, Var};
 pub use packcache::PackIdent;

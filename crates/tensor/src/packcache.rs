@@ -27,6 +27,12 @@
 //! Packing only relocates values — [`crate::gemm::gemm_prepacked`] is
 //! bit-identical to the unpacked path — so cache hits and misses are
 //! observable only as wall-clock time, never in results.
+//!
+//! The pack counter and cache size are published into the unified
+//! metrics registry as `tensor.packcache.*` by
+//! [`publish_obs_metrics`](crate::publish_obs_metrics); prefer reading
+//! them from an `acme_obs::metrics::snapshot()` (or a `--trace-out`
+//! document) over calling [`packs`]/[`len`] directly.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -28,7 +28,12 @@
 //!   through the pool, which is the "allocations per step" metric the
 //!   training-step bench reports. [`set_enabled`] turns reuse off (every
 //!   take allocates, every recycle frees) so benches can measure the
-//!   pre-pool baseline with the same instrumentation.
+//!   pre-pool baseline with the same instrumentation. For observability
+//!   runs these counters are published into the unified metrics
+//!   registry as `tensor.pool.*` by
+//!   [`publish_obs_metrics`](crate::publish_obs_metrics) — prefer
+//!   reading them from an `acme_obs::metrics::snapshot()` (or a
+//!   `--trace-out` document) over calling [`stats`] directly.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};

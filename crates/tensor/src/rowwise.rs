@@ -28,6 +28,7 @@ const PAR_MIN: usize = 1 << 12;
 /// per-thread row chunks of `row_len` elements each.
 fn par_rows(rows: usize, row_len: usize, out: &mut [f32], body: impl Fn(usize, &mut [f32]) + Sync) {
     debug_assert_eq!(out.len(), rows * row_len);
+    let _t = acme_obs::timer!("tensor.rowwise", "rows" => rows, "row_len" => row_len);
     let pool = global_pool();
     let threads = pool.threads().min(rows.max(1));
     if threads <= 1 || rows * row_len < PAR_MIN {
@@ -67,6 +68,7 @@ pub(crate) fn gelu_fwd(x: &[f32], out: &mut [f32], saved: &mut [f32]) {
     debug_assert_eq!(x.len(), out.len());
     debug_assert_eq!(x.len(), saved.len());
     let n = x.len();
+    let _t = acme_obs::timer!("tensor.rowwise", "rows" => n, "row_len" => 1usize);
     let body = |i0: usize, ochunk: &mut [f32], schunk: &mut [f32]| {
         for (k, (o, s)) in ochunk.iter_mut().zip(schunk.iter_mut()).enumerate() {
             let (v, t) = gelu_parts(x[i0 + k]);
@@ -222,6 +224,7 @@ pub(crate) fn layer_norm_fwd(
     debug_assert_eq!(x.len(), out.len());
     let rows = x.len() / d.max(1);
     debug_assert_eq!(saved.len(), rows * ln_saved_stride(d));
+    let _t = acme_obs::timer!("tensor.rowwise", "rows" => rows, "row_len" => d);
     let stride = ln_saved_stride(d);
     let pool = global_pool();
     let threads = pool.threads().min(rows.max(1));
@@ -373,6 +376,7 @@ pub(crate) fn cross_entropy_fwd(
     let rows = targets.len();
     debug_assert_eq!(logits.len(), rows * cols);
     debug_assert_eq!(losses.len(), rows);
+    let _t = acme_obs::timer!("tensor.rowwise", "rows" => rows, "row_len" => cols);
     // Shard over the f64 loss slice; each row reads its logits row.
     let pool = global_pool();
     let threads = pool.threads().min(rows.max(1));

@@ -6,6 +6,8 @@
 //!
 //! ```sh
 //! cargo run --release --example edge_deployment
+//! # with a fault-injection trace (requires the default `obs` feature):
+//! cargo run --release --example edge_deployment -- --quick --trace-out /tmp/trace.json
 //! ```
 
 use acme::{build_candidate_pool_on, customize_backbone_for_cluster, Pool};
@@ -22,10 +24,33 @@ use acme_tensor::SmallRng64;
 use acme_vit::{fit, DistillConfig, TrainConfig, Vit, VitConfig};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut trace_out: Option<String> = None;
+    let mut quick = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trace-out" => {
+                i += 1;
+                trace_out = Some(args.get(i).expect("--trace-out needs a path").clone());
+            }
+            "--quick" => quick = true,
+            other => {
+                eprintln!("unknown option '{other}' (supported: --trace-out <PATH>, --quick)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if trace_out.is_some() && !acme_obs::compiled() {
+        eprintln!("error: --trace-out needs observability compiled in (the `obs` feature)");
+        std::process::exit(2);
+    }
+
     let mut rng = SmallRng64::new(5);
     let spec = SyntheticSpec {
         classes: 10,
-        per_class: 25,
+        per_class: if quick { 10 } else { 25 },
         ..SyntheticSpec::cifar()
     };
     let ds = cifar100_like(&spec, &mut rng);
@@ -44,21 +69,27 @@ fn main() {
         &mut ps,
         &train,
         &TrainConfig {
-            epochs: 5,
+            epochs: if quick { 1 } else { 5 },
             ..TrainConfig::default()
         },
     );
     println!("cloud: building (w, d) candidate pool...");
+    let widths: &[f64] = if quick {
+        &[0.5, 1.0]
+    } else {
+        &[0.25, 0.5, 0.75, 1.0]
+    };
+    let depths: &[usize] = if quick { &[2, 4] } else { &[2, 4, 6] };
     let pool = build_candidate_pool_on(
         &Pool::default(),
         &teacher,
         &ps,
         &train,
         &val,
-        &[0.25, 0.5, 0.75, 1.0],
-        &[2, 4, 6],
+        widths,
+        depths,
         &DistillConfig {
-            epochs: 1,
+            epochs: if quick { 0 } else { 1 },
             ..DistillConfig::default()
         },
         2,
@@ -77,7 +108,8 @@ fn main() {
     let energy = EnergyModel::default();
     println!("\ncluster assignments (ACME PFG selection):");
     for cluster in fleet.clusters() {
-        let idx = customize_backbone_for_cluster(&pool, cluster, &energy, 5, 0.15);
+        let idx = customize_backbone_for_cluster(&pool, cluster, &energy, 5, 0.15)
+            .expect("candidate losses are finite");
         match idx {
             Some(i) => println!(
                 "  {}: storage bound {:>9} params -> w={:.2} d={} ({} params)",
@@ -117,7 +149,8 @@ fn main() {
             &grid,
             cluster.min_storage() as f64,
             &mut rng,
-        );
+        )
+        .expect("candidate objectives are finite");
         match out.candidate {
             Some(c) => {
                 let m = EfficiencyMetrics::for_candidate(&c, &candidates);
@@ -172,6 +205,11 @@ fn main() {
         },
         ..proto.clone()
     };
+    // Record the degraded run: per-round protocol spans plus retry and
+    // device-drop events end up in the drained trace.
+    if trace_out.is_some() {
+        acme_obs::trace::set_enabled(true);
+    }
     let degraded =
         run_acme_protocol_with_faults(&fleet, &faulty_cfg, faults).expect("degraded run");
     println!("\nfault-injected run (1 dead device, 1 dropped upload):");
@@ -196,4 +234,19 @@ fn main() {
         "  retransmissions: {} ({} bytes)",
         degraded.report.retransmissions, degraded.report.retransmitted_bytes
     );
+
+    if let Some(path) = trace_out {
+        // The kernel-side pool/pack-cache counters accumulated all run;
+        // publish them into the registry before snapshotting.
+        acme_tensor::publish_obs_metrics();
+        let mut trace = degraded.trace.clone().unwrap_or_default();
+        trace.merge(acme_obs::trace::drain());
+        let json = acme_obs::export::trace_json(
+            &trace,
+            &acme_obs::metrics::snapshot(),
+            &acme_obs::profile::snapshot(),
+        );
+        std::fs::write(&path, json).expect("write trace");
+        println!("  trace written to {path}");
+    }
 }

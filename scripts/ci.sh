@@ -31,6 +31,9 @@ cargo fmt --all -- --check
 
 step "cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets "${CARGO_FLAGS[@]}" -- -D warnings
+# The obs feature is off by default for the library crates; lint the
+# instrumented configuration too so span/metric call sites stay clean.
+cargo clippy -p acme --features obs --all-targets "${CARGO_FLAGS[@]}" -- -D warnings
 
 step "cargo build --release"
 cargo build --workspace --release "${CARGO_FLAGS[@]}"
@@ -43,6 +46,31 @@ step "fault-matrix smoke (release, real timers)"
 # per-cluster degradation against wall-clock budgets; run it in release
 # on its own so a hang or budget blowout is attributable at a glance.
 cargo test -p acme-distsys --release --test fault_matrix -q "${CARGO_FLAGS[@]}"
+
+step "observability smoke (fault-injected trace -> acme-obs-trace-v1)"
+# Run the fault-injected example with tracing on and validate the
+# exported document: per-round protocol spans, at least one retry and
+# one device-drop event, and the registry counters the ad-hoc meters
+# migrated into (pool misses, pack-cache packs, retransmissions).
+TRACE_OUT="$(mktemp -t acme-obs-trace.XXXXXX.json)"
+cargo run --release --example edge_deployment "${CARGO_FLAGS[@]}" -- \
+    --quick --trace-out "$TRACE_OUT"
+python3 - "$TRACE_OUT" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "acme-obs-trace-v1", "schema marker"
+assert doc["dropped_events"] == 0, "trace ring overflowed"
+names = [s["name"] for s in doc["spans"]]
+assert "protocol.round" in names, "per-round protocol spans missing"
+assert "protocol.retry" in names, "no retry event recorded"
+assert "protocol.device_drop" in names, "no device-drop event recorded"
+counters = doc["metrics"]["counters"]
+for key in ("net.retransmissions", "net.retransmitted_bytes",
+            "tensor.pool.misses", "tensor.packcache.packs"):
+    assert key in counters, f"missing counter {key}"
+print(f"trace OK: {len(names)} spans, {len(counters)} counters")
+PY
+rm -f "$TRACE_OUT"
 
 step "kernel bench smoke (quick sweep -> BENCH_kernels.json)"
 cargo bench -p acme-bench --bench kernels "${CARGO_FLAGS[@]}" -- --quick

@@ -1,0 +1,121 @@
+//! Determinism under observation: enabling the observability layer —
+//! at compile time (this file only builds with the `obs` feature) and
+//! at run time — must leave every numeric output bit-identical, at any
+//! thread count, and the drained trace itself must be stable across
+//! reruns of the same seeded workload.
+#![cfg(feature = "obs")]
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use acme::{Acme, AcmeConfig, AcmeOutcome, ProtocolConfig};
+use acme_energy::Fleet;
+
+/// The obs registries (trace rings, metrics, profile table) are
+/// process-wide, so tests that flip recording on and off must not
+/// interleave.
+fn serialize() -> MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn reset_obs() {
+    acme_obs::trace::set_enabled(false);
+    let _ = acme_obs::trace::drain();
+    acme_obs::metrics::reset();
+    acme_obs::profile::reset();
+}
+
+fn quick_run(threads: usize, seed: u64, observe: bool) -> AcmeOutcome {
+    acme_obs::trace::set_enabled(observe);
+    let cfg = AcmeConfig::builder()
+        .quick()
+        .threads(threads)
+        .seed(seed)
+        .build()
+        .expect("quick preset is valid");
+    let out = Acme::try_new(cfg).expect("valid").run().expect("quick run");
+    acme_obs::trace::set_enabled(false);
+    out
+}
+
+fn assert_outcomes_identical(a: &AcmeOutcome, b: &AcmeOutcome) {
+    assert_eq!(a.assignments, b.assignments);
+    assert_eq!(a.devices, b.devices);
+    assert_eq!(a.transfers.messages, b.transfers.messages);
+    assert_eq!(a.transfers.total_bytes, b.transfers.total_bytes);
+    assert_eq!(a.transfers.uplink_bytes, b.transfers.uplink_bytes);
+}
+
+#[test]
+fn protocol_outcome_is_bit_identical_under_observation() {
+    let _g = serialize();
+    reset_obs();
+    let fleet = Fleet::paper_default(2, 3);
+    let cfg = ProtocolConfig::default();
+    let plain = acme::run_acme_protocol(&fleet, &cfg).expect("plain run");
+    assert!(plain.trace.is_none(), "no trace without runtime opt-in");
+    acme_obs::trace::set_enabled(true);
+    let observed = acme::run_acme_protocol(&fleet, &cfg).expect("observed run");
+    acme_obs::trace::set_enabled(false);
+    // ProtocolOutcome equality deliberately ignores the trace field.
+    assert_eq!(plain, observed);
+    let trace = observed.trace.expect("observed run carries its trace");
+    assert!(
+        trace.spans.iter().any(|s| s.name == "protocol.round"),
+        "per-round protocol spans present"
+    );
+    reset_obs();
+}
+
+#[test]
+fn pipeline_outputs_are_bit_identical_under_observation_at_any_thread_count() {
+    let _g = serialize();
+    reset_obs();
+    for threads in [1usize, 2, 4] {
+        let plain = quick_run(threads, 11, false);
+        let _ = acme_obs::trace::drain();
+        let observed = quick_run(threads, 11, true);
+        let trace = acme_obs::trace::drain();
+        assert_outcomes_identical(&plain, &observed);
+        assert!(
+            trace.spans.iter().any(|s| s.name == "pipeline.phase1"),
+            "phase spans recorded at {threads} threads"
+        );
+    }
+    reset_obs();
+}
+
+#[test]
+fn drained_trace_is_stable_across_reruns() {
+    let _g = serialize();
+    reset_obs();
+    let run = || {
+        let _ = quick_run(2, 3, true);
+        acme_obs::trace::drain()
+    };
+    let first = run();
+    let second = run();
+    assert!(!first.spans.is_empty());
+    assert_eq!(first.dropped_events, 0, "ring did not overflow");
+    assert_eq!(
+        first.stable_signature(),
+        second.stable_signature(),
+        "same seed, same thread count => same canonical trace"
+    );
+    reset_obs();
+}
+
+#[test]
+fn no_trace_when_runtime_disabled() {
+    let _g = serialize();
+    reset_obs();
+    let _ = quick_run(1, 5, false);
+    let trace = acme_obs::trace::drain();
+    assert!(trace.spans.is_empty());
+    assert_eq!(trace.dropped_events, 0);
+    assert!(acme_obs::profile::snapshot().is_empty());
+    let metrics = acme_obs::metrics::snapshot();
+    assert!(metrics.counters.is_empty() && metrics.histograms.is_empty());
+}

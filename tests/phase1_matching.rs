@@ -53,7 +53,9 @@ fn selected_model_is_feasible_and_grid_undominated() {
             pool.iter().map(|c| c.params).max().unwrap() + 1,
         )],
     );
-    let idx = customize_backbone_for_cluster(&pool, &cluster, &energy, 3, 0.2).unwrap();
+    let idx = customize_backbone_for_cluster(&pool, &cluster, &energy, 3, 0.2)
+        .unwrap()
+        .unwrap();
     let candidates: Vec<Candidate> = pool
         .iter()
         .map(|c| {
@@ -100,7 +102,7 @@ fn tighter_storage_gives_smaller_or_equal_models() {
     let mut last = u64::MAX;
     for bound in [max + 1, max, max / 2 + 1] {
         let cluster = DeviceCluster::new(EdgeId(0), vec![Device::new(0, 4.0, bound)]);
-        if let Some(i) = customize_backbone_for_cluster(&pool, &cluster, &energy, 3, 0.2) {
+        if let Some(i) = customize_backbone_for_cluster(&pool, &cluster, &energy, 3, 0.2).unwrap() {
             assert!(pool[i].params < bound);
             assert!(pool[i].params <= last);
             last = pool[i].params;
@@ -116,7 +118,7 @@ fn micro_fleet_selection_is_monotone_over_clusters() {
     let fleet = Fleet::micro_scaled(4, 2, full);
     let mut sizes = Vec::new();
     for cluster in fleet.clusters() {
-        if let Some(i) = customize_backbone_for_cluster(&pool, cluster, &energy, 3, 0.2) {
+        if let Some(i) = customize_backbone_for_cluster(&pool, cluster, &energy, 3, 0.2).unwrap() {
             sizes.push(pool[i].params);
         }
     }

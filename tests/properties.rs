@@ -134,9 +134,12 @@ proptest! {
             .map(|(i, &(a, b, c))| Candidate::new(0.5, i + 1, [a, b, c]))
             .collect();
         let spec = GridSpec::from_candidates(&candidates, 0.5).unwrap();
+        // Generated objectives are always finite, so selection cannot
+        // hit the NoFiniteCandidate error.
         match select_constrained(&candidates, &spec, bound) {
-            Some(c) => prop_assert!(c.size() < bound),
-            None => prop_assert!(candidates.iter().all(|c| c.size() >= bound)),
+            Ok(Some(c)) => prop_assert!(c.size() < bound),
+            Ok(None) => prop_assert!(candidates.iter().all(|c| c.size() >= bound)),
+            Err(e) => prop_assert!(false, "unexpected selection error: {e}"),
         }
     }
 
