@@ -3,15 +3,33 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use acme_distsys::protocol::{centralized_transfers, run_acme_protocol, ProtocolConfig};
-use acme_distsys::{Network, NodeId, Payload};
+use acme_distsys::protocol::{centralized_transfers, ProtocolConfig, ProtocolRun};
+use acme_distsys::{DriverKind, Network, NodeId, Payload};
 use acme_energy::Fleet;
 
 fn bench_acme_protocol(c: &mut Criterion) {
     let fleet = Fleet::paper_default(4, 5);
     let cfg = ProtocolConfig::default();
     c.bench_function("acme_protocol_20_devices_t3", |b| {
-        b.iter(|| black_box(run_acme_protocol(&fleet, &cfg).expect("protocol run")))
+        b.iter(|| {
+            black_box(
+                ProtocolRun::new(&fleet)
+                    .config(cfg.clone())
+                    .execute()
+                    .expect("protocol run"),
+            )
+        })
+    });
+    c.bench_function("sim_protocol_20_devices_t3", |b| {
+        b.iter(|| {
+            black_box(
+                ProtocolRun::new(&fleet)
+                    .config(cfg.clone())
+                    .driver(DriverKind::Sim)
+                    .execute()
+                    .expect("sim run"),
+            )
+        })
     });
 }
 
@@ -26,8 +44,9 @@ fn bench_centralized(c: &mut Criterion) {
 
 fn bench_metered_send(c: &mut Criterion) {
     let net = Network::new();
-    let _rx = net.register(NodeId::Cloud);
-    net.register(NodeId::Edge(acme_energy::EdgeId(0)));
+    let _rx = net.register(NodeId::Cloud).expect("fresh id");
+    net.register(NodeId::Edge(acme_energy::EdgeId(0)))
+        .expect("fresh id");
     c.bench_function("metered_send_importance_4k", |b| {
         b.iter(|| {
             black_box(

@@ -10,7 +10,7 @@
 //! actual protocol run).
 
 use acme_bench::{f1, print_table, RunScale};
-use acme_distsys::protocol::{centralized_transfers, run_acme_protocol, ProtocolConfig};
+use acme_distsys::protocol::{centralized_transfers, ProtocolConfig, ProtocolRun};
 use acme_distsys::LinkModel;
 use acme_energy::Fleet;
 use acme_nas::{search_space_size, OpKind};
@@ -45,7 +45,10 @@ fn main() {
     for &n in &device_counts {
         let clusters = n / devices_per_cluster;
         let fleet = Fleet::paper_default(clusters, devices_per_cluster);
-        let acme = run_acme_protocol(&fleet, &proto).expect("protocol run");
+        let acme = ProtocolRun::new(&fleet)
+            .config(proto.clone())
+            .execute()
+            .expect("protocol run");
         let cs =
             centralized_transfers(&fleet, 500, 3072, proto.backbone_params).expect("baseline run");
         let ours_space = header_space * clusters as u128;

@@ -56,8 +56,8 @@ mod pipeline;
 mod refine;
 
 pub use acme_distsys::{
-    DropPoint, FaultAction, FaultPlan, FaultRule, NodeStatus, ProtocolConfig, ProtocolOutcome,
-    RetryPolicy,
+    simulate_fleet, DriverKind, DropPoint, FaultAction, FaultPlan, FaultRule, NodeStatus,
+    ProtocolConfig, ProtocolOutcome, ProtocolRun, RetryPolicy, SimConfig, SimDriver, SimStats,
 };
 pub use acme_pareto::SelectError;
 pub use acme_runtime::Pool;
@@ -76,8 +76,8 @@ pub use refine::{
 
 /// Runs the transfer-accounting protocol schedule (§II-A) over `fleet`,
 /// surfacing faults as [`AcmeError::Protocol`]. Thin wrapper over
-/// [`acme_distsys::protocol::run_acme_protocol`] so pipeline callers
-/// handle one error type.
+/// [`acme_distsys::ProtocolRun`] so pipeline callers handle one error
+/// type.
 ///
 /// # Errors
 ///
@@ -86,7 +86,10 @@ pub fn run_acme_protocol(
     fleet: &acme_energy::Fleet,
     config: &ProtocolConfig,
 ) -> Result<ProtocolOutcome, AcmeError> {
-    acme_distsys::protocol::run_acme_protocol(fleet, config).map_err(AcmeError::from)
+    ProtocolRun::new(fleet)
+        .config(config.clone())
+        .execute()
+        .map_err(AcmeError::from)
 }
 
 /// Like [`run_acme_protocol`], but with a deterministic [`FaultPlan`]
@@ -103,6 +106,9 @@ pub fn run_acme_protocol_with_faults(
     config: &ProtocolConfig,
     faults: FaultPlan,
 ) -> Result<ProtocolOutcome, AcmeError> {
-    acme_distsys::protocol::run_acme_protocol_with_faults(fleet, config, faults)
+    ProtocolRun::new(fleet)
+        .config(config.clone())
+        .faults(faults)
+        .execute()
         .map_err(AcmeError::from)
 }

@@ -109,21 +109,22 @@ impl Acme {
 
         // Transfer metering fabric.
         let net = Network::new();
-        let _cloud_rx = net.register(NodeId::Cloud);
+        let reg_err = acme_distsys::ProtocolError::from;
+        let _cloud_rx = net.register(NodeId::Cloud).map_err(reg_err)?;
         let _edge_rxs: Vec<_> = fleet
             .clusters()
             .iter()
-            .map(|c| net.register(NodeId::Edge(c.edge())))
-            .collect();
+            .map(|c| net.register(NodeId::Edge(c.edge())).map_err(reg_err))
+            .collect::<Result<_, _>>()?;
         let _device_rxs: Vec<_> = fleet
             .clusters()
             .iter()
             .flat_map(|c| {
                 c.devices()
                     .iter()
-                    .map(|d| net.register(NodeId::Device(d.id())))
+                    .map(|d| net.register(NodeId::Device(d.id())).map_err(reg_err))
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
 
         // Cloud pre-training of the reference model θ0.
         let mut teacher_ps = ParamSet::new();

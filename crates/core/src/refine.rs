@@ -232,13 +232,15 @@ pub fn refine_cluster(
     );
     let n = devices.len();
     // Register the nodes so metered sends have routes (inboxes are
-    // serviced inline since the pipeline is sequential here).
+    // serviced inline since the pipeline is sequential here). Ids the
+    // caller registered already keep their existing routes: a duplicate
+    // here is expected, not an error.
     let _inboxes: Option<Vec<_>> = network.map(|net| {
-        let mut rx = vec![net.register(NodeId::Edge(edge))];
+        let mut rx: Vec<_> = net.register(NodeId::Edge(edge)).ok().into_iter().collect();
         rx.extend(
             devices
                 .iter()
-                .map(|d| net.register(NodeId::Device(d.device))),
+                .filter_map(|d| net.register(NodeId::Device(d.device)).ok()),
         );
         rx
     });

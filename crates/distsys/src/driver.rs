@@ -1,0 +1,941 @@
+//! Drivers: the IO-and-time layer that executes the sans-IO state
+//! machines of [`crate::node`].
+//!
+//! A [`Driver`] owns everything the machines deliberately don't —
+//! transport, clocks, scheduling — and speaks to them only through
+//! [`Event`]s and the [`Outbox`]. Two implementations ship:
+//!
+//! * [`ThreadedDriver`] — the original thread-per-node runtime reduced
+//!   to a thin shell: each node thread pumps real channel `recv`s (and
+//!   wall-clock `recv_timeout` expirations) into its machine and flushes
+//!   the outbox through [`Network`]. It remains the *oracle*: real OS
+//!   preemption, real channel backpressure, real time.
+//! * [`SimDriver`] — a discrete-event simulator: one binary heap of
+//!   pending events keyed by virtual delivery time (derived from the
+//!   [`LinkModel`] plus any [`FaultPlan`] delays), zero OS threads per
+//!   node, deterministic by seed. This is what scales the fleet from
+//!   tens of nodes to 100k+ devices in one process; see
+//!   [`simulate_fleet`].
+//!
+//! Differential tests (`tests/driver_differential.rs`) pin the two
+//! drivers to bit-identical [`ProtocolOutcome`]s on deterministic
+//! scenarios, so the simulator's results can be trusted at scales the
+//! threaded runtime cannot reach.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+
+use acme_energy::Fleet;
+
+use crate::fault::{fnv1a, node_tag, splitmix64, FaultPlan, FaultState, Verdict};
+use crate::latency::LinkModel;
+use crate::ledger::Ledger;
+use crate::message::{Envelope, NodeId};
+use crate::network::Network;
+use crate::node::{
+    CloudNode, DeviceNode, EdgeNode, Event, NodeStateMachine, Outbox, TimerToken, VirtualTime,
+};
+use crate::protocol::{
+    assemble_outcome, NodeStatus, ProtocolConfig, ProtocolError, ProtocolOutcome,
+};
+
+/// Executes the ACME schedule over a fleet. Implementations differ only
+/// in *how* events reach the node state machines — the schedule logic
+/// itself lives in [`crate::node`] and is shared verbatim.
+pub trait Driver {
+    /// Runs the full protocol, returning the metered outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProtocolError`] for structural faults: duplicate node
+    /// registration or (threaded only) a panicking node thread. Lost
+    /// peers degrade the run per cluster instead.
+    fn run(
+        &self,
+        fleet: &Fleet,
+        config: &ProtocolConfig,
+        faults: FaultPlan,
+    ) -> Result<ProtocolOutcome, ProtocolError>;
+}
+
+// ---------------------------------------------------------------------
+// Threaded driver
+// ---------------------------------------------------------------------
+
+/// The thread-per-node oracle: one OS thread per device, edge, and
+/// cloud, pumping crossbeam channel receives into the state machines
+/// against wall-clock timer deadlines.
+///
+/// Send failures (a peer that already tore its inbox down) are ignored
+/// at the pump: the machine keeps retrying within its bounded budget —
+/// exactly the simulator's semantics, where a departed peer simply never
+/// answers — and the [`Network`] meters the attempt either way, keeping
+/// the two drivers' ledgers convergent.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreadedDriver;
+
+impl Driver for ThreadedDriver {
+    fn run(
+        &self,
+        fleet: &Fleet,
+        config: &ProtocolConfig,
+        faults: FaultPlan,
+    ) -> Result<ProtocolOutcome, ProtocolError> {
+        let cfg = Arc::new(config.clone());
+        let run_span = acme_obs::span!(
+            acme_obs::Detail::Phase,
+            "protocol.run",
+            "edges" => fleet.num_edges(),
+            "devices" => fleet.num_devices(),
+            "driver" => "threaded",
+        );
+        let net = Network::with_faults(faults);
+        let cloud_rx = net.register(NodeId::Cloud)?;
+        let epoch = Instant::now();
+
+        let mut edge_handles = Vec::with_capacity(fleet.num_edges());
+        let mut device_handles = Vec::with_capacity(fleet.num_devices());
+        for cluster in fleet.clusters() {
+            let edge_rx = net.register(NodeId::Edge(cluster.edge()))?;
+            // Register devices before any thread starts sending.
+            let device_rxs: Vec<_> = cluster
+                .devices()
+                .iter()
+                .map(|d| net.register(NodeId::Device(d.id())))
+                .collect::<Result<_, _>>()?;
+            let sm = EdgeNode::new(cluster, Arc::clone(&cfg));
+            {
+                let net = net.clone();
+                edge_handles.push(thread::spawn(move || pump_node(net, edge_rx, sm, epoch)));
+            }
+            for (device, rx) in cluster.devices().iter().zip(device_rxs) {
+                let sm = DeviceNode::new(device.id(), cluster.edge(), Arc::clone(&cfg));
+                let net = net.clone();
+                device_handles.push(thread::spawn(move || pump_node(net, rx, sm, epoch)));
+            }
+        }
+
+        // Cloud thread: serves attribute reports (and replays lost
+        // assignments) until every other node has finished.
+        let stop = Arc::new(AtomicBool::new(false));
+        let cloud_handle = {
+            let net = net.clone();
+            let sm = CloudNode::new(cfg);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || pump_cloud(net, cloud_rx, sm, stop, epoch))
+        };
+
+        let mut first_err = None;
+        let mut edge_statuses = Vec::with_capacity(edge_handles.len());
+        for h in edge_handles {
+            match h.join() {
+                Ok(status) => edge_statuses.push(status),
+                Err(_) => {
+                    first_err.get_or_insert(ProtocolError::NodePanicked);
+                }
+            }
+        }
+        let mut device_statuses = Vec::with_capacity(device_handles.len());
+        for h in device_handles {
+            match h.join() {
+                Ok(status) => device_statuses.push(status),
+                Err(_) => {
+                    first_err.get_or_insert(ProtocolError::NodePanicked);
+                }
+            }
+        }
+        // All peers are done: release the cloud's replay service.
+        stop.store(true, Ordering::Relaxed);
+        let cloud_status = match cloud_handle.join() {
+            Ok(status) => Some(status),
+            Err(_) => {
+                first_err.get_or_insert(ProtocolError::NodePanicked);
+                None
+            }
+        };
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        let report = net.ledger().report();
+        // Close the run span before assembling so it lands in this
+        // run's trace.
+        drop(run_span);
+        Ok(assemble_outcome(
+            fleet,
+            cloud_status.expect("no panic implies a cloud status"),
+            edge_statuses,
+            device_statuses,
+            report,
+        ))
+    }
+}
+
+/// Pumps one node: blocks on the inbox up to the machine's armed
+/// deadline, translating receives into [`Event::Message`] and
+/// expirations into [`Event::Timer`].
+fn pump_node<S: NodeStateMachine>(
+    net: Network,
+    rx: Receiver<Envelope>,
+    mut sm: S,
+    epoch: Instant,
+) -> NodeStatus {
+    let mut out = Outbox::new();
+    let mut deadline: Option<(TimerToken, Instant)> = None;
+    let me = sm.id();
+    sm.handle(
+        Event::Start,
+        VirtualTime::from_duration(epoch.elapsed()),
+        &mut out,
+    );
+    flush(&net, me, &mut out, &mut deadline);
+    loop {
+        if sm.status().is_some() {
+            return sm.finalize(VirtualTime::from_duration(epoch.elapsed()));
+        }
+        let event = match deadline {
+            Some((token, at)) => match at.checked_duration_since(Instant::now()) {
+                Some(left) => match rx.recv_timeout(left) {
+                    Ok(env) => Event::Message(env),
+                    Err(RecvTimeoutError::Timeout) => {
+                        deadline = None;
+                        Event::Timer(token)
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return sm.finalize(VirtualTime::from_duration(epoch.elapsed()));
+                    }
+                },
+                None => {
+                    deadline = None;
+                    Event::Timer(token)
+                }
+            },
+            // The machines arm a timer for every wait of the schedule,
+            // so an unarmed pump only happens for machines that are
+            // already terminal — caught at the top of the loop.
+            None => match rx.recv() {
+                Ok(env) => Event::Message(env),
+                Err(_) => return sm.finalize(VirtualTime::from_duration(epoch.elapsed())),
+            },
+        };
+        sm.handle(event, VirtualTime::from_duration(epoch.elapsed()), &mut out);
+        flush(&net, me, &mut out, &mut deadline);
+    }
+}
+
+/// Pumps the cloud, which arms no timers and never self-terminates: poll
+/// the inbox until the driver signals that every peer is done.
+fn pump_cloud(
+    net: Network,
+    rx: Receiver<Envelope>,
+    mut sm: CloudNode,
+    stop: Arc<AtomicBool>,
+    epoch: Instant,
+) -> NodeStatus {
+    let mut out = Outbox::new();
+    let mut deadline = None;
+    sm.handle(
+        Event::Start,
+        VirtualTime::from_duration(epoch.elapsed()),
+        &mut out,
+    );
+    flush(&net, NodeId::Cloud, &mut out, &mut deadline);
+    while !stop.load(Ordering::Relaxed) {
+        match rx.recv_timeout(Duration::from_millis(10)) {
+            Ok(env) => {
+                sm.handle(
+                    Event::Message(env),
+                    VirtualTime::from_duration(epoch.elapsed()),
+                    &mut out,
+                );
+                flush(&net, NodeId::Cloud, &mut out, &mut deadline);
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    sm.finalize(VirtualTime::from_duration(epoch.elapsed()))
+}
+
+fn flush(
+    net: &Network,
+    from: NodeId,
+    out: &mut Outbox,
+    deadline: &mut Option<(TimerToken, Instant)>,
+) {
+    for s in out.take_sends() {
+        let _ = if s.retransmission {
+            net.send_retransmit(from, s.to, s.payload)
+        } else {
+            net.send(from, s.to, s.payload)
+        };
+    }
+    if let Some((token, after)) = out.take_timer() {
+        *deadline = Some((token, Instant::now() + after));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Simulation driver
+// ---------------------------------------------------------------------
+
+/// Virtual-clock parameters of a [`SimDriver`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Link latencies/bandwidths the virtual delivery times derive from.
+    pub links: LinkModel,
+    /// Seed for the latency jitter (and carried alongside any
+    /// seeded [`FaultPlan`], which keeps its own seed).
+    pub seed: u64,
+    /// Relative latency jitter: each delivery is stretched by a
+    /// deterministic, seed-hashed factor in `[1, 1 + jitter]`. Zero
+    /// disables jitter. Must be finite and non-negative.
+    pub jitter: f64,
+}
+
+impl Default for SimConfig {
+    /// Default links, seed 0, 10% latency jitter — enough spread to make
+    /// seeds meaningful while staying far below any retry window.
+    fn default() -> Self {
+        SimConfig {
+            links: LinkModel::default(),
+            seed: 0,
+            jitter: 0.1,
+        }
+    }
+}
+
+/// Per-run statistics of a [`SimDriver`] execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimStats {
+    /// Events processed (starts + deliveries + timer expirations).
+    pub events: u64,
+    /// Messages actually delivered to a machine.
+    pub messages_delivered: u64,
+    /// Virtual time of the last processed event.
+    pub virtual_elapsed: VirtualTime,
+    /// Order-sensitive digest of the full event sequence. Two runs that
+    /// processed the same events in the same order — the determinism
+    /// contract for a fixed seed — have equal digests.
+    pub order_digest: u64,
+}
+
+/// Discrete-event simulator: executes the whole fleet on one thread
+/// against a virtual clock.
+///
+/// Every pending event — node start, message delivery, timer expiration
+/// — sits in a single binary heap ordered by `(virtual_time, push_seq)`.
+/// The push sequence number breaks ties deterministically (FIFO among
+/// simultaneous events), making the processing order a total order that
+/// is a pure function of the fleet, config, fault plan, and seed.
+/// Message delivery times derive from the [`LinkModel`]'s one-way
+/// latency for the payload's link class, plus any [`FaultPlan`] delay,
+/// plus seeded jitter; unlike the threaded driver, a fault delay defers
+/// only the one delivery instead of stalling the sender.
+#[derive(Debug, Clone, Default)]
+pub struct SimDriver {
+    config: SimConfig,
+}
+
+impl SimDriver {
+    /// A simulator with the given virtual-clock parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.jitter` is negative or not finite.
+    pub fn new(config: SimConfig) -> Self {
+        assert!(
+            config.jitter.is_finite() && config.jitter >= 0.0,
+            "jitter must be finite and non-negative, got {}",
+            config.jitter
+        );
+        SimDriver { config }
+    }
+
+    /// The virtual-clock parameters.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs the schedule and additionally returns the simulator's event
+    /// statistics (count, virtual elapsed time, order digest).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::Register`] when the fleet contains a
+    /// duplicate node id.
+    pub fn run_with_stats(
+        &self,
+        fleet: &Fleet,
+        config: &ProtocolConfig,
+        faults: FaultPlan,
+    ) -> Result<(ProtocolOutcome, SimStats), ProtocolError> {
+        let cfg = Arc::new(config.clone());
+        let run_span = acme_obs::span!(
+            acme_obs::Detail::Phase,
+            "protocol.run",
+            "edges" => fleet.num_edges(),
+            "devices" => fleet.num_devices(),
+            "driver" => "sim",
+        );
+
+        // Machines in fleet order: cloud, then each cluster's edge
+        // followed by its devices — the registration order of the
+        // threaded driver and the status order of the outcome.
+        let mut machines: Vec<SimMachine> =
+            Vec::with_capacity(1 + fleet.num_edges() + fleet.num_devices());
+        machines.push(SimMachine::Cloud(Box::new(CloudNode::new(Arc::clone(
+            &cfg,
+        )))));
+        for cluster in fleet.clusters() {
+            machines.push(SimMachine::Edge(Box::new(EdgeNode::new(
+                cluster,
+                Arc::clone(&cfg),
+            ))));
+            for device in cluster.devices() {
+                machines.push(SimMachine::Device(DeviceNode::new(
+                    device.id(),
+                    cluster.edge(),
+                    Arc::clone(&cfg),
+                )));
+            }
+        }
+        let mut index: HashMap<NodeId, usize> = HashMap::with_capacity(machines.len());
+        for (i, m) in machines.iter().enumerate() {
+            if index.insert(m.id(), i).is_some() {
+                return Err(crate::network::RegisterError { node: m.id() }.into());
+            }
+        }
+
+        let ledger = Ledger::new();
+        let mut fault_state = if faults.is_empty() {
+            None
+        } else {
+            Some(FaultState::new(faults))
+        };
+        let mut heap: BinaryHeap<Reverse<Scheduled>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        for m in &machines {
+            heap.push(Reverse(Scheduled {
+                at: VirtualTime::ZERO,
+                seq: next_seq(&mut seq),
+                target: m.id(),
+                kind: ScheduledKind::Start,
+            }));
+        }
+
+        let mut out = Outbox::new();
+        let mut occurrence: HashMap<(NodeId, NodeId, &'static str), u64> = HashMap::new();
+        let mut stats = SimStats {
+            events: 0,
+            messages_delivered: 0,
+            virtual_elapsed: VirtualTime::ZERO,
+            order_digest: splitmix64(self.config.seed),
+        };
+        let mut now = VirtualTime::ZERO;
+        while let Some(Reverse(ev)) = heap.pop() {
+            debug_assert!(ev.at >= now, "virtual time must be monotone");
+            now = ev.at;
+            stats.events += 1;
+            stats.order_digest = digest_event(stats.order_digest, &ev);
+            let i = index[&ev.target];
+            let event = match ev.kind {
+                ScheduledKind::Start => Event::Start,
+                ScheduledKind::Timer(token) => Event::Timer(token),
+                ScheduledKind::Deliver(env) => {
+                    stats.messages_delivered += 1;
+                    Event::Message(env)
+                }
+            };
+            let machine = &mut machines[i];
+            // Stale timers outlive their machines (the queue cannot
+            // un-schedule), so the protocol's finish line is the last
+            // event a still-live machine consumed — not the time the
+            // queue ran dry.
+            if machine.status().is_none() {
+                stats.virtual_elapsed = now;
+            }
+            machine.handle(event, now, &mut out);
+            let from = machine.id();
+            for send in out.take_sends() {
+                let env = Envelope {
+                    from,
+                    to: send.to,
+                    payload: send.payload,
+                };
+                self.transmit(
+                    env,
+                    send.retransmission,
+                    now,
+                    &ledger,
+                    &mut fault_state,
+                    &mut occurrence,
+                    &mut heap,
+                    &mut seq,
+                );
+            }
+            if let Some((token, after)) = out.take_timer() {
+                heap.push(Reverse(Scheduled {
+                    at: now.saturating_add(after),
+                    seq: next_seq(&mut seq),
+                    target: from,
+                    kind: ScheduledKind::Timer(token),
+                }));
+            }
+        }
+
+        // The queue is dry: every device and edge has run out its
+        // bounded schedule; shut the cloud's replay service down.
+        let mut cloud_status: Option<NodeStatus> = None;
+        let mut edge_statuses = Vec::with_capacity(fleet.num_edges());
+        let mut device_statuses = Vec::with_capacity(fleet.num_devices());
+        for m in &mut machines {
+            let status = m.finalize(now);
+            match status.node {
+                NodeId::Cloud => cloud_status = Some(status),
+                NodeId::Edge(_) => edge_statuses.push(status),
+                NodeId::Device(_) => device_statuses.push(status),
+            }
+        }
+        let report = ledger.report();
+        drop(run_span);
+        let outcome = assemble_outcome(
+            fleet,
+            cloud_status.expect("the cloud machine always yields a status"),
+            edge_statuses,
+            device_statuses,
+            report,
+        );
+        Ok((outcome, stats))
+    }
+
+    /// Applies the fault verdict and meters/schedules one send — the
+    /// virtual-time mirror of `Network::transmit`, with identical
+    /// metering (lost messages still crossed the sender's link) and the
+    /// same `net.*` trace events, each stamped with the virtual clock.
+    #[allow(clippy::too_many_arguments)]
+    fn transmit(
+        &self,
+        env: Envelope,
+        retransmission: bool,
+        now: VirtualTime,
+        ledger: &Ledger,
+        faults: &mut Option<FaultState>,
+        occurrence: &mut HashMap<(NodeId, NodeId, &'static str), u64>,
+        heap: &mut BinaryHeap<Reverse<Scheduled>>,
+        seq: &mut u64,
+    ) {
+        let verdict = match faults {
+            Some(f) => f.on_send(&env),
+            None => Verdict::Deliver,
+        };
+        if verdict == Verdict::SenderDead {
+            acme_obs::event!(
+                acme_obs::Detail::Task,
+                "net.dead_sender",
+                "from" => env.from.to_string(),
+                "kind" => env.payload.kind(),
+                "vtime_us" => now.as_micros(),
+            );
+            return;
+        }
+        let mut extra = Duration::ZERO;
+        if let Verdict::Delay(d) = verdict {
+            // In virtual time a fault delay defers this delivery only;
+            // the threaded driver stalls the whole sender instead.
+            acme_obs::event!(
+                acme_obs::Detail::Task,
+                "net.delay",
+                "from" => env.from.to_string(),
+                "to" => env.to.to_string(),
+                "kind" => env.payload.kind(),
+                "delay_us" => d.as_micros() as u64,
+                "vtime_us" => now.as_micros(),
+            );
+            extra = d;
+        }
+        let copies = if verdict == Verdict::Duplicate { 2 } else { 1 };
+        let deliver = verdict != Verdict::Lose;
+        if !deliver {
+            acme_obs::event!(
+                acme_obs::Detail::Task,
+                "net.drop",
+                "from" => env.from.to_string(),
+                "to" => env.to.to_string(),
+                "kind" => env.payload.kind(),
+                "bytes" => env.payload.wire_bytes(),
+                "vtime_us" => now.as_micros(),
+            );
+        } else if copies > 1 {
+            acme_obs::event!(
+                acme_obs::Detail::Task,
+                "net.duplicate",
+                "from" => env.from.to_string(),
+                "to" => env.to.to_string(),
+                "kind" => env.payload.kind(),
+                "vtime_us" => now.as_micros(),
+            );
+        }
+        let at = now
+            .saturating_add(extra)
+            .saturating_add(self.delivery_latency(&env, occurrence));
+        for _ in 0..copies {
+            // Lost messages still crossed the sender's link: metered.
+            if retransmission {
+                ledger.record_retransmission(&env);
+            } else {
+                ledger.record(&env);
+            }
+            acme_obs::event!(
+                acme_obs::Detail::Task,
+                "net.send",
+                "from" => env.from.to_string(),
+                "to" => env.to.to_string(),
+                "kind" => env.payload.kind(),
+                "bytes" => env.payload.wire_bytes(),
+                "retransmit" => retransmission as u64,
+                "vtime_us" => now.as_micros(),
+            );
+            if deliver {
+                heap.push(Reverse(Scheduled {
+                    at,
+                    seq: next_seq(seq),
+                    target: env.to,
+                    kind: ScheduledKind::Deliver(env.clone()),
+                }));
+            }
+        }
+    }
+
+    /// One-way flight time of `env` under the link model: half the RTT
+    /// plus serialization, stretched by a deterministic jitter factor
+    /// hashed from the seed and the message's link coordinates (the same
+    /// scheme the fault layer uses for its seeded drops).
+    fn delivery_latency(
+        &self,
+        env: &Envelope,
+        occurrence: &mut HashMap<(NodeId, NodeId, &'static str), u64>,
+    ) -> Duration {
+        let link = self.config.links.link(env.payload.link_class());
+        let base = link.one_way_seconds(env.payload.wire_bytes());
+        let factor = if self.config.jitter > 0.0 {
+            let occ = occurrence
+                .entry((env.from, env.to, env.payload.kind()))
+                .or_insert(0);
+            let n = *occ;
+            *occ += 1;
+            let h = splitmix64(
+                self.config
+                    .seed
+                    .wrapping_add(node_tag(env.from))
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(node_tag(env.to))
+                    .wrapping_mul(0x2545_f491_4f6c_dd1d)
+                    .wrapping_add(fnv1a(env.payload.kind()))
+                    .wrapping_add(n),
+            );
+            // Top 53 bits → uniform in [0, 1).
+            let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+            1.0 + self.config.jitter * u
+        } else {
+            1.0
+        };
+        Duration::from_secs_f64(base * factor)
+    }
+}
+
+impl Driver for SimDriver {
+    fn run(
+        &self,
+        fleet: &Fleet,
+        config: &ProtocolConfig,
+        faults: FaultPlan,
+    ) -> Result<ProtocolOutcome, ProtocolError> {
+        self.run_with_stats(fleet, config, faults)
+            .map(|(outcome, _)| outcome)
+    }
+}
+
+/// Simulates the ACME schedule over `fleet` on the virtual clock —
+/// the scalable entry point: 100k+ devices complete in seconds on one
+/// thread, where the threaded oracle would need one OS thread per node.
+///
+/// Uses default [`LinkModel`] latencies with seeded jitter; for custom
+/// links or jitter build a [`SimDriver`] (or use
+/// [`crate::ProtocolRun`]).
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::Register`] when the fleet contains a
+/// duplicate node id.
+pub fn simulate_fleet(
+    fleet: &Fleet,
+    config: &ProtocolConfig,
+    faults: FaultPlan,
+    seed: u64,
+) -> Result<ProtocolOutcome, ProtocolError> {
+    SimDriver::new(SimConfig {
+        seed,
+        ..SimConfig::default()
+    })
+    .run(fleet, config, faults)
+}
+
+/// The machine enum keeps the simulator monomorphic (no per-node trait
+/// vtables across a million devices). A fleet is almost entirely
+/// `Device`s, so the rare, much larger edge and cloud machines are
+/// boxed to keep the per-device footprint at the `DeviceNode` size.
+#[derive(Debug)]
+enum SimMachine {
+    Device(DeviceNode),
+    Edge(Box<EdgeNode>),
+    Cloud(Box<CloudNode>),
+}
+
+impl SimMachine {
+    fn id(&self) -> NodeId {
+        match self {
+            SimMachine::Device(m) => m.id(),
+            SimMachine::Edge(m) => m.id(),
+            SimMachine::Cloud(m) => m.id(),
+        }
+    }
+
+    fn handle(&mut self, event: Event, now: VirtualTime, out: &mut Outbox) {
+        match self {
+            SimMachine::Device(m) => m.handle(event, now, out),
+            SimMachine::Edge(m) => m.handle(event, now, out),
+            SimMachine::Cloud(m) => m.handle(event, now, out),
+        }
+    }
+
+    fn status(&self) -> Option<&NodeStatus> {
+        match self {
+            SimMachine::Device(m) => m.status(),
+            SimMachine::Edge(m) => m.status(),
+            SimMachine::Cloud(m) => m.status(),
+        }
+    }
+
+    fn finalize(&mut self, now: VirtualTime) -> NodeStatus {
+        match self {
+            SimMachine::Device(m) => m.finalize(now),
+            SimMachine::Edge(m) => m.finalize(now),
+            SimMachine::Cloud(m) => m.finalize(now),
+        }
+    }
+}
+
+/// One pending event in the simulator's queue.
+#[derive(Debug, Clone)]
+struct Scheduled {
+    at: VirtualTime,
+    seq: u64,
+    target: NodeId,
+    kind: ScheduledKind,
+}
+
+#[derive(Debug, Clone)]
+enum ScheduledKind {
+    Start,
+    Timer(TimerToken),
+    Deliver(Envelope),
+}
+
+/// Events are totally ordered by `(at, seq)`. `seq` is the unique,
+/// monotone push counter, so ties at the same virtual instant resolve
+/// FIFO and the order never depends on heap internals.
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+fn next_seq(seq: &mut u64) -> u64 {
+    let s = *seq;
+    *seq += 1;
+    s
+}
+
+/// Folds one processed event into the order digest.
+fn digest_event(digest: u64, ev: &Scheduled) -> u64 {
+    let kind_tag = match &ev.kind {
+        ScheduledKind::Start => 0x11,
+        ScheduledKind::Timer(token) => 0x22 ^ (token.0 << 8),
+        ScheduledKind::Deliver(env) => 0x33 ^ fnv1a(env.payload.kind()) ^ (node_tag(env.from) << 4),
+    };
+    splitmix64(
+        digest
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(ev.at.as_nanos())
+            .wrapping_add(ev.seq.rotate_left(32))
+            .wrapping_add(node_tag(ev.target))
+            .wrapping_add(kind_tag),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{DropPoint, RetryPolicy};
+    use acme_energy::{Device, DeviceCluster, EdgeId};
+
+    fn fast_cfg(loop_rounds: usize) -> ProtocolConfig {
+        ProtocolConfig {
+            loop_rounds,
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base: Duration::from_millis(120),
+                cap: Duration::from_millis(480),
+            },
+            ..ProtocolConfig::default()
+        }
+    }
+
+    #[test]
+    fn sim_completes_fault_free_with_expected_message_count() {
+        let fleet = Fleet::paper_default(3, 4);
+        let out = simulate_fleet(&fleet, &fast_cfg(2), FaultPlan::none(), 7).expect("sim run");
+        assert_eq!(out.rounds_completed, 2);
+        let (s, n, t) = (3u64, 12u64, 2u64);
+        assert_eq!(out.report.messages, s + s + n + t * n * 2);
+        assert_eq!(out.report.retransmissions, 0);
+        assert!(out.dropped_nodes().is_empty());
+    }
+
+    #[test]
+    fn sim_is_deterministic_per_seed_and_sensitive_to_it() {
+        let fleet = Fleet::paper_default(3, 2);
+        let cfg = fast_cfg(2);
+        let faults = || FaultPlan::seeded(5).drop_uniform(0.05);
+        let driver = |seed| {
+            SimDriver::new(SimConfig {
+                seed,
+                ..SimConfig::default()
+            })
+        };
+        let (a, sa) = driver(1)
+            .run_with_stats(&fleet, &cfg, faults())
+            .expect("run");
+        let (b, sb) = driver(1)
+            .run_with_stats(&fleet, &cfg, faults())
+            .expect("run");
+        assert_eq!(a, b, "same seed, same outcome");
+        assert_eq!(sa.order_digest, sb.order_digest, "same event order");
+        assert_eq!(sa.events, sb.events);
+        let (_, sc) = driver(2)
+            .run_with_stats(&fleet, &cfg, faults())
+            .expect("run");
+        assert_ne!(sa.order_digest, sc.order_digest, "seed moves the jitter");
+    }
+
+    #[test]
+    fn sim_virtual_time_is_decoupled_from_wall_clock() {
+        // Seconds-scale retry windows with a dead device: virtual time
+        // passes the full budget while wall-clock stays trivial.
+        let fleet = Fleet::paper_default(1, 1);
+        let cfg = ProtocolConfig {
+            loop_rounds: 1,
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base: Duration::from_secs(60),
+                cap: Duration::from_secs(60),
+            },
+            ..ProtocolConfig::default()
+        };
+        let victim = NodeId::Device(fleet.clusters()[0].devices()[0].id());
+        let started = Instant::now();
+        let (out, stats) = SimDriver::new(SimConfig::default())
+            .run_with_stats(&fleet, &cfg, FaultPlan::none().kill(victim, 0))
+            .expect("sim run");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "simulated minutes must not take wall-clock minutes"
+        );
+        assert!(
+            stats.virtual_elapsed >= VirtualTime::from_duration(Duration::from_secs(120)),
+            "virtual clock advanced through the retry windows: {}",
+            stats.virtual_elapsed
+        );
+        let status = out.node(victim).expect("victim status");
+        assert_eq!(status.dropped_at, Some(DropPoint::Setup));
+    }
+
+    #[test]
+    fn sim_quorum_degradation_matches_schedule() {
+        // All devices of cluster 0 dead with min_quorum 1: the edge
+        // abandons the cluster at round 0; the other cluster completes.
+        let fleet = Fleet::paper_default(2, 2);
+        let mut plan = FaultPlan::none();
+        for d in fleet.clusters()[0].devices() {
+            plan = plan.kill(NodeId::Device(d.id()), 0);
+        }
+        let out = simulate_fleet(&fleet, &fast_cfg(2), plan, 3).expect("sim run");
+        let edge0 = out.node(NodeId::Edge(EdgeId(0))).expect("edge 0");
+        assert_eq!(edge0.dropped_at, Some(DropPoint::Round(0)));
+        let edge1 = out.node(NodeId::Edge(EdgeId(1))).expect("edge 1");
+        assert_eq!(edge1.dropped_at, None);
+        assert_eq!(edge1.completed_rounds, 2);
+        assert_eq!(out.dropped_nodes().len(), 1 + 2);
+    }
+
+    #[test]
+    fn sim_handles_deviceless_cluster() {
+        let fleet = Fleet::new(vec![DeviceCluster::new(EdgeId(0), Vec::new())]);
+        let out = simulate_fleet(&fleet, &fast_cfg(3), FaultPlan::none(), 0).expect("sim run");
+        assert_eq!(out.rounds_completed, 0, "no devices -> zero rounds");
+        let edge = out.node(NodeId::Edge(EdgeId(0))).expect("edge status");
+        assert_eq!(edge.completed_rounds, 3);
+        assert_eq!(out.report.messages, 2, "attribute report + assignment");
+    }
+
+    #[test]
+    fn sim_rejects_duplicate_node_ids() {
+        let fleet = Fleet::new(vec![
+            DeviceCluster::new(EdgeId(0), vec![Device::new(0, 3.0, 1_000)]),
+            DeviceCluster::new(EdgeId(0), vec![Device::new(1, 3.0, 1_000)]),
+        ]);
+        let err = simulate_fleet(&fleet, &fast_cfg(1), FaultPlan::none(), 0).unwrap_err();
+        assert!(matches!(err, ProtocolError::Register(_)));
+    }
+
+    #[test]
+    fn scheduled_order_is_total_by_time_then_seq() {
+        let ev = |at_ns, seq| Scheduled {
+            at: VirtualTime::from_nanos(at_ns),
+            seq,
+            target: NodeId::Cloud,
+            kind: ScheduledKind::Start,
+        };
+        assert!(ev(1, 5) < ev(2, 0), "earlier time wins");
+        assert!(ev(2, 1) < ev(2, 2), "FIFO among simultaneous events");
+        assert_eq!(ev(2, 2), ev(2, 2));
+        let mut heap = BinaryHeap::new();
+        for (t, s) in [(5u64, 4u64), (1, 2), (5, 3), (1, 1), (0, 0)] {
+            heap.push(Reverse(ev(t, s)));
+        }
+        let drained: Vec<(u64, u64)> = std::iter::from_fn(|| heap.pop())
+            .map(|Reverse(e)| (e.at.as_nanos(), e.seq))
+            .collect();
+        assert_eq!(drained, vec![(0, 0), (1, 1), (1, 2), (5, 3), (5, 4)]);
+    }
+}

@@ -246,8 +246,10 @@ impl FaultState {
     }
 }
 
-/// Stable 64-bit encoding of a node address for hashing.
-fn node_tag(node: NodeId) -> u64 {
+/// Stable 64-bit encoding of a node address for hashing. Shared with the
+/// sim driver's latency jitter so both fault and timing randomness hash
+/// the same message coordinates.
+pub(crate) fn node_tag(node: NodeId) -> u64 {
     match node {
         NodeId::Cloud => 0,
         NodeId::Edge(e) => (1u64 << 32) | e.0 as u64,
@@ -255,7 +257,7 @@ fn node_tag(node: NodeId) -> u64 {
     }
 }
 
-fn fnv1a(s: &str) -> u64 {
+pub(crate) fn fnv1a(s: &str) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for b in s.as_bytes() {
         h ^= u64::from(*b);
@@ -265,7 +267,7 @@ fn fnv1a(s: &str) -> u64 {
 }
 
 /// SplitMix64 finalizer: a strong 64-bit avalanche over the key.
-fn splitmix64(mut z: u64) -> u64 {
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

@@ -103,6 +103,15 @@ impl Link {
         self.schedule_seconds(1, bytes)
     }
 
+    /// One-way flight time of a single `bytes`-sized message: half the
+    /// round-trip setup plus serialization. This is what the sim driver
+    /// schedules virtual deliveries with — a request/response pair over
+    /// the virtual clock costs one full RTT plus both payloads, matching
+    /// [`Link::transfer_seconds`]' sequential estimate.
+    pub fn one_way_seconds(&self, bytes: u64) -> f64 {
+        self.rtt_seconds / 2.0 + bytes as f64 / self.bandwidth_bps
+    }
+
     /// Time to move `bytes` over this link spread across `messages`
     /// sequential messages: one RTT per message plus the serialized
     /// payload time. Division is safe: construction guarantees a
@@ -216,12 +225,23 @@ mod tests {
     }
 
     #[test]
+    fn one_way_is_half_rtt_plus_serialization() {
+        let link = Link::try_new(1e6, 0.010).expect("valid link");
+        assert!((link.one_way_seconds(0) - 0.005).abs() < 1e-12);
+        assert!((link.one_way_seconds(500_000) - 0.505).abs() < 1e-9);
+        // Request + response over one-way flights equals the sequential
+        // round-trip estimate for the same payloads.
+        let pair = link.one_way_seconds(1_000) + link.one_way_seconds(2_000);
+        assert!((pair - link.schedule_seconds(1, 3_000)).abs() < 1e-12);
+    }
+
+    #[test]
     fn acme_beats_centralized_in_time_too() {
-        use crate::protocol::{centralized_transfers, run_acme_protocol, ProtocolConfig};
+        use crate::protocol::{centralized_transfers, ProtocolRun};
         use acme_energy::Fleet;
         let fleet = Fleet::paper_default(2, 5);
         let model = LinkModel::default();
-        let acme = run_acme_protocol(&fleet, &ProtocolConfig::default()).expect("protocol run");
+        let acme = ProtocolRun::new(&fleet).execute().expect("protocol run");
         let cs = centralized_transfers(&fleet, 500, 3072, 1_000_000).expect("baseline run");
         // The CS downloads full models too, so compare total schedules.
         let t_acme = model.sequential_seconds(&acme.report);

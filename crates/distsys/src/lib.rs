@@ -4,34 +4,40 @@
 //! a cloud server, a cluster of edge servers, and partitioned devices
 //! exchanging typed, size-metered messages.
 //!
-//! Two layers are provided:
+//! Three layers are provided:
 //!
 //! * **Transport** — [`Network`] routes [`Envelope`]s between [`NodeId`]s
 //!   over crossbeam channels while a shared [`Ledger`] meters every
 //!   message's [`Payload::wire_bytes`]. This is what Table I's
 //!   upload-volume comparison is measured on.
-//! * **Protocol** — [`protocol::run_acme_protocol`] executes the paper's
-//!   schedule (edge attribute upload → cloud backbone assignment → edge
-//!   header distribution → `T` importance-aggregation loop rounds) with
-//!   pluggable compute hooks, spawning one thread per node;
+//! * **Protocol** — sans-IO state machines ([`DeviceNode`], [`EdgeNode`],
+//!   [`CloudNode`] behind the [`NodeStateMachine`] trait) encode the
+//!   paper's schedule (edge attribute upload → cloud backbone assignment
+//!   → edge header distribution → `T` importance-aggregation loop
+//!   rounds) purely as events in, sends and timers out;
 //!   [`protocol::centralized_transfers`] models the centralized-system
 //!   baseline in which devices ship raw data to the cloud.
+//! * **Drivers** — a [`ProtocolRun`] executes the machines on a
+//!   pluggable [`Driver`]: the thread-per-node [`ThreadedDriver`] oracle
+//!   (real channels, real clocks) or the discrete-event [`SimDriver`]
+//!   (one thread, a virtual clock, deterministic by seed), which scales
+//!   the same protocol to 100k+ devices via [`simulate_fleet`].
 //!
-//! The runtime is fault tolerant: every wait is a bounded
-//! `recv_timeout` governed by a [`RetryPolicy`], and a deterministic
-//! [`FaultPlan`] can drop, delay, or duplicate scheduled messages or
-//! kill nodes outright ([`protocol::run_acme_protocol_with_faults`]).
-//! Clusters degrade gracefully — silent devices are dropped and the
-//! surviving quorum finishes all rounds — and the ledger meters
-//! retransmissions separately so fault-free accounting is unchanged.
+//! The runtime is fault tolerant: every wait is bounded by a
+//! [`RetryPolicy`] timer, and a deterministic [`FaultPlan`] can drop,
+//! delay, or duplicate scheduled messages or kill nodes outright
+//! ([`ProtocolRun::faults`]). Clusters degrade gracefully — silent
+//! devices are dropped and the surviving quorum finishes all rounds —
+//! and the ledger meters retransmissions separately so fault-free
+//! accounting is unchanged.
 //!
 //! ```
 //! use acme_distsys::{Ledger, Network, NodeId, Payload};
 //! use acme_energy::EdgeId;
 //!
 //! let network = Network::new();
-//! let cloud_rx = network.register(NodeId::Cloud);
-//! let _edge_rx = network.register(NodeId::Edge(EdgeId(0)));
+//! let cloud_rx = network.register(NodeId::Cloud).unwrap();
+//! let _edge_rx = network.register(NodeId::Edge(EdgeId(0))).unwrap();
 //! network
 //!     .send(NodeId::Edge(EdgeId(0)), NodeId::Cloud, Payload::AttributeReport {
 //!         device_count: 5,
@@ -45,18 +51,25 @@
 //! assert!(network.ledger().total_bytes() > 0);
 //! ```
 
+pub mod driver;
 mod fault;
 mod latency;
 mod ledger;
 mod message;
 mod network;
+pub mod node;
 pub mod protocol;
 
+pub use driver::{simulate_fleet, Driver, SimConfig, SimDriver, SimStats, ThreadedDriver};
 pub use fault::{FaultAction, FaultPlan, FaultRule};
 pub use latency::{Link, LinkError, LinkModel};
 pub use ledger::{KindRow, Ledger, TransferReport};
 pub use message::{Envelope, LinkClass, NodeId, Payload};
-pub use network::{Network, SendError};
+pub use network::{Network, RegisterError, SendError};
+pub use node::{
+    CloudNode, DeviceNode, EdgeNode, Event, NodeStateMachine, Outbox, TimerToken, VirtualTime,
+};
 pub use protocol::{
-    DropPoint, NodeStatus, ProtocolConfig, ProtocolError, ProtocolOutcome, RetryPolicy,
+    DriverKind, DropPoint, NodeStatus, ProtocolConfig, ProtocolError, ProtocolOutcome, ProtocolRun,
+    RetryPolicy,
 };

@@ -32,6 +32,27 @@ impl std::fmt::Display for SendError {
 
 impl std::error::Error for SendError {}
 
+/// Error returned by [`Network::register`]: the node id already has a
+/// live route on this fabric.
+///
+/// Silent replacement was the old behavior and masked real topology bugs
+/// (two clusters sharing an edge id would quietly steal each other's
+/// inbox); rejecting the duplicate surfaces them at setup time. A route
+/// is freed again by [`Network::close`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegisterError {
+    /// The id that was already registered.
+    pub node: NodeId,
+}
+
+impl std::fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node {} is already registered", self.node)
+    }
+}
+
+impl std::error::Error for RegisterError {}
+
 /// In-process message fabric of the three-tier hierarchy: registration
 /// hands each node a private receiver; every send is metered by the
 /// shared [`Ledger`] before delivery.
@@ -72,12 +93,24 @@ impl Network {
         }
     }
 
-    /// Registers a node, returning its inbox. Re-registering replaces the
-    /// previous route (the old receiver stops receiving).
-    pub fn register(&self, node: NodeId) -> Receiver<Envelope> {
+    /// Registers a node, returning its inbox.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegisterError`] when the id already has a route — a
+    /// duplicate id is a topology bug, not a fault to degrade through.
+    /// The existing route is left untouched; after [`Network::close`]
+    /// the id can be registered again.
+    pub fn register(&self, node: NodeId) -> Result<Receiver<Envelope>, RegisterError> {
         let (tx, rx) = unbounded();
-        self.inner.routes.write().insert(node, tx);
-        rx
+        let mut routes = self.inner.routes.write();
+        match routes.entry(node) {
+            std::collections::hash_map::Entry::Occupied(_) => Err(RegisterError { node }),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(tx);
+                Ok(rx)
+            }
+        }
     }
 
     /// Sends `payload` from `from` to `to`, metering it in the ledger.
@@ -219,8 +252,8 @@ mod tests {
     #[test]
     fn delivers_and_meters() {
         let net = Network::new();
-        let rx = net.register(NodeId::Cloud);
-        net.register(NodeId::Edge(EdgeId(0)));
+        let rx = net.register(NodeId::Cloud).unwrap();
+        net.register(NodeId::Edge(EdgeId(0))).unwrap();
         net.send(NodeId::Edge(EdgeId(0)), NodeId::Cloud, Payload::Ack)
             .unwrap();
         let env = rx.recv().unwrap();
@@ -243,7 +276,7 @@ mod tests {
     #[test]
     fn disconnected_recipient_errors() {
         let net = Network::new();
-        let rx = net.register(NodeId::Cloud);
+        let rx = net.register(NodeId::Cloud).unwrap();
         drop(rx);
         let err = net.send(NodeId::Cloud, NodeId::Cloud, Payload::Ack);
         assert_eq!(err, Err(SendError::Disconnected(NodeId::Cloud)));
@@ -252,8 +285,8 @@ mod tests {
     #[test]
     fn cross_thread_roundtrip() {
         let net = Network::new();
-        let cloud_rx = net.register(NodeId::Cloud);
-        let edge_rx = net.register(NodeId::Edge(EdgeId(0)));
+        let cloud_rx = net.register(NodeId::Cloud).unwrap();
+        let edge_rx = net.register(NodeId::Edge(EdgeId(0))).unwrap();
         let net2 = net.clone();
         let t = std::thread::spawn(move || {
             // Edge thread: wait for assignment, reply with ack.
@@ -281,7 +314,7 @@ mod tests {
     #[test]
     fn close_disconnects_all_inboxes() {
         let net = Network::new();
-        let rx = net.register(NodeId::Cloud);
+        let rx = net.register(NodeId::Cloud).unwrap();
         net.close();
         assert!(rx.recv().is_err());
         assert_eq!(net.node_count(), 0);
@@ -289,6 +322,31 @@ mod tests {
             net.send(NodeId::Cloud, NodeId::Cloud, Payload::Ack),
             Err(SendError::UnknownNode(NodeId::Cloud))
         );
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected_without_stealing_the_route() {
+        let net = Network::new();
+        let rx = net.register(NodeId::Cloud).unwrap();
+        let err = net.register(NodeId::Cloud).unwrap_err();
+        assert_eq!(
+            err,
+            RegisterError {
+                node: NodeId::Cloud
+            }
+        );
+        assert!(err.to_string().contains("already registered"));
+        // The original inbox keeps working.
+        net.send(NodeId::Cloud, NodeId::Cloud, Payload::Ack)
+            .unwrap();
+        assert_eq!(rx.try_iter().count(), 1);
+        assert_eq!(net.node_count(), 1);
+        // Closing frees the id for a fresh registration.
+        net.close();
+        let rx2 = net.register(NodeId::Cloud).unwrap();
+        net.send(NodeId::Cloud, NodeId::Cloud, Payload::Ack)
+            .unwrap();
+        assert_eq!(rx2.try_iter().count(), 1);
     }
 
     #[test]
@@ -303,8 +361,8 @@ mod tests {
         let net = Network::with_faults(
             FaultPlan::none().rule(FaultRule::on(FaultAction::Drop).kind("ack").nth(0)),
         );
-        let rx = net.register(NodeId::Cloud);
-        net.register(NodeId::Edge(EdgeId(0)));
+        let rx = net.register(NodeId::Cloud).unwrap();
+        net.register(NodeId::Edge(EdgeId(0))).unwrap();
         let from = NodeId::Edge(EdgeId(0));
         net.send(from, NodeId::Cloud, Payload::Ack).unwrap();
         net.send(from, NodeId::Cloud, Payload::Ack).unwrap();
@@ -319,8 +377,8 @@ mod tests {
         let net = Network::with_faults(
             FaultPlan::none().rule(FaultRule::on(FaultAction::Duplicate).nth(0)),
         );
-        let rx = net.register(NodeId::Cloud);
-        net.register(NodeId::Edge(EdgeId(0)));
+        let rx = net.register(NodeId::Cloud).unwrap();
+        net.register(NodeId::Edge(EdgeId(0))).unwrap();
         net.send(NodeId::Edge(EdgeId(0)), NodeId::Cloud, Payload::Ack)
             .unwrap();
         assert_eq!(net.ledger().message_count(), 2);
@@ -332,8 +390,8 @@ mod tests {
         use crate::fault::FaultPlan;
         let dead = NodeId::Device(DeviceId(3));
         let net = Network::with_faults(FaultPlan::none().kill(dead, 0));
-        let rx = net.register(NodeId::Cloud);
-        net.register(dead);
+        let rx = net.register(NodeId::Cloud).unwrap();
+        net.register(dead).unwrap();
         // The dead node's send "succeeds" but nothing reaches the wire.
         net.send(dead, NodeId::Cloud, Payload::Ack).unwrap();
         assert_eq!(net.ledger().message_count(), 0);
@@ -346,8 +404,8 @@ mod tests {
     #[test]
     fn retransmit_counts_in_both_totals() {
         let net = Network::new();
-        let _rx = net.register(NodeId::Cloud);
-        net.register(NodeId::Edge(EdgeId(0)));
+        let _rx = net.register(NodeId::Cloud).unwrap();
+        net.register(NodeId::Edge(EdgeId(0))).unwrap();
         net.send(NodeId::Edge(EdgeId(0)), NodeId::Cloud, Payload::Ack)
             .unwrap();
         net.send_retransmit(NodeId::Edge(EdgeId(0)), NodeId::Cloud, Payload::Ack)
@@ -360,8 +418,8 @@ mod tests {
     fn empty_fault_plan_is_fault_free() {
         use crate::fault::FaultPlan;
         let net = Network::with_faults(FaultPlan::none());
-        let rx = net.register(NodeId::Cloud);
-        net.register(NodeId::Edge(EdgeId(0)));
+        let rx = net.register(NodeId::Cloud).unwrap();
+        net.register(NodeId::Edge(EdgeId(0))).unwrap();
         net.send(NodeId::Edge(EdgeId(0)), NodeId::Cloud, Payload::Ack)
             .unwrap();
         assert_eq!(rx.try_iter().count(), 1);

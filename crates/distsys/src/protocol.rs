@@ -1,5 +1,6 @@
-//! The paper's communication schedule (§II-A) executed over real node
-//! threads, plus the centralized-system baseline of Table I.
+//! The paper's communication schedule (§II-A) — configuration, retry
+//! policy, per-node statuses, and the run entry points — plus the
+//! centralized-system baseline of Table I.
 //!
 //! Compute is out of scope here — the hooks fill in payload *sizes* — so
 //! the protocol meters exactly the transfer volume the schedule implies:
@@ -10,11 +11,18 @@
 //! 4. `T` single-loop rounds: devices upload importance sets, the edge
 //!    returns personalized sets.
 //!
+//! The schedule logic itself lives in [`crate::node`] as sans-IO state
+//! machines; this module executes them through a
+//! [`Driver`](crate::driver::Driver) — the thread-per-node
+//! [`ThreadedDriver`] oracle or the discrete-event
+//! [`SimDriver`](crate::driver::SimDriver) — selected via the
+//! [`ProtocolRun`] builder.
+//!
 //! # Fault tolerance
 //!
-//! Every wait is a `recv_timeout` governed by a [`RetryPolicy`]
-//! (bounded attempts with exponential backoff), and the runtime degrades
-//! per cluster instead of tearing the fabric down:
+//! Every wait is bounded by a [`RetryPolicy`] (bounded attempts with
+//! exponential backoff), and the runtime degrades per cluster instead of
+//! tearing the fabric down:
 //!
 //! * a device that gets no reply retransmits its upload and, after the
 //!   retry budget, drops out on its own;
@@ -30,34 +38,33 @@
 //! ([`TransferReport::retransmissions`]), so a fault-free run's transfer
 //! accounting is bit-identical to the original blocking protocol. Faults
 //! are injected deterministically through a
-//! [`FaultPlan`](crate::FaultPlan) via
-//! [`run_acme_protocol_with_faults`].
+//! [`FaultPlan`](crate::FaultPlan) via [`ProtocolRun::faults`].
 
-use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use crossbeam::channel::{Receiver, RecvTimeoutError};
+use acme_energy::Fleet;
 
-use acme_energy::{DeviceId, EdgeId, Fleet};
-
+use crate::driver::{Driver, SimConfig, SimDriver, ThreadedDriver};
 use crate::fault::FaultPlan;
+use crate::latency::LinkModel;
 use crate::ledger::TransferReport;
-use crate::message::{Envelope, NodeId, Payload};
-use crate::network::{Network, SendError};
+use crate::message::{NodeId, Payload};
+use crate::network::{Network, RegisterError, SendError};
 
 /// A fault detected while executing the protocol schedule.
 ///
 /// With the fault-tolerant runtime, recoverable conditions (lost or
 /// delayed messages, silent peers) are handled by retry and degradation
 /// and never surface here; this error remains for structural faults — a
-/// panicking node thread, or transport misuse outside the schedule.
+/// duplicate registration, a panicking node thread, or transport misuse
+/// outside the schedule.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ProtocolError {
     /// A message could not be delivered.
     Send(SendError),
+    /// A node id was registered twice (e.g. two clusters sharing an
+    /// edge id, or overlapping device ids).
+    Register(RegisterError),
     /// A node's inbox closed while it awaited a message.
     ChannelClosed {
         /// The node that was waiting.
@@ -81,6 +88,7 @@ impl std::fmt::Display for ProtocolError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ProtocolError::Send(e) => write!(f, "send failed: {e}"),
+            ProtocolError::Register(e) => write!(f, "registration failed: {e}"),
             ProtocolError::ChannelClosed { node, waiting_for } => {
                 write!(f, "{node} lost its inbox while awaiting {waiting_for}")
             }
@@ -96,6 +104,7 @@ impl std::error::Error for ProtocolError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ProtocolError::Send(e) => Some(e),
+            ProtocolError::Register(e) => Some(e),
             _ => None,
         }
     }
@@ -104,6 +113,12 @@ impl std::error::Error for ProtocolError {
 impl From<SendError> for ProtocolError {
     fn from(e: SendError) -> Self {
         ProtocolError::Send(e)
+    }
+}
+
+impl From<RegisterError> for ProtocolError {
+    fn from(e: RegisterError) -> Self {
+        ProtocolError::Register(e)
     }
 }
 
@@ -256,7 +271,7 @@ pub struct NodeStatus {
 }
 
 impl NodeStatus {
-    fn completed(node: NodeId, completed_rounds: usize, retries: u64) -> Self {
+    pub(crate) fn completed(node: NodeId, completed_rounds: usize, retries: u64) -> Self {
         NodeStatus {
             node,
             completed_rounds,
@@ -265,7 +280,12 @@ impl NodeStatus {
         }
     }
 
-    fn dropped(node: NodeId, completed_rounds: usize, at: DropPoint, retries: u64) -> Self {
+    pub(crate) fn dropped(
+        node: NodeId,
+        completed_rounds: usize,
+        at: DropPoint,
+        retries: u64,
+    ) -> Self {
         NodeStatus {
             node,
             completed_rounds,
@@ -328,150 +348,24 @@ impl ProtocolOutcome {
     }
 }
 
-/// Executes the ACME schedule over `fleet` on a fault-free fabric with
-/// one OS thread per node (1 cloud + S edges + N devices), returning the
-/// metered transfer report and per-node statuses.
-///
-/// # Errors
-///
-/// Returns a [`ProtocolError`] only for structural faults (a panicking
-/// node thread); lost peers degrade the run per cluster instead, visible
-/// in [`ProtocolOutcome::nodes`].
-pub fn run_acme_protocol(
+/// Assembles the per-driver pieces into a [`ProtocolOutcome`]: interleave
+/// statuses back into fleet order, fold the ledger meters into the
+/// metrics registry, and drain the trace. Callers close their
+/// `protocol.run` span first so it lands in this run's drain.
+pub(crate) fn assemble_outcome(
     fleet: &Fleet,
-    config: &ProtocolConfig,
-) -> Result<ProtocolOutcome, ProtocolError> {
-    run_acme_protocol_with_faults(fleet, config, FaultPlan::none())
-}
-
-/// Executes the ACME schedule over `fleet` with the given deterministic
-/// fault plan injected into the message fabric.
-///
-/// The run always terminates: every wait is bounded by
-/// `config.retry`, so even a fully dark fleet unwinds within the retry
-/// budget per schedule phase, and surviving clusters complete all
-/// [`ProtocolConfig::loop_rounds`].
-///
-/// # Errors
-///
-/// Returns a [`ProtocolError`] only for structural faults (a panicking
-/// node thread).
-pub fn run_acme_protocol_with_faults(
-    fleet: &Fleet,
-    config: &ProtocolConfig,
-    faults: FaultPlan,
-) -> Result<ProtocolOutcome, ProtocolError> {
-    let num_devices: usize = fleet.clusters().iter().map(|c| c.devices().len()).sum();
-    let run_span = acme_obs::span!(
-        acme_obs::Detail::Phase,
-        "protocol.run",
-        "edges" => fleet.num_edges(),
-        "devices" => num_devices,
-    );
-    let net = Network::with_faults(faults);
-    let cloud_rx = net.register(NodeId::Cloud);
-    let num_edges = fleet.num_edges();
-
-    let mut edge_handles = Vec::new();
-    let mut device_handles = Vec::new();
-    for cluster in fleet.clusters() {
-        let edge_id = cluster.edge();
-        let edge_rx = net.register(NodeId::Edge(edge_id));
-        let device_ids: Vec<_> = cluster.devices().iter().map(|d| d.id()).collect();
-        // Register devices before any thread starts sending.
-        let device_rxs: Vec<_> = device_ids
-            .iter()
-            .map(|&d| net.register(NodeId::Device(d)))
-            .collect();
-        let attrs = Payload::AttributeReport {
-            device_count: device_ids.len(),
-            min_storage: cluster.min_storage(),
-            min_gpu: finite_or_zero(
-                cluster
-                    .devices()
-                    .iter()
-                    .map(|d| d.gpu_capacity())
-                    .fold(f64::INFINITY, f64::min),
-            ),
-            max_gpu: finite_or_zero(
-                cluster
-                    .devices()
-                    .iter()
-                    .map(|d| d.gpu_capacity())
-                    .fold(f64::NEG_INFINITY, f64::max),
-            ),
-        };
-
-        // Edge thread.
-        {
-            let net = net.clone();
-            let cfg = config.clone();
-            let dev_ids = device_ids.clone();
-            edge_handles.push(thread::spawn(move || {
-                run_edge(net, edge_rx, edge_id, dev_ids, attrs, cfg)
-            }));
-        }
-
-        // Device threads.
-        for (device_id, rx) in device_ids.into_iter().zip(device_rxs) {
-            let net = net.clone();
-            let cfg = config.clone();
-            device_handles.push(thread::spawn(move || {
-                run_device(net, rx, device_id, edge_id, cfg)
-            }));
-        }
-    }
-
-    // Cloud thread: collects attribute reports, assigns backbones, and
-    // keeps replaying assignments whose downlink was lost until every
-    // other node has finished.
-    let stop = Arc::new(AtomicBool::new(false));
-    let cloud_handle = {
-        let net = net.clone();
-        let cfg = config.clone();
-        let stop = Arc::clone(&stop);
-        thread::spawn(move || run_cloud(net, cloud_rx, num_edges, cfg, stop))
-    };
-
-    let mut first_err = None;
-    let mut edge_statuses = Vec::with_capacity(edge_handles.len());
-    for h in edge_handles {
-        match h.join() {
-            Ok(status) => edge_statuses.push(status),
-            Err(_) => {
-                first_err.get_or_insert(ProtocolError::NodePanicked);
-            }
-        }
-    }
-    let mut device_statuses = Vec::with_capacity(device_handles.len());
-    for h in device_handles {
-        match h.join() {
-            Ok(status) => device_statuses.push(status),
-            Err(_) => {
-                first_err.get_or_insert(ProtocolError::NodePanicked);
-            }
-        }
-    }
-    // All peers are done: release the cloud's replay service.
-    stop.store(true, Ordering::Relaxed);
-    let cloud_status = match cloud_handle.join() {
-        Ok(status) => Some(status),
-        Err(_) => {
-            first_err.get_or_insert(ProtocolError::NodePanicked);
-            None
-        }
-    };
-    if let Some(e) = first_err {
-        return Err(e);
-    }
-
+    cloud: NodeStatus,
+    edge_statuses: Vec<NodeStatus>,
+    device_statuses: Vec<NodeStatus>,
+    report: TransferReport,
+) -> ProtocolOutcome {
     let rounds_completed = device_statuses
         .iter()
         .map(|s| s.completed_rounds)
         .min()
         .unwrap_or(0);
     let mut nodes = Vec::with_capacity(1 + edge_statuses.len() + device_statuses.len());
-    nodes.extend(cloud_status);
+    nodes.push(cloud);
     // Interleave back into fleet order: each cluster's edge, then its
     // devices.
     let mut devices = device_statuses.into_iter();
@@ -479,12 +373,9 @@ pub fn run_acme_protocol_with_faults(
         nodes.push(edge);
         nodes.extend(devices.by_ref().take(cluster.devices().len()));
     }
-    let report = net.ledger().report();
-    // Close the run span before draining so it lands in this run's
-    // trace, then absorb the ledger meters and per-node retry counts
-    // into the unified metrics registry (absolute values: the ledger
-    // keeps its own dependency-free accounting on the hot path).
-    drop(run_span);
+    // Absorb the ledger meters and per-node retry counts into the
+    // unified metrics registry (absolute values: the ledger keeps its
+    // own dependency-free accounting on the hot path).
     let trace = if acme_obs::enabled() {
         acme_obs::metrics::set_counter("net.messages", report.messages);
         acme_obs::metrics::set_counter("net.retransmissions", report.retransmissions);
@@ -503,359 +394,169 @@ pub fn run_acme_protocol_with_faults(
     } else {
         None
     };
-    Ok(ProtocolOutcome {
+    ProtocolOutcome {
         report,
         rounds_completed,
         nodes,
         trace,
-    })
-}
-
-fn finite_or_zero(x: f64) -> f64 {
-    if x.is_finite() {
-        x
-    } else {
-        0.0
     }
 }
 
-/// Edge-server schedule: report attributes, await the backbone, hand the
-/// header to the cluster, then serve `T` rounds over the surviving
-/// quorum.
-fn run_edge(
-    net: Network,
-    rx: Receiver<Envelope>,
-    edge_id: EdgeId,
-    dev_ids: Vec<DeviceId>,
-    attrs: Payload,
-    cfg: ProtocolConfig,
-) -> NodeStatus {
-    let me = NodeId::Edge(edge_id);
-    let mut retries = 0u64;
-
-    if net.send(me, NodeId::Cloud, attrs.clone()).is_err() {
-        return NodeStatus::dropped(me, 0, DropPoint::Setup, retries);
-    }
-    // Await the backbone assignment, retransmitting the attribute report
-    // whenever a wait times out (the report or the assignment was lost).
-    let mut attempt = 0u32;
-    let assigned = loop {
-        match rx.recv_timeout(cfg.retry.attempt_timeout(attempt)) {
-            Ok(env) => {
-                if matches!(env.payload, Payload::BackboneAssignment { .. }) {
-                    break true;
-                }
-                // Stale duplicate: ignore without consuming an attempt.
-            }
-            Err(RecvTimeoutError::Timeout) => {
-                retries += 1;
-                attempt += 1;
-                acme_obs::event!(
-                    acme_obs::Detail::Phase,
-                    "protocol.retry",
-                    "node" => me.to_string(),
-                    "waiting_for" => "backbone-assignment",
-                    "attempt" => attempt,
-                );
-                if attempt >= cfg.retry.effective_attempts() {
-                    break false;
-                }
-                if net
-                    .send_retransmit(me, NodeId::Cloud, attrs.clone())
-                    .is_err()
-                {
-                    break false;
-                }
-            }
-            Err(RecvTimeoutError::Disconnected) => break false,
-        }
-    };
-    if !assigned {
-        return NodeStatus::dropped(me, 0, DropPoint::Setup, retries);
-    }
-
-    // Distribute the coarse header (+ backbone hand-off) to devices. A
-    // dead device's copy is lost in flight; it will drop itself.
-    for &d in &dev_ids {
-        let _ = net.send(
-            me,
-            NodeId::Device(d),
-            Payload::HeaderSpec {
-                tokens: vec![0; cfg.header_tokens],
-                u: 1,
-                param_count: cfg.header_params + cfg.backbone_params,
-            },
-        );
-    }
-
-    // Single-loop rounds over the surviving quorum.
-    let quorum = cfg.min_quorum.min(dev_ids.len());
-    let mut live: HashSet<NodeId> = dev_ids.iter().map(|&d| NodeId::Device(d)).collect();
-    // Last personalized set served per device, replayed when a device
-    // signals (by re-uploading an old round) that its downlink was lost.
-    let mut served: HashMap<NodeId, (usize, Vec<f32>)> = HashMap::new();
-    let mut completed = 0usize;
-    for round in 0..cfg.loop_rounds {
-        let _round_span = acme_obs::span!(
-            acme_obs::Detail::Phase,
-            "protocol.round",
-            "node" => me.to_string(),
-            "round" => round,
-        );
-        let mut sets: Vec<(NodeId, Vec<f32>)> = Vec::with_capacity(live.len());
-        let mut got: HashSet<NodeId> = HashSet::with_capacity(live.len());
-        // One shared deadline covering a device's retransmission window
-        // (its final attempt stays reserved for the reply's flight back).
-        let deadline = Instant::now() + cfg.retry.collection_deadline();
-        while got.len() < live.len() {
-            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
-                break;
-            };
-            match rx.recv_timeout(remaining) {
-                Ok(env) => {
-                    let from = env.from;
-                    if let Payload::ImportanceUpload { round: r, values } = env.payload {
-                        if !live.contains(&from) {
-                            // Already dropped from this cluster: ignore.
-                        } else if r == round {
-                            // Deduplicates retransmitted and duplicated
-                            // uploads by sender.
-                            if got.insert(from) {
-                                sets.push((from, values));
-                            }
-                        } else if r < round {
-                            // The device never saw its round-`r` reply:
-                            // replay the served set.
-                            if let Some((sr, vals)) = served.get(&from) {
-                                if *sr == r {
-                                    retries += 1;
-                                    acme_obs::event!(
-                                        acme_obs::Detail::Phase,
-                                        "protocol.retry",
-                                        "node" => me.to_string(),
-                                        "waiting_for" => "personalized-replay",
-                                        "round" => r,
-                                    );
-                                    let _ = net.send_retransmit(
-                                        me,
-                                        from,
-                                        Payload::PersonalizedImportance {
-                                            round: r,
-                                            values: vals.clone(),
-                                        },
-                                    );
-                                }
-                            }
-                        }
-                    }
-                    // Duplicated assignments and other stale control
-                    // traffic are ignored.
-                }
-                Err(RecvTimeoutError::Timeout) => break,
-                Err(RecvTimeoutError::Disconnected) => {
-                    return NodeStatus::dropped(me, completed, DropPoint::Round(round), retries)
-                }
-            }
-        }
-        if got.len() < live.len() {
-            // Devices silent through the whole retry window are dropped;
-            // the cluster continues with the survivors.
-            for d in live.iter().filter(|d| !got.contains(*d)) {
-                acme_obs::event!(
-                    acme_obs::Detail::Phase,
-                    "protocol.device_drop",
-                    "node" => me.to_string(),
-                    "device" => d.to_string(),
-                    "round" => round,
-                );
-            }
-            live.retain(|d| got.contains(d));
-        }
-        if live.len() < quorum {
-            return NodeStatus::dropped(me, completed, DropPoint::Round(round), retries);
-        }
-        // Personalized aggregation happens here in the real pipeline;
-        // the wire cost is one downlink per surviving device.
-        for (from, values) in sets {
-            served.insert(from, (round, values.clone()));
-            let _ = net.send(me, from, Payload::PersonalizedImportance { round, values });
-        }
-        completed += 1;
-    }
-    NodeStatus::completed(me, completed, retries)
+/// Which [`Driver`](crate::driver::Driver) a [`ProtocolRun`] executes
+/// on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DriverKind {
+    /// The thread-per-node oracle ([`ThreadedDriver`]): real channels,
+    /// real clocks, one OS thread per node.
+    #[default]
+    Threaded,
+    /// The discrete-event simulator
+    /// ([`SimDriver`](crate::driver::SimDriver)): one thread, a virtual
+    /// clock, deterministic by seed — the scalable path.
+    Sim,
 }
 
-/// Device schedule: await the header, then `T` rounds of upload →
-/// personalized reply, retransmitting the upload on every timed-out
-/// wait.
-fn run_device(
-    net: Network,
-    rx: Receiver<Envelope>,
-    device_id: DeviceId,
-    edge_id: EdgeId,
-    cfg: ProtocolConfig,
-) -> NodeStatus {
-    let me = NodeId::Device(device_id);
-    let edge = NodeId::Edge(edge_id);
-    let mut retries = 0u64;
-
-    // Setup: the edge drives this phase, so there is nothing to
-    // retransmit — just bounded patience.
-    let mut attempt = 0u32;
-    let got_spec = loop {
-        match rx.recv_timeout(cfg.retry.attempt_timeout(attempt)) {
-            Ok(env) => {
-                if matches!(env.payload, Payload::HeaderSpec { .. }) {
-                    break true;
-                }
-            }
-            Err(RecvTimeoutError::Timeout) => {
-                retries += 1;
-                attempt += 1;
-                acme_obs::event!(
-                    acme_obs::Detail::Phase,
-                    "protocol.retry",
-                    "node" => me.to_string(),
-                    "waiting_for" => "header-spec",
-                    "attempt" => attempt,
-                );
-                if attempt >= cfg.retry.effective_attempts() {
-                    break false;
-                }
-            }
-            Err(RecvTimeoutError::Disconnected) => break false,
-        }
-    };
-    if !got_spec {
-        return NodeStatus::dropped(me, 0, DropPoint::Setup, retries);
-    }
-
-    let mut completed = 0usize;
-    'rounds: for round in 0..cfg.loop_rounds {
-        let _round_span = acme_obs::span!(
-            acme_obs::Detail::Phase,
-            "protocol.round",
-            "node" => me.to_string(),
-            "round" => round,
-        );
-        let upload = Payload::ImportanceUpload {
-            round,
-            values: vec![0.0; cfg.importance_len],
-        };
-        if net.send(me, edge, upload.clone()).is_err() {
-            return NodeStatus::dropped(me, completed, DropPoint::Round(round), retries);
-        }
-        let mut attempt = 0u32;
-        loop {
-            match rx.recv_timeout(cfg.retry.attempt_timeout(attempt)) {
-                Ok(env) => {
-                    if let Payload::PersonalizedImportance { round: r, .. } = env.payload {
-                        if r == round {
-                            completed += 1;
-                            continue 'rounds;
-                        }
-                        // A duplicated or replayed earlier reply: ignore.
-                    }
-                    // Duplicated header specs are ignored too.
-                }
-                Err(RecvTimeoutError::Timeout) => {
-                    retries += 1;
-                    attempt += 1;
-                    acme_obs::event!(
-                        acme_obs::Detail::Phase,
-                        "protocol.retry",
-                        "node" => me.to_string(),
-                        "waiting_for" => "personalized-importance",
-                        "round" => round,
-                        "attempt" => attempt,
-                    );
-                    if attempt >= cfg.retry.effective_attempts() {
-                        return NodeStatus::dropped(
-                            me,
-                            completed,
-                            DropPoint::Round(round),
-                            retries,
-                        );
-                    }
-                    // The upload or the reply was lost: retransmit.
-                    if net.send_retransmit(me, edge, upload.clone()).is_err() {
-                        return NodeStatus::dropped(
-                            me,
-                            completed,
-                            DropPoint::Round(round),
-                            retries,
-                        );
-                    }
-                }
-                Err(RecvTimeoutError::Disconnected) => {
-                    return NodeStatus::dropped(me, completed, DropPoint::Round(round), retries);
-                }
-            }
-        }
-    }
-    NodeStatus::completed(me, completed, retries)
+/// Builder for one protocol execution:
+///
+/// ```
+/// use acme_distsys::{DriverKind, FaultPlan, ProtocolConfig, ProtocolRun};
+/// use acme_energy::Fleet;
+///
+/// let fleet = Fleet::paper_default(2, 3);
+/// let outcome = ProtocolRun::new(&fleet)
+///     .config(ProtocolConfig::default())
+///     .faults(FaultPlan::none())
+///     .driver(DriverKind::Sim)
+///     .seed(42)
+///     .execute()
+///     .expect("protocol run");
+/// assert_eq!(outcome.rounds_completed, 3);
+/// ```
+///
+/// Defaults: [`ProtocolConfig::default`], no faults, the threaded
+/// driver, and (for the sim driver) default [`SimConfig`].
+#[derive(Debug, Clone)]
+pub struct ProtocolRun<'a> {
+    fleet: &'a Fleet,
+    config: ProtocolConfig,
+    faults: FaultPlan,
+    driver: DriverKind,
+    sim: SimConfig,
 }
 
-/// Cloud schedule: assign a backbone to every edge that reports within
-/// the retry window, then keep replaying assignments for retransmitted
-/// reports (lost downlinks) until the driver signals completion.
-fn run_cloud(
-    net: Network,
-    rx: Receiver<Envelope>,
-    num_edges: usize,
-    cfg: ProtocolConfig,
-    stop: Arc<AtomicBool>,
-) -> NodeStatus {
-    let me = NodeId::Cloud;
-    let mut assigned: HashSet<NodeId> = HashSet::with_capacity(num_edges);
-    let mut retries = 0u64;
-    let serve = |env: Envelope, assigned: &mut HashSet<NodeId>, retries: &mut u64| {
-        if matches!(env.payload, Payload::AttributeReport { .. }) {
-            let assignment = Payload::BackboneAssignment {
-                w: 1.0,
-                d: 6,
-                param_count: cfg.backbone_params,
-            };
-            if assigned.insert(env.from) {
-                let _ = net.send(me, env.from, assignment);
-            } else {
-                // A re-reported edge never saw its assignment: replay.
-                *retries += 1;
-                acme_obs::event!(
-                    acme_obs::Detail::Phase,
-                    "protocol.retry",
-                    "node" => me.to_string(),
-                    "waiting_for" => "assignment-replay",
-                    "edge" => env.from.to_string(),
-                );
-                let _ = net.send_retransmit(me, env.from, assignment);
-            }
+impl<'a> ProtocolRun<'a> {
+    /// A run over `fleet` with default configuration.
+    pub fn new(fleet: &'a Fleet) -> Self {
+        ProtocolRun {
+            fleet,
+            config: ProtocolConfig::default(),
+            faults: FaultPlan::none(),
+            driver: DriverKind::default(),
+            sim: SimConfig::default(),
         }
-    };
+    }
 
-    // Collection phase: bounded patience for every edge's report.
-    let deadline = Instant::now() + cfg.retry.round_budget();
-    while assigned.len() < num_edges {
-        let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
-            break;
-        };
-        match rx.recv_timeout(remaining) {
-            Ok(env) => serve(env, &mut assigned, &mut retries),
-            Err(RecvTimeoutError::Timeout) => break,
-            Err(RecvTimeoutError::Disconnected) => break,
+    /// Sets the protocol configuration.
+    pub fn config(mut self, config: ProtocolConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Injects a deterministic fault plan into the fabric.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Selects the driver (default: [`DriverKind::Threaded`]).
+    pub fn driver(mut self, driver: DriverKind) -> Self {
+        self.driver = driver;
+        self
+    }
+
+    /// Seed for the sim driver's latency jitter. Ignored by the threaded
+    /// driver (seeded faults carry their own seed in the [`FaultPlan`]).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.sim.seed = seed;
+        self
+    }
+
+    /// Link model the sim driver derives virtual delivery times from.
+    /// Ignored by the threaded driver.
+    pub fn links(mut self, links: LinkModel) -> Self {
+        self.sim.links = links;
+        self
+    }
+
+    /// Relative latency jitter of the sim driver in `[0, jitter]`
+    /// (default `0.1`). Ignored by the threaded driver.
+    pub fn jitter(mut self, jitter: f64) -> Self {
+        self.sim.jitter = jitter;
+        self
+    }
+
+    /// Executes the run on the selected driver.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProtocolError`] for structural faults: duplicate node
+    /// registration, or (threaded) a panicking node thread. Lost peers
+    /// degrade the run per cluster instead, visible in
+    /// [`ProtocolOutcome::nodes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`ProtocolRun::jitter`] was set to a negative or
+    /// non-finite value and the sim driver is selected.
+    pub fn execute(self) -> Result<ProtocolOutcome, ProtocolError> {
+        match self.driver {
+            DriverKind::Threaded => ThreadedDriver.run(self.fleet, &self.config, self.faults),
+            DriverKind::Sim => SimDriver::new(self.sim).run(self.fleet, &self.config, self.faults),
         }
     }
-    // Replay service: a lost assignment downlink surfaces as a
-    // retransmitted attribute report, possibly long after the collection
-    // deadline. Late first reports are served here too.
-    while !stop.load(Ordering::Relaxed) {
-        match rx.recv_timeout(Duration::from_millis(10)) {
-            Ok(env) => serve(env, &mut assigned, &mut retries),
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => break,
-        }
-    }
-    NodeStatus::completed(me, assigned.len(), retries)
+}
+
+/// Executes the ACME schedule over `fleet` on a fault-free fabric with
+/// one OS thread per node (1 cloud + S edges + N devices), returning the
+/// metered transfer report and per-node statuses.
+///
+/// # Errors
+///
+/// Returns a [`ProtocolError`] only for structural faults (duplicate
+/// registration, a panicking node thread); lost peers degrade the run
+/// per cluster instead, visible in [`ProtocolOutcome::nodes`].
+#[deprecated(note = "use `ProtocolRun::new(fleet).config(config.clone()).execute()`")]
+pub fn run_acme_protocol(
+    fleet: &Fleet,
+    config: &ProtocolConfig,
+) -> Result<ProtocolOutcome, ProtocolError> {
+    ProtocolRun::new(fleet).config(config.clone()).execute()
+}
+
+/// Executes the ACME schedule over `fleet` with the given deterministic
+/// fault plan injected into the message fabric.
+///
+/// The run always terminates: every wait is bounded by
+/// `config.retry`, so even a fully dark fleet unwinds within the retry
+/// budget per schedule phase, and surviving clusters complete all
+/// [`ProtocolConfig::loop_rounds`].
+///
+/// # Errors
+///
+/// Returns a [`ProtocolError`] only for structural faults (duplicate
+/// registration, a panicking node thread).
+#[deprecated(
+    note = "use `ProtocolRun::new(fleet).config(config.clone()).faults(faults).execute()`"
+)]
+pub fn run_acme_protocol_with_faults(
+    fleet: &Fleet,
+    config: &ProtocolConfig,
+    faults: FaultPlan,
+) -> Result<ProtocolOutcome, ProtocolError> {
+    ProtocolRun::new(fleet)
+        .config(config.clone())
+        .faults(faults)
+        .execute()
 }
 
 /// The centralized-system baseline of Table I: every device uploads its
@@ -865,7 +566,8 @@ fn run_cloud(
 /// # Errors
 ///
 /// Returns [`ProtocolError::Send`] when a transfer cannot be delivered
-/// (a registration raced or an inbox was dropped).
+/// (an inbox was dropped) and [`ProtocolError::Register`] on duplicate
+/// device ids.
 pub fn centralized_transfers(
     fleet: &Fleet,
     samples_per_device: u64,
@@ -873,12 +575,12 @@ pub fn centralized_transfers(
     model_params: u64,
 ) -> Result<TransferReport, ProtocolError> {
     let net = Network::new();
-    let _cloud_rx = net.register(NodeId::Cloud);
+    let _cloud_rx = net.register(NodeId::Cloud)?;
     let mut inboxes = Vec::new();
     for cluster in fleet.clusters() {
         for device in cluster.devices() {
             let d = NodeId::Device(device.id());
-            inboxes.push(net.register(d));
+            inboxes.push(net.register(d)?);
             net.send(
                 d,
                 NodeId::Cloud,
@@ -904,7 +606,14 @@ pub fn centralized_transfers(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use acme_energy::DeviceCluster;
+    use acme_energy::{DeviceCluster, EdgeId};
+
+    fn run_threaded(fleet: &Fleet, cfg: &ProtocolConfig) -> ProtocolOutcome {
+        ProtocolRun::new(fleet)
+            .config(cfg.clone())
+            .execute()
+            .expect("protocol run")
+    }
 
     #[test]
     fn protocol_completes_with_expected_message_count() {
@@ -913,7 +622,7 @@ mod tests {
             loop_rounds: 2,
             ..ProtocolConfig::default()
         };
-        let out = run_acme_protocol(&fleet, &cfg).expect("protocol run");
+        let out = run_threaded(&fleet, &cfg);
         assert_eq!(out.rounds_completed, 2);
         let s = 3u64;
         let n = 12u64;
@@ -937,13 +646,47 @@ mod tests {
     }
 
     #[test]
+    fn deprecated_shims_delegate_to_the_builder() {
+        let fleet = Fleet::paper_default(2, 2);
+        let cfg = ProtocolConfig {
+            loop_rounds: 1,
+            ..ProtocolConfig::default()
+        };
+        #[allow(deprecated)]
+        let via_shim = run_acme_protocol(&fleet, &cfg).expect("shim run");
+        let via_builder = run_threaded(&fleet, &cfg);
+        assert_eq!(via_shim, via_builder);
+        #[allow(deprecated)]
+        let via_fault_shim =
+            run_acme_protocol_with_faults(&fleet, &cfg, FaultPlan::none()).expect("shim run");
+        assert_eq!(via_fault_shim, via_builder);
+    }
+
+    #[test]
+    fn builder_runs_on_the_sim_driver() {
+        let fleet = Fleet::paper_default(2, 3);
+        let cfg = ProtocolConfig {
+            loop_rounds: 2,
+            ..ProtocolConfig::default()
+        };
+        let threaded = run_threaded(&fleet, &cfg);
+        let sim = ProtocolRun::new(&fleet)
+            .config(cfg.clone())
+            .driver(DriverKind::Sim)
+            .seed(9)
+            .execute()
+            .expect("sim run");
+        assert_eq!(threaded, sim, "fault-free drivers agree bit-for-bit");
+    }
+
+    #[test]
     fn uplink_is_dominated_by_importance_sets() {
         let fleet = Fleet::paper_default(2, 5);
         let cfg = ProtocolConfig {
             loop_rounds: 3,
             ..ProtocolConfig::default()
         };
-        let out = run_acme_protocol(&fleet, &cfg).expect("protocol run");
+        let out = run_threaded(&fleet, &cfg);
         let imp = out
             .report
             .per_kind
@@ -965,7 +708,7 @@ mod tests {
     #[test]
     fn acme_uploads_far_less_than_centralized() {
         let fleet = Fleet::paper_default(2, 5);
-        let acme = run_acme_protocol(&fleet, &ProtocolConfig::default()).expect("protocol run");
+        let acme = run_threaded(&fleet, &ProtocolConfig::default());
         // CIFAR-scale: 500 samples of 3 KiB each per device.
         let cs = centralized_transfers(&fleet, 500, 3072, 1_000_000).expect("baseline run");
         assert!(
@@ -999,22 +742,20 @@ mod tests {
     #[test]
     fn transfer_volume_scales_with_loop_rounds() {
         let fleet = Fleet::paper_default(2, 3);
-        let short = run_acme_protocol(
+        let short = run_threaded(
             &fleet,
             &ProtocolConfig {
                 loop_rounds: 1,
                 ..ProtocolConfig::default()
             },
-        )
-        .expect("protocol run");
-        let long = run_acme_protocol(
+        );
+        let long = run_threaded(
             &fleet,
             &ProtocolConfig {
                 loop_rounds: 4,
                 ..ProtocolConfig::default()
             },
-        )
-        .expect("protocol run");
+        );
         assert!(long.report.total_bytes > short.report.total_bytes);
     }
 
@@ -1027,7 +768,7 @@ mod tests {
             loop_rounds: 3,
             ..ProtocolConfig::default()
         };
-        let out = run_acme_protocol(&empty, &cfg).expect("protocol run");
+        let out = run_threaded(&empty, &cfg);
         assert_eq!(out.rounds_completed, 0, "no devices -> zero rounds");
         // The edge itself idles through its (deviceless) rounds rather
         // than failing: quorum is capped at the cluster size.
@@ -1047,11 +788,25 @@ mod tests {
             loop_rounds: 2,
             ..ProtocolConfig::default()
         };
-        let out = run_acme_protocol(&fleet, &cfg).expect("protocol run");
+        let out = run_threaded(&fleet, &cfg);
         // Min over existing devices only: the deviceless cluster
         // contributes no device statuses.
         assert_eq!(out.rounds_completed, 2);
         assert!(out.dropped_nodes().is_empty());
+    }
+
+    #[test]
+    fn duplicate_node_ids_surface_as_register_errors() {
+        // Two clusters sharing an edge id: structural misconfiguration,
+        // not a degradable fault.
+        let fleet = Fleet::new(vec![
+            DeviceCluster::new(EdgeId(0), Vec::new()),
+            DeviceCluster::new(EdgeId(0), Vec::new()),
+        ]);
+        let err = ProtocolRun::new(&fleet).execute().unwrap_err();
+        assert!(matches!(err, ProtocolError::Register(_)));
+        assert!(err.to_string().contains("edge-0"));
+        assert!(std::error::Error::source(&err).is_some());
     }
 
     #[test]
@@ -1076,6 +831,30 @@ mod tests {
             ..p
         };
         assert_eq!(one.collection_deadline(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn retry_policy_cap_smaller_than_base_clamps_every_attempt() {
+        // A cap below the base truncates even the first window: every
+        // attempt costs exactly `cap` and the budgets are flat sums.
+        let p = RetryPolicy {
+            max_attempts: 3,
+            base: Duration::from_millis(100),
+            cap: Duration::from_millis(25),
+        };
+        for attempt in 0..5 {
+            assert_eq!(p.attempt_timeout(attempt), Duration::from_millis(25));
+        }
+        assert_eq!(p.round_budget(), Duration::from_millis(3 * 25));
+        assert_eq!(p.collection_deadline(), Duration::from_millis(2 * 25));
+        // Degenerate single-attempt variant: the deadline floor keeps
+        // one full (capped) window.
+        let one = RetryPolicy {
+            max_attempts: 1,
+            ..p
+        };
+        assert_eq!(one.round_budget(), Duration::from_millis(25));
+        assert_eq!(one.collection_deadline(), Duration::from_millis(25));
     }
 
     #[test]
@@ -1116,7 +895,7 @@ mod tests {
             },
             ..ProtocolConfig::default()
         };
-        let out = run_acme_protocol(&fleet, &cfg).expect("protocol run");
+        let out = run_threaded(&fleet, &cfg);
         assert_eq!(out.rounds_completed, 2);
         assert!(out.dropped_nodes().is_empty());
         assert_eq!(out.report.retransmissions, 0);
@@ -1134,6 +913,10 @@ mod tests {
         assert!(e.to_string().contains("edge-2"));
         let e = ProtocolError::Send(SendError::UnknownNode(NodeId::Cloud));
         assert!(std::error::Error::source(&e).is_some());
+        let e = ProtocolError::Register(RegisterError {
+            node: NodeId::Cloud,
+        });
+        assert!(e.to_string().contains("cloud"));
     }
 
     #[test]

@@ -5,10 +5,19 @@
 use std::time::{Duration, Instant};
 
 use acme_distsys::protocol::{
-    run_acme_protocol, run_acme_protocol_with_faults, DropPoint, ProtocolConfig, RetryPolicy,
+    DropPoint, ProtocolConfig, ProtocolOutcome, ProtocolRun, RetryPolicy,
 };
 use acme_distsys::{FaultAction, FaultPlan, FaultRule, NodeId};
 use acme_energy::{DeviceId, EdgeId, Fleet};
+
+/// Runs the protocol on the threaded oracle driver.
+fn run_with(fleet: &Fleet, cfg: &ProtocolConfig, plan: FaultPlan) -> ProtocolOutcome {
+    ProtocolRun::new(fleet)
+        .config(cfg.clone())
+        .faults(plan)
+        .execute()
+        .expect("protocol run")
+}
 
 /// Fast policy for fault tests: per-wait budget 120+240+480 = 840 ms —
 /// quick enough to keep degraded runs snappy, wide enough that CI
@@ -46,8 +55,7 @@ fn dead_device_leaves_survivors_unharmed() {
     let victim = NodeId::Device(fleet.clusters()[0].devices()[1].id());
     let cfg = fault_cfg(3);
     let started = Instant::now();
-    let out = run_acme_protocol_with_faults(&fleet, &cfg, FaultPlan::none().kill(victim, 0))
-        .expect("protocol run");
+    let out = run_with(&fleet, &cfg, FaultPlan::none().kill(victim, 0));
     assert!(
         started.elapsed() < wall_clock_budget(&cfg),
         "degraded run took {:?}",
@@ -74,12 +82,11 @@ fn dead_device_leaves_survivors_unharmed() {
 fn dead_edge_drops_its_whole_cluster_only() {
     let fleet = Fleet::paper_default(2, 4);
     let cfg = fault_cfg(2);
-    let out = run_acme_protocol_with_faults(
+    let out = run_with(
         &fleet,
         &cfg,
         FaultPlan::none().kill(NodeId::Edge(EdgeId(0)), 0),
-    )
-    .expect("protocol run");
+    );
     // The dead edge and its 4 starved devices drop; the other cluster is
     // untouched.
     assert_eq!(out.dropped_nodes().len(), 1 + 4);
@@ -120,7 +127,7 @@ fn delayed_uplink_completes_without_drops() {
             .kind("importance-upload")
             .nth(0),
     );
-    let out = run_acme_protocol_with_faults(&fleet, &cfg, plan).expect("protocol run");
+    let out = run_with(&fleet, &cfg, plan);
     assert!(out.dropped_nodes().is_empty());
     assert_eq!(out.rounds_completed, 2);
     assert_eq!(out.report.retransmissions, 0);
@@ -142,14 +149,14 @@ fn dropped_uplink_recovers_with_one_retransmission() {
             .kind("importance-upload")
             .nth(0),
     );
-    let out = run_acme_protocol_with_faults(&fleet, &cfg, plan).expect("protocol run");
+    let out = run_with(&fleet, &cfg, plan);
     assert!(out.dropped_nodes().is_empty());
     assert_eq!(out.rounds_completed, 2);
     assert_eq!(out.report.retransmissions, 1, "device re-upload");
     assert_eq!(out.total_retries(), 1);
     // The lost copy and its retransmission are both metered on top of
     // the fault-free volume.
-    let clean = run_acme_protocol(&fleet, &cfg).expect("fault-free run");
+    let clean = run_with(&fleet, &cfg, FaultPlan::none());
     assert_eq!(out.report.messages, clean.report.messages + 1);
 }
 
@@ -166,7 +173,7 @@ fn dropped_downlink_recovers_via_cached_replay() {
             .kind("personalized-importance")
             .nth(0),
     );
-    let out = run_acme_protocol_with_faults(&fleet, &cfg, plan).expect("protocol run");
+    let out = run_with(&fleet, &cfg, plan);
     assert!(out.dropped_nodes().is_empty());
     assert_eq!(out.rounds_completed, 2);
     assert_eq!(
@@ -186,11 +193,11 @@ fn duplicated_downlink_is_deduplicated() {
             .kind("personalized-importance")
             .nth(0),
     );
-    let out = run_acme_protocol_with_faults(&fleet, &cfg, plan).expect("protocol run");
+    let out = run_with(&fleet, &cfg, plan);
     assert!(out.dropped_nodes().is_empty());
     assert_eq!(out.rounds_completed, 2);
     assert_eq!(out.report.retransmissions, 0);
-    let clean = run_acme_protocol(&fleet, &cfg).expect("fault-free run");
+    let clean = run_with(&fleet, &cfg, FaultPlan::none());
     assert_eq!(out.report.messages, clean.report.messages + 1);
 }
 
@@ -208,7 +215,7 @@ fn quorum_violation_abandons_the_cluster() {
     for d in &fleet.clusters()[0].devices()[..3] {
         plan = plan.kill(NodeId::Device(d.id()), 0);
     }
-    let out = run_acme_protocol_with_faults(&fleet, &cfg, plan).expect("protocol run");
+    let out = run_with(&fleet, &cfg, plan);
     let edge0 = out.node(NodeId::Edge(EdgeId(0))).expect("edge 0");
     assert_eq!(edge0.dropped_at, Some(DropPoint::Round(0)));
     let edge1 = out.node(NodeId::Edge(EdgeId(1))).expect("edge 1");
@@ -228,10 +235,7 @@ fn seeded_uniform_drops_are_reproducible() {
     // pure function of the seed.
     let fleet = Fleet::paper_default(3, 1);
     let cfg = fault_cfg(2);
-    let run = || {
-        run_acme_protocol_with_faults(&fleet, &cfg, FaultPlan::seeded(11).drop_uniform(0.1))
-            .expect("protocol run")
-    };
+    let run = || run_with(&fleet, &cfg, FaultPlan::seeded(11).drop_uniform(0.1));
     let a = run();
     let b = run();
     // The injected losses — and therefore the recovery traffic and the
@@ -262,7 +266,7 @@ fn faulty_runs_terminate_at_every_thread_count() {
                                 .kind("importance-upload")
                                 .nth(2),
                         );
-                    run_acme_protocol_with_faults(&fleet, &cfg, plan).expect("protocol run")
+                    run_with(&fleet, &cfg, plan)
                 })
             })
             .collect();
@@ -290,9 +294,8 @@ fn fault_free_plan_matches_plain_protocol_exactly() {
     // protocol's transfer report in full.
     let fleet = Fleet::paper_default(3, 4);
     let cfg = fault_cfg(2);
-    let plain = run_acme_protocol(&fleet, &cfg).expect("protocol run");
-    let empty =
-        run_acme_protocol_with_faults(&fleet, &cfg, FaultPlan::none()).expect("protocol run");
+    let plain = run_with(&fleet, &cfg, FaultPlan::none());
+    let empty = run_with(&fleet, &cfg, FaultPlan::none());
     assert_eq!(plain.report, empty.report);
     assert_eq!(plain.report.retransmissions, 0);
     assert_eq!(plain.rounds_completed, 2);

@@ -12,10 +12,7 @@
 
 use acme::{build_candidate_pool_on, customize_backbone_for_cluster, Pool};
 use acme_data::{cifar100_like, SyntheticSpec};
-use acme_distsys::protocol::{
-    centralized_transfers, run_acme_protocol, run_acme_protocol_with_faults, ProtocolConfig,
-    RetryPolicy,
-};
+use acme_distsys::protocol::{centralized_transfers, ProtocolConfig, ProtocolRun, RetryPolicy};
 use acme_distsys::{FaultPlan, NodeId};
 use acme_energy::{EnergyModel, Fleet};
 use acme_nn::ParamSet;
@@ -173,7 +170,10 @@ fn main() {
         backbone_params: pool.iter().map(|c| c.params).max().unwrap_or(0),
         ..ProtocolConfig::default()
     };
-    let acme_run = run_acme_protocol(&fleet, &proto).expect("protocol run");
+    let acme_run = ProtocolRun::new(&fleet)
+        .config(proto.clone())
+        .execute()
+        .expect("protocol run");
     let image_bytes = (spec.channels * spec.size * spec.size * 4) as u64;
     let cs = centralized_transfers(&fleet, 500, image_bytes, proto.backbone_params)
         .expect("baseline run");
@@ -210,8 +210,11 @@ fn main() {
     if trace_out.is_some() {
         acme_obs::trace::set_enabled(true);
     }
-    let degraded =
-        run_acme_protocol_with_faults(&fleet, &faulty_cfg, faults).expect("degraded run");
+    let degraded = ProtocolRun::new(&fleet)
+        .config(faulty_cfg)
+        .faults(faults)
+        .execute()
+        .expect("degraded run");
     println!("\nfault-injected run (1 dead device, 1 dropped upload):");
     println!(
         "  rounds completed by all survivors: {}",

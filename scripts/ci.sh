@@ -47,6 +47,25 @@ step "fault-matrix smoke (release, real timers)"
 # on its own so a hang or budget blowout is attributable at a glance.
 cargo test -p acme-distsys --release --test fault_matrix -q "${CARGO_FLAGS[@]}"
 
+step "driver differential matrix (threaded oracle vs discrete-event sim)"
+# Bit-identical ProtocolOutcome between the thread-per-node oracle and
+# the SimDriver: fault-free, pinned drop/duplicate recovery, quorum
+# degradation, and three seeds of uniform loss (see
+# tests/driver_differential.rs). A divergence here means the sans-IO
+# state machines and a driver disagree about the protocol.
+cargo test -p acme-distsys --release --test driver_differential -q "${CARGO_FLAGS[@]}"
+cargo test -p acme-distsys --release --test sim_properties -q "${CARGO_FLAGS[@]}"
+
+step "fleet-scale smoke (10k-device sim under a wall-clock ceiling)"
+# Full protocol over 10k devices / 100 edges with 1% seeded loss on the
+# virtual clock; the bin asserts a wall-clock ceiling so a complexity
+# regression in the event queue fails CI. Writes to a scratch path to
+# leave the committed full-sweep BENCH_fleet_scale.json alone.
+FLEET_SMOKE_OUT="$(mktemp -t acme-fleet-smoke.XXXXXX.json)"
+cargo run --release -p acme-bench --bin fleet_scale "${CARGO_FLAGS[@]}" -- \
+    --smoke --out "$FLEET_SMOKE_OUT"
+rm -f "$FLEET_SMOKE_OUT"
+
 step "observability smoke (fault-injected trace -> acme-obs-trace-v1)"
 # Run the fault-injected example with tracing on and validate the
 # exported document: per-round protocol spans, at least one retry and
