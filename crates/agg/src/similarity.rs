@@ -159,11 +159,11 @@ mod tests {
         let mut rng = SmallRng64::new(0);
         let feats: Vec<Array> = (0..3).map(|_| randn(&[10, 4], &mut rng)).collect();
         let sim = similarity_matrix_wasserstein(&feats, 8, &mut rng);
-        for i in 0..3 {
-            assert_eq!(sim[i][i], 1.0);
-            for j in 0..3 {
-                assert_eq!(sim[i][j], sim[j][i]);
-                assert!(sim[i][j] > 0.0 && sim[i][j] <= 1.0);
+        for (i, row) in sim.iter().enumerate() {
+            assert_eq!(row[i], 1.0);
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(v, sim[j][i]);
+                assert!(v > 0.0 && v <= 1.0);
             }
         }
     }
@@ -182,14 +182,13 @@ mod tests {
     fn parallel_similarity_is_thread_count_invariant() {
         let mut rng = SmallRng64::new(3);
         let feats: Vec<Array> = (0..5).map(|_| randn(&[12, 4], &mut rng)).collect();
-        let serial =
-            similarity_matrix_wasserstein_on(&Pool::serial(), &feats, 8, &mut rng.clone());
+        let serial = similarity_matrix_wasserstein_on(&Pool::serial(), &feats, 8, &mut rng.clone());
         let parallel = similarity_matrix_wasserstein_on(&Pool::new(4), &feats, 8, &mut rng);
         assert_eq!(serial, parallel);
-        for i in 0..5 {
-            assert_eq!(serial[i][i], 1.0);
-            for j in 0..5 {
-                assert_eq!(serial[i][j], serial[j][i]);
+        for (i, row) in serial.iter().enumerate() {
+            assert_eq!(row[i], 1.0);
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(v, serial[j][i]);
             }
         }
     }

@@ -141,7 +141,10 @@ fn main() {
     }
     let rows = acme_bench::kernels::sweep(sizes, &threads);
     println!("\ngemm sweep (naive = pre-blocking kernel):");
-    println!("{:>6} {:>8} {:>11} {:>11} {:>8} {:>8}", "size", "threads", "naive_ms", "blocked_ms", "speedup", "GFLOP/s");
+    println!(
+        "{:>6} {:>8} {:>11} {:>11} {:>8} {:>8}",
+        "size", "threads", "naive_ms", "blocked_ms", "speedup", "GFLOP/s"
+    );
     for r in &rows {
         println!(
             "{:>6} {:>8} {:>11.3} {:>11.3} {:>7.2}x {:>8.2}",

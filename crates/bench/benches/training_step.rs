@@ -1,6 +1,6 @@
 //! Training-step sweep: the pooled, fused, clone-free engine step
 //! against a verbatim replica of the pre-pool step (see
-//! `acme_bench::trainstep`), at 1 / 2 / all-cores threads, tracked
+//! `acme_bench::trainstep`), at 1 / 2 / 4 / all-cores threads, tracked
 //! across PRs via `BENCH_training_step.json` at the workspace root. The
 //! harness panics (failing CI) if the two paths are not bit-identical.
 //! `--quick` reduces the repetitions for a CI-sized smoke run.
@@ -9,7 +9,7 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let reps = if quick { 5 } else { 50 };
 
-    let mut threads = vec![1usize, 2];
+    let mut threads = vec![1usize, 2, 4];
     threads.push(acme_runtime::Pool::with_available_parallelism().threads());
     threads.sort_unstable();
     threads.dedup();

@@ -32,7 +32,10 @@ fn run_backbone(
         &vit,
         &mut ps,
         train,
-        &TrainConfig { epochs: scale.pick(6, 3), ..TrainConfig::default() },
+        &TrainConfig {
+            epochs: scale.pick(6, 3),
+            ..TrainConfig::default()
+        },
     );
 
     let bs: Vec<usize> = scale.pick(vec![1, 2, 3], vec![1, 2]);
@@ -57,7 +60,10 @@ fn run_backbone(
                 &model,
                 &mut hps,
                 train,
-                &TrainConfig { epochs: scale.pick(6, 3), ..TrainConfig::default() },
+                &TrainConfig {
+                    epochs: scale.pick(6, 3),
+                    ..TrainConfig::default()
+                },
             );
             row.push(f3(evaluate(&model, &hps, test, 32) as f64));
         }
@@ -72,8 +78,11 @@ fn main() {
     let ds = eval_cars(scale, &mut rng);
     let (train, test) = ds.split(0.8, &mut rng);
     let classes = ds.num_classes();
-    let us: Vec<String> =
-        scale.pick(vec![1, 2, 3], vec![1, 2]).iter().map(|u| format!("U={u}")).collect();
+    let us: Vec<String> = scale
+        .pick(vec![1, 2, 3], vec![1, 2])
+        .iter()
+        .map(|u| format!("U={u}"))
+        .collect();
     let mut header: Vec<&str> = vec!["header"];
     let us_ref: Vec<&str> = us.iter().map(String::as_str).collect();
     header.extend(us_ref);

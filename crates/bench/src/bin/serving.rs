@@ -1,0 +1,106 @@
+//! Serving sweep over the `acme-serve` stack: throughput, batch
+//! occupancy, and p50/p99 latency across batch-window and fleet-size
+//! settings, recorded to `BENCH_serving.json`.
+//!
+//! Run via `cargo run --release -p acme-bench --bin serving`. Flags:
+//!
+//! - `--smoke`: one fleet and two settings, with a wall-clock ceiling
+//!   (CI guard) and a JSON-shape self-check.
+//! - `--out PATH`: write the JSON somewhere other than
+//!   `BENCH_serving.json`.
+//!
+//! Serving workers share this machine's cores with the GEMM pool;
+//! kernel threading is pinned to one thread so the sweep isolates the
+//! batching axis.
+
+use std::time::Instant;
+
+use acme_bench::serving::{sweep, write_json, SweepConfig};
+
+/// Wall-clock ceiling for the `--smoke` sweep.
+const SMOKE_CEILING_SECS: f64 = 60.0;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serving.json".to_string());
+
+    // One kernel thread: the serving workers are the parallelism axis
+    // under measurement.
+    acme_runtime::set_global_threads(1);
+
+    let cfg = if smoke {
+        SweepConfig::smoke()
+    } else {
+        SweepConfig::full()
+    };
+    let started = Instant::now();
+    let rows = sweep(&cfg);
+    let wall = started.elapsed().as_secs_f64();
+
+    println!("serving sweep (baseline = max_batch 1 at equal workers):");
+    println!(
+        "{:>6} {:>8} {:>7} {:>9} {:>9} {:>10} {:>8} {:>8} {:>10} {:>6} {:>8}",
+        "fleet",
+        "workers",
+        "batch",
+        "window_us",
+        "requests",
+        "rps",
+        "p50_ms",
+        "p99_ms",
+        "occupancy",
+        "early",
+        "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:>6} {:>8} {:>7} {:>9} {:>9} {:>10.0} {:>8.3} {:>8.3} {:>10.3} {:>6.2} {:>7.2}x",
+            r.fleet_devices,
+            r.workers,
+            r.max_batch,
+            r.batch_window_us,
+            r.requests,
+            r.throughput_rps,
+            r.p50_ms,
+            r.p99_ms,
+            r.occupancy,
+            r.early_exit_frac,
+            r.speedup_vs_unbatched,
+        );
+    }
+
+    match write_json(&out_path, &rows) {
+        Ok(()) => eprintln!("wrote {out_path} ({} rows)", rows.len()),
+        Err(e) => {
+            eprintln!("error: could not write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // Shape self-check: the sweep must carry both the unbatched baseline
+    // and a batched setting, and the batched rows must coalesce.
+    assert!(
+        rows.iter().any(|r| r.max_batch == 1),
+        "sweep lost its unbatched baseline"
+    );
+    let batched: Vec<_> = rows.iter().filter(|r| r.max_batch > 1).collect();
+    assert!(!batched.is_empty(), "sweep lost its batched settings");
+    assert!(
+        batched.iter().any(|r| r.mean_batch > 1.0),
+        "batched settings never coalesced more than one request"
+    );
+
+    if smoke {
+        assert!(
+            wall < SMOKE_CEILING_SECS,
+            "serving smoke blew its wall-clock ceiling: {wall:.2} s >= {SMOKE_CEILING_SECS} s"
+        );
+        eprintln!("smoke OK ({wall:.3} s < {SMOKE_CEILING_SECS} s ceiling)");
+    }
+}

@@ -19,6 +19,7 @@ use acme_data::{cifar100_like, stanford_cars_like, Dataset, SyntheticSpec};
 use acme_tensor::SmallRng64;
 
 pub mod kernels;
+pub mod serving;
 pub mod trainstep;
 
 /// Scale of a harness run.

@@ -82,6 +82,7 @@ pub use refine::{
 /// # Errors
 ///
 /// Returns [`AcmeError::Protocol`] when any node faults.
+#[deprecated(note = "use `ProtocolRun::new(fleet).config(config.clone()).execute()`")]
 pub fn run_acme_protocol(
     fleet: &acme_energy::Fleet,
     config: &ProtocolConfig,
@@ -101,6 +102,9 @@ pub fn run_acme_protocol(
 ///
 /// Returns [`AcmeError::Protocol`] only on structural faults (a
 /// panicking node thread).
+#[deprecated(
+    note = "use `ProtocolRun::new(fleet).config(config.clone()).faults(faults).execute()`"
+)]
 pub fn run_acme_protocol_with_faults(
     fleet: &acme_energy::Fleet,
     config: &ProtocolConfig,

@@ -23,14 +23,22 @@ pub struct Augment {
 
 impl Default for Augment {
     fn default() -> Self {
-        Augment { flip_prob: 0.5, max_shift: 1, noise: 0.05 }
+        Augment {
+            flip_prob: 0.5,
+            max_shift: 1,
+            noise: 0.05,
+        }
     }
 }
 
 impl Augment {
     /// No-op policy.
     pub fn none() -> Self {
-        Augment { flip_prob: 0.0, max_shift: 0, noise: 0.0 }
+        Augment {
+            flip_prob: 0.0,
+            max_shift: 0,
+            noise: 0.0,
+        }
     }
 
     /// Applies the policy to one `[c, h, w]` image.
@@ -74,7 +82,9 @@ impl Augment {
 
     /// Produces an augmented copy of a whole dataset (labels unchanged).
     pub fn apply_dataset(&self, ds: &Dataset, rng: &mut impl Rng) -> Dataset {
-        let images = (0..ds.len()).map(|i| self.apply(ds.get(i).0, rng)).collect();
+        let images = (0..ds.len())
+            .map(|i| self.apply(ds.get(i).0, rng))
+            .collect();
         let labels = ds.labels().to_vec();
         Dataset::new(images, labels, ds.num_classes())
     }
@@ -100,7 +110,11 @@ mod tests {
     #[test]
     fn flip_mirrors_rows() {
         let img = image();
-        let aug = Augment { flip_prob: 1.0, max_shift: 0, noise: 0.0 };
+        let aug = Augment {
+            flip_prob: 1.0,
+            max_shift: 0,
+            noise: 0.0,
+        };
         let out = aug.apply(&img, &mut SmallRng64::new(0));
         // Row 0: 0 1 2 3 -> 3 2 1 0.
         assert_eq!(&out.data()[0..4], &[3.0, 2.0, 1.0, 0.0]);
@@ -112,7 +126,11 @@ mod tests {
     #[test]
     fn shift_pads_with_zeros_and_preserves_mass_bound() {
         let img = image();
-        let aug = Augment { flip_prob: 0.0, max_shift: 2, noise: 0.0 };
+        let aug = Augment {
+            flip_prob: 0.0,
+            max_shift: 2,
+            noise: 0.0,
+        };
         let mut rng = SmallRng64::new(3);
         for _ in 0..10 {
             let out = aug.apply(&img, &mut rng);
@@ -125,7 +143,11 @@ mod tests {
     #[test]
     fn noise_changes_values_but_keeps_shape() {
         let img = image();
-        let aug = Augment { flip_prob: 0.0, max_shift: 0, noise: 0.5 };
+        let aug = Augment {
+            flip_prob: 0.0,
+            max_shift: 0,
+            noise: 0.5,
+        };
         let out = aug.apply(&img, &mut SmallRng64::new(1));
         assert_eq!(out.shape(), img.shape());
         assert_ne!(out, img);

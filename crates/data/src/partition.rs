@@ -291,7 +291,7 @@ mod tests {
             parts
                 .iter()
                 .filter(|p| !p.is_empty())
-                .map(|p| label_entropy(p))
+                .map(label_entropy)
                 .sum::<f64>()
                 / parts.len() as f64
         };

@@ -89,9 +89,9 @@ impl FaultRule {
     }
 
     fn matches(&self, env: &Envelope) -> bool {
-        self.from.map_or(true, |f| f == env.from)
-            && self.to.map_or(true, |t| t == env.to)
-            && self.kind.map_or(true, |k| k == env.payload.kind())
+        self.from.is_none_or(|f| f == env.from)
+            && self.to.is_none_or(|t| t == env.to)
+            && self.kind.is_none_or(|k| k == env.payload.kind())
     }
 }
 
@@ -212,7 +212,7 @@ impl FaultState {
             if rule.matches(env) {
                 let hit = self.rule_hits[i];
                 self.rule_hits[i] += 1;
-                if rule.nth.map_or(true, |n| n == hit) {
+                if rule.nth.is_none_or(|n| n == hit) {
                     return match rule.action {
                         FaultAction::Drop => Verdict::Lose,
                         FaultAction::Delay(d) => Verdict::Delay(d),

@@ -1,9 +1,10 @@
 //! Learning-rate schedules for the training loops.
 
 /// A learning-rate schedule evaluated per optimization step.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum LrSchedule {
     /// The base rate throughout.
+    #[default]
     Constant,
     /// Linear warmup over `warmup_steps`, then cosine decay to
     /// `floor_frac · base` at the final step.
@@ -20,12 +21,6 @@ pub enum LrSchedule {
         /// Multiplicative decay factor.
         gamma: f32,
     },
-}
-
-impl Default for LrSchedule {
-    fn default() -> Self {
-        LrSchedule::Constant
-    }
 }
 
 impl LrSchedule {
@@ -52,7 +47,7 @@ impl LrSchedule {
                 floor + 0.5 * (base - floor) * (1.0 + (std::f32::consts::PI * progress).cos())
             }
             LrSchedule::Step { every, gamma } => {
-                let decays = if every == 0 { 0 } else { step / every };
+                let decays = step.checked_div(every).unwrap_or(0);
                 base * gamma.powi(decays as i32)
             }
         }

@@ -52,6 +52,32 @@ impl TransformerBlock {
         mlp_hidden: usize,
         rng: &mut impl Rng,
     ) -> Self {
+        Self::with_activation(
+            ps,
+            name,
+            dim,
+            heads,
+            head_dim,
+            mlp_hidden,
+            Activation::Gelu,
+            rng,
+        )
+    }
+
+    /// Builds a block with an explicit MLP activation. ViT's standard
+    /// choice is GELU; latency-sensitive serving deployments may pick the
+    /// cheaper ReLU.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_activation(
+        ps: &mut ParamSet,
+        name: &str,
+        dim: usize,
+        heads: usize,
+        head_dim: usize,
+        mlp_hidden: usize,
+        activation: Activation,
+        rng: &mut impl Rng,
+    ) -> Self {
         TransformerBlock {
             ln1: LayerNorm::new(ps, &format!("{name}.ln1"), dim),
             attn: MultiHeadSelfAttention::with_head_dim(
@@ -69,7 +95,7 @@ impl TransformerBlock {
                 dim,
                 mlp_hidden,
                 dim,
-                Activation::Gelu,
+                activation,
                 rng,
             ),
         }

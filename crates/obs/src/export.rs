@@ -155,7 +155,10 @@ pub fn chrome_json(trace: &Trace) -> String {
             out.push(',');
         }
         let (ph, dur) = match e.kind {
-            SpanKind::Span => ("X", format!(", \"dur\": {}", json_f64(e.dur_ns as f64 / 1e3))),
+            SpanKind::Span => (
+                "X",
+                format!(", \"dur\": {}", json_f64(e.dur_ns as f64 / 1e3)),
+            ),
             SpanKind::Event => ("i", ", \"s\": \"t\"".to_string()),
         };
         out.push_str(&format!(

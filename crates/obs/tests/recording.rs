@@ -147,7 +147,11 @@ fn kernel_detail_records_timer_spans() {
     let trace = trace::drain();
     assert_eq!(trace.count("bench.kernel2"), 1);
     assert_eq!(
-        trace.spans_named("bench.kernel2").next().unwrap().field_u64("m"),
+        trace
+            .spans_named("bench.kernel2")
+            .next()
+            .unwrap()
+            .field_u64("m"),
         Some(4)
     );
 }
@@ -222,7 +226,10 @@ fn phases_accumulate_and_trace() {
     }
     trace::set_enabled(false);
     let rows = profile::snapshot();
-    let row = rows.iter().find(|r| r.phase == "pipeline.pretrain").unwrap();
+    let row = rows
+        .iter()
+        .find(|r| r.phase == "pipeline.pretrain")
+        .unwrap();
     assert_eq!(row.count, 3);
     assert!(row.total_ms >= 0.0);
     assert_eq!(trace::drain().count("pipeline.pretrain"), 3);

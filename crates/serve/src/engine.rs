@@ -1,0 +1,334 @@
+//! The batched early-exit inference engine.
+//!
+//! A batch of same-variant, same-shape requests runs the shared cluster
+//! backbone once. At each exit the device's pruned head scores the
+//! `[CLS]` token of every row still in flight; confident rows return
+//! immediately and the survivors are *compacted* (a row gather) before
+//! the next block, so deep blocks only ever see the hard inputs.
+//!
+//! Every operation along this path is row-independent and accumulates in
+//! a batch-size-invariant order, so a batched run is **bit-identical**
+//! to serving the same requests one at a time — batching composition is
+//! a pure scheduling decision, never an accuracy one.
+
+use acme_tensor::{Array, Graph};
+
+use crate::variant::VariantStore;
+
+/// One inference request against a device variant.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Caller-assigned id, echoed in the [`Response`].
+    pub id: usize,
+    /// Device variant to serve (indexes [`VariantStore::devices`]).
+    pub device: usize,
+    /// Input image, shape `[channels, image, image]`.
+    pub input: Array,
+}
+
+/// The served result for one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Echo of [`Request::id`].
+    pub id: usize,
+    /// Echo of [`Request::device`].
+    pub device: usize,
+    /// Which exit produced the answer (index into the variant's exits).
+    pub exit: usize,
+    /// Predicted *global* class id (mapped through the device's kept
+    /// class list).
+    pub class: usize,
+    /// Softmax confidence of the prediction.
+    pub confidence: f32,
+    /// Raw logits over the device's kept classes.
+    pub logits: Vec<f32>,
+}
+
+/// When a row may leave at a non-final exit: as soon as its softmax
+/// confidence reaches `confidence`. The final exit takes whatever
+/// remains. Calibrate against observed traffic with
+/// [`ExitPolicy::calibrated`].
+#[derive(Debug, Clone, Copy)]
+pub struct ExitPolicy {
+    /// Minimum softmax maximum to leave early.
+    pub confidence: f32,
+}
+
+impl ExitPolicy {
+    /// A policy that never exits early (every row runs the full depth).
+    pub fn never() -> Self {
+        ExitPolicy { confidence: 2.0 }
+    }
+
+    /// A policy that always takes the first exit.
+    pub fn always() -> Self {
+        ExitPolicy {
+            confidence: f32::NEG_INFINITY,
+        }
+    }
+
+    /// Sets the threshold at the `quantile`-th first-exit confidence of
+    /// `probe` requests, so roughly `1 - quantile` of comparable traffic
+    /// leaves at the first exit. Self-calibrating: no assumption about
+    /// the absolute confidence scale of the (possibly untrained) model.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `probe` is empty or `quantile` is outside `[0, 1]`.
+    pub fn calibrated(store: &VariantStore, probe: &[Request], quantile: f64) -> Self {
+        assert!(!probe.is_empty(), "need probe traffic to calibrate");
+        assert!((0.0..=1.0).contains(&quantile), "quantile out of range");
+        let engine = BatchEngine::new(store, ExitPolicy::always());
+        let mut g = Graph::new();
+        let mut confs: Vec<f32> = probe
+            .iter()
+            .map(|r| engine.serve_batch(&mut g, std::slice::from_ref(r))[0].confidence)
+            .collect();
+        confs.sort_by(f32::total_cmp);
+        let idx = ((confs.len() - 1) as f64 * quantile).round() as usize;
+        ExitPolicy {
+            confidence: confs[idx],
+        }
+    }
+}
+
+/// Serves batches of same-variant, same-shape requests against a
+/// [`VariantStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct BatchEngine<'a> {
+    store: &'a VariantStore,
+    policy: ExitPolicy,
+}
+
+impl<'a> BatchEngine<'a> {
+    /// An engine over `store` with the given exit policy.
+    pub fn new(store: &'a VariantStore, policy: ExitPolicy) -> Self {
+        BatchEngine { store, policy }
+    }
+
+    /// The engine's exit policy.
+    pub fn policy(&self) -> ExitPolicy {
+        self.policy
+    }
+
+    /// Runs one coalesced batch. All requests must target the same
+    /// device variant and share an input shape; responses come back in
+    /// request order.
+    ///
+    /// The graph is `reset` and reused, so a long-lived caller performs
+    /// no per-batch graph allocation and the frozen backbone weights hit
+    /// the pack cache on every product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty batch, mixed devices, or a shape mismatch with
+    /// the store's model.
+    pub fn serve_batch(&self, g: &mut Graph, requests: &[Request]) -> Vec<Response> {
+        assert!(!requests.is_empty(), "serve_batch: empty batch");
+        let device = requests[0].device;
+        assert!(
+            requests.iter().all(|r| r.device == device),
+            "serve_batch: batch mixes device variants"
+        );
+        let shape = self.store.input_shape();
+        assert!(
+            requests.iter().all(|r| r.input.shape() == shape),
+            "serve_batch: batch mixes input shapes"
+        );
+
+        let variant = self.store.device(device);
+        let cluster = self.store.cluster_of(device);
+        let cfg = cluster.vit.config();
+        let (b, dim, tokens) = (requests.len(), cfg.dim, cfg.num_tokens());
+
+        let mut pixels = Vec::with_capacity(b * shape.iter().product::<usize>());
+        for r in requests {
+            pixels.extend_from_slice(r.input.data());
+        }
+        let images = Array::from_vec(pixels, &[b, shape[0], shape[1], shape[2]])
+            .expect("stacked batch volume");
+
+        g.reset();
+        let mut x = cluster.vit.embed(g, &cluster.params, &images);
+        let exits = cluster.exits.exit_layers();
+        let last_exit = exits.len() - 1;
+        let mut next_exit = 0usize;
+        // Original row index (into `requests`) of each still-alive row.
+        let mut alive: Vec<usize> = (0..b).collect();
+        let mut out: Vec<Option<Response>> = vec![None; b];
+
+        for (l, blk) in cluster.vit.blocks().iter().enumerate() {
+            x = blk.forward(g, &cluster.params, x);
+            if next_exit >= exits.len() || exits[next_exit] != l {
+                continue;
+            }
+            let e = next_exit;
+            next_exit += 1;
+            let k = alive.len();
+            let normed = cluster.exits.norms()[e].forward(g, &cluster.params, x);
+            let cls = g.slice_axis(normed, 1, 0, 1);
+            let cls = g.reshape(cls, &[k, dim]);
+            let [wid, bid] = variant.head_ids[e];
+            let w = variant.bind(g, wid);
+            let bias = variant.bind(g, bid);
+            let logits = g.linear(cls, w, bias);
+            let classes = variant.classes.len();
+            let logit_rows = g.value(logits).data();
+
+            let mut keep: Vec<usize> = Vec::new();
+            for (row, &orig) in alive.iter().enumerate() {
+                let row_logits = &logit_rows[row * classes..(row + 1) * classes];
+                let (top, confidence) = softmax_top(row_logits);
+                if e == last_exit || confidence >= self.policy.confidence {
+                    out[orig] = Some(Response {
+                        id: requests[orig].id,
+                        device,
+                        exit: e,
+                        class: variant.classes[top],
+                        confidence,
+                        logits: row_logits.to_vec(),
+                    });
+                } else {
+                    keep.push(row);
+                }
+            }
+            if keep.is_empty() {
+                break;
+            }
+            if keep.len() < k {
+                // Compact: gather surviving rows so the remaining blocks
+                // only process the hard inputs.
+                let flat = g.reshape(x, &[k, tokens * dim]);
+                let gathered = g.embedding(flat, &keep);
+                x = g.reshape(gathered, &[keep.len(), tokens, dim]);
+                alive = keep.into_iter().map(|row| alive[row]).collect();
+            }
+        }
+
+        out.into_iter()
+            .map(|r| r.expect("final exit answers every row"))
+            .collect()
+    }
+
+    /// Reference path: serves each request in its own batch of one.
+    /// Differential tests compare [`Self::serve_batch`] against this
+    /// bitwise.
+    pub fn serve_sequential(&self, g: &mut Graph, requests: &[Request]) -> Vec<Response> {
+        requests
+            .iter()
+            .flat_map(|r| self.serve_batch(g, std::slice::from_ref(r)))
+            .collect()
+    }
+}
+
+/// Top class and softmax confidence of one logit row. Shared by the
+/// batched and sequential paths so the comparison is bit-exact.
+fn softmax_top(logits: &[f32]) -> (usize, f32) {
+    let mut top = 0usize;
+    let mut max = f32::NEG_INFINITY;
+    for (i, &v) in logits.iter().enumerate() {
+        if v > max {
+            max = v;
+            top = i;
+        }
+    }
+    let mut denom = 0.0f32;
+    for &v in logits {
+        denom += (v - max).exp();
+    }
+    (top, 1.0 / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variant::{ServeModelConfig, StoreConfig, VariantStore};
+    use acme_tensor::SmallRng64;
+    use rand::RngCore;
+
+    fn store() -> VariantStore {
+        VariantStore::build(
+            &StoreConfig {
+                clusters: 2,
+                devices: 3,
+                keep_classes: 4,
+                model: ServeModelConfig::tiny(),
+            },
+            11,
+        )
+    }
+
+    fn requests(store: &VariantStore, device: usize, n: usize, seed: u64) -> Vec<Request> {
+        let [c, h, w] = store.input_shape();
+        let mut rng = SmallRng64::new(seed);
+        (0..n)
+            .map(|id| {
+                let data = (0..c * h * w)
+                    .map(|_| (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32)
+                    .collect();
+                Request {
+                    id,
+                    device,
+                    input: Array::from_vec(data, &[c, h, w]).expect("input volume"),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_matches_sequential_bitwise() {
+        let store = store();
+        let reqs = requests(&store, 1, 6, 5);
+        let policy = ExitPolicy::calibrated(&store, &reqs, 0.5);
+        let engine = BatchEngine::new(&store, policy);
+        let mut g = Graph::new();
+        let batched = engine.serve_batch(&mut g, &reqs);
+        let sequential = engine.serve_sequential(&mut g, &reqs);
+        assert_eq!(batched, sequential);
+        let bits = |r: &Response| {
+            (
+                r.confidence.to_bits(),
+                r.logits.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            )
+        };
+        for (a, b) in batched.iter().zip(&sequential) {
+            assert_eq!(bits(a), bits(b), "request {} drifted", a.id);
+        }
+    }
+
+    #[test]
+    fn calibrated_policy_splits_traffic_across_exits() {
+        let store = store();
+        let reqs = requests(&store, 0, 16, 9);
+        let policy = ExitPolicy::calibrated(&store, &reqs, 0.5);
+        let engine = BatchEngine::new(&store, policy);
+        let mut g = Graph::new();
+        let responses = engine.serve_batch(&mut g, &reqs);
+        let early = responses.iter().filter(|r| r.exit == 0).count();
+        assert!(early > 0, "no request exited early");
+        assert!(early < responses.len(), "every request exited early");
+    }
+
+    #[test]
+    fn exit_extremes() {
+        let store = store();
+        let reqs = requests(&store, 2, 4, 3);
+        let mut g = Graph::new();
+        let never = BatchEngine::new(&store, ExitPolicy::never()).serve_batch(&mut g, &reqs);
+        assert!(never.iter().all(|r| r.exit == 1));
+        let always = BatchEngine::new(&store, ExitPolicy::always()).serve_batch(&mut g, &reqs);
+        assert!(always.iter().all(|r| r.exit == 0));
+    }
+
+    #[test]
+    fn responses_map_to_kept_classes() {
+        let store = store();
+        let reqs = requests(&store, 0, 5, 1);
+        let engine = BatchEngine::new(&store, ExitPolicy::never());
+        let mut g = Graph::new();
+        for r in engine.serve_batch(&mut g, &reqs) {
+            assert!(store.device(0).classes.contains(&r.class));
+            assert_eq!(r.logits.len(), store.device(0).classes.len());
+        }
+    }
+}

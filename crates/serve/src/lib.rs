@@ -1,0 +1,45 @@
+//! # acme-serve
+//!
+//! Multi-tenant batched inference over per-device ACME variants.
+//!
+//! After the customization pipeline runs, a deployment holds one pruned
+//! backbone per cluster and one personalized, class-pruned header per
+//! device. This crate serves a live request stream against that fleet:
+//!
+//! 1. **[`variant`]** — the variant store resolving a device id to its
+//!    shared cluster backbone plus its own pruned exit heads.
+//! 2. **[`batcher`]** — shape-aware coalescing: only same-variant,
+//!    same-shape requests share a backbone pass, gathered up to a batch
+//!    cap or a latency-budget window.
+//! 3. **[`engine`]** — the batched early-exit forward: confident rows
+//!    return from shallow exits and the survivors are row-compacted, so
+//!    deep blocks only see hard inputs. Bit-identical to one-at-a-time
+//!    serving at any batch composition.
+//! 4. **[`server`]** — worker loops on an [`acme_runtime::Pool`], each
+//!    with a long-lived graph: steady-state serving is free of per-batch
+//!    graph allocation and every frozen product hits the
+//!    [`acme_tensor::packcache`].
+//! 5. **[`loadgen`]** — seeded Poisson arrivals with Zipf device
+//!    popularity for benchmarks and tests.
+//!
+//! Serving counters (`serve.requests`, `serve.batches`,
+//! `serve.early_exits`, the `serve.batch_size` histogram) publish into
+//! the unified [`acme_obs::metrics`] registry via
+//! [`metrics::publish_obs_metrics`], double-gated exactly like the rest
+//! of the workspace.
+
+pub mod batcher;
+pub mod engine;
+pub mod loadgen;
+pub mod metrics;
+pub mod server;
+pub mod variant;
+
+pub use batcher::{Batcher, BatcherConfig, QueuedRequest};
+pub use engine::{BatchEngine, ExitPolicy, Request, Response};
+pub use loadgen::{replay, trace, LoadGenConfig};
+pub use server::{serve, Completion, ServeReport, ServerConfig};
+pub use variant::{
+    ClusterModel, DeviceVariant, ServeModelConfig, StoreConfig, VariantStore,
+    DEVICE_PARAM_KEY_OFFSET,
+};

@@ -1,0 +1,163 @@
+//! Seeded heavy-traffic load generation.
+//!
+//! Arrivals follow a Poisson process (exponential inter-arrival times)
+//! and device popularity follows a Zipf law, so a few hot variants
+//! dominate — the regime where same-variant coalescing pays. Both
+//! draws come from the raw [`SmallRng64`] stream, so a seed fully
+//! determines the trace.
+
+use std::time::{Duration, Instant};
+
+use acme_tensor::{Array, SmallRng64};
+use rand::RngCore;
+
+use crate::batcher::Batcher;
+use crate::engine::Request;
+use crate::variant::VariantStore;
+
+/// Traffic shape.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadGenConfig {
+    /// Total requests to emit.
+    pub requests: usize,
+    /// Zipf skew exponent for device popularity (`0.0` = uniform;
+    /// `1.0` = classic Zipf).
+    pub zipf_exponent: f64,
+    /// Mean arrival rate in requests/second; `None` emits the whole
+    /// trace as fast as the batcher accepts it (closed-loop stress).
+    pub rate_rps: Option<f64>,
+    /// RNG seed; one seed = one exact trace.
+    pub seed: u64,
+}
+
+impl LoadGenConfig {
+    /// A firehose trace of `requests` arrivals with classic Zipf skew.
+    pub fn firehose(requests: usize, seed: u64) -> Self {
+        LoadGenConfig {
+            requests,
+            zipf_exponent: 1.0,
+            rate_rps: None,
+            seed,
+        }
+    }
+}
+
+/// Uniform `[0, 1)` draw from the raw RNG stream.
+fn unit(rng: &mut SmallRng64) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Generates the full request trace for `store` up front (inputs are
+/// uniform noise images; ids are sequential).
+pub fn trace(store: &VariantStore, cfg: &LoadGenConfig) -> Vec<Request> {
+    let mut rng = SmallRng64::new(cfg.seed);
+    let devices = store.devices().len();
+    // Zipf CDF over devices ranked by index.
+    let weights: Vec<f64> = (0..devices)
+        .map(|d| 1.0 / ((d + 1) as f64).powf(cfg.zipf_exponent))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(devices);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    let [c, h, w] = store.input_shape();
+    (0..cfg.requests)
+        .map(|id| {
+            let u = unit(&mut rng);
+            let device = cdf.partition_point(|&p| p < u).min(devices - 1);
+            let data = (0..c * h * w)
+                .map(|_| (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32)
+                .collect();
+            Request {
+                id,
+                device,
+                input: Array::from_vec(data, &[c, h, w]).expect("input volume"),
+            }
+        })
+        .collect()
+}
+
+/// Replays a trace into `batcher`, pacing arrivals per the config's
+/// Poisson process (or firehosing when `rate_rps` is `None`). Returns
+/// the number of requests pushed.
+pub fn replay(batcher: &Batcher, cfg: &LoadGenConfig, requests: Vec<Request>) -> usize {
+    let mut rng = SmallRng64::new(cfg.seed ^ 0xa55a_a55a);
+    let start = Instant::now();
+    let mut next_at = Duration::ZERO;
+    let n = requests.len();
+    for r in requests {
+        if let Some(rate) = cfg.rate_rps {
+            let gap = -(1.0 - unit(&mut rng)).ln() / rate.max(1e-9);
+            next_at += Duration::from_secs_f64(gap);
+            while start.elapsed() < next_at {
+                std::thread::yield_now();
+            }
+        }
+        batcher.push(r);
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variant::{ServeModelConfig, StoreConfig, VariantStore};
+
+    fn store(devices: usize) -> VariantStore {
+        VariantStore::build(
+            &StoreConfig {
+                clusters: 2,
+                devices,
+                keep_classes: 4,
+                model: ServeModelConfig::tiny(),
+            },
+            5,
+        )
+    }
+
+    #[test]
+    fn trace_is_deterministic_per_seed() {
+        let store = store(6);
+        let cfg = LoadGenConfig::firehose(40, 9);
+        let a = trace(&store, &cfg);
+        let b = trace(&store, &cfg);
+        assert_eq!(a.len(), 40);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.device, y.device);
+            assert_eq!(x.input.data(), y.input.data());
+        }
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranked_devices() {
+        let store = store(8);
+        let reqs = trace(
+            &store,
+            &LoadGenConfig {
+                requests: 400,
+                zipf_exponent: 1.2,
+                rate_rps: None,
+                seed: 3,
+            },
+        );
+        let mut counts = vec![0usize; 8];
+        for r in &reqs {
+            counts[r.device] += 1;
+        }
+        assert!(
+            counts[0] > counts[7] * 2,
+            "rank-0 device should dominate: {counts:?}"
+        );
+        assert!(counts.iter().all(|&c| c <= 400));
+    }
+
+    #[test]
+    fn devices_stay_in_range() {
+        let store = store(3);
+        let reqs = trace(&store, &LoadGenConfig::firehose(100, 1));
+        assert!(reqs.iter().all(|r| r.device < 3));
+    }
+}

@@ -157,15 +157,15 @@ mod tests {
     fn gc_activations() {
         let mut rng = SmallRng64::new(15);
         let a = randn(&[12], &mut rng);
-        check(&[a.clone()], |g, v| {
+        check(std::slice::from_ref(&a), |g, v| {
             let r = g.gelu(v[0]);
             g.sum_all(r)
         });
-        check(&[a.clone()], |g, v| {
+        check(std::slice::from_ref(&a), |g, v| {
             let r = g.tanh(v[0]);
             g.sum_all(r)
         });
-        check(&[a.clone()], |g, v| {
+        check(std::slice::from_ref(&a), |g, v| {
             let r = g.sigmoid(v[0]);
             g.sum_all(r)
         });
@@ -179,7 +179,7 @@ mod tests {
     fn gc_ln_and_pow() {
         let mut rng = SmallRng64::new(16);
         let a = uniform(&[8], 0.5, 2.0, &mut rng);
-        check(&[a.clone()], |g, v| {
+        check(std::slice::from_ref(&a), |g, v| {
             let r = g.ln(v[0]);
             g.sum_all(r)
         });
@@ -193,7 +193,7 @@ mod tests {
     fn gc_softmax_and_log_softmax() {
         let mut rng = SmallRng64::new(17);
         let a = randn(&[3, 5], &mut rng);
-        check(&[a.clone()], |g, v| {
+        check(std::slice::from_ref(&a), |g, v| {
             let s = g.softmax_last(v[0]);
             let w = g.pow_scalar(s, 2.0);
             g.sum_all(w)
@@ -274,7 +274,7 @@ mod tests {
     fn gc_pools() {
         let mut rng = SmallRng64::new(24);
         let x = randn(&[1, 2, 4, 4], &mut rng);
-        check(&[x.clone()], |g, v| {
+        check(std::slice::from_ref(&x), |g, v| {
             let y = g.avg_pool2d(v[0], 2);
             let t = g.pow_scalar(y, 2.0);
             g.sum_all(t)

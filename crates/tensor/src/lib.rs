@@ -50,7 +50,7 @@ pub use error::{Result, TensorError};
 /// Publishes the tensor substrate's ad-hoc counters into the
 /// [`acme_obs::metrics`] registry: pool hits/misses/recycled/dropped
 /// (as `tensor.pool.*` counters), pack-cache packs
-/// (`tensor.packcache.packs`) and its current size
+/// (`tensor.packcache.packs` / `tensor.packcache.hits`) and its size
 /// (`tensor.packcache.entries` / `tensor.packcache.cached_floats`
 /// gauges). Call at a snapshot point (end of run, before
 /// `metrics::snapshot`); the hot paths keep their dependency-free
@@ -66,6 +66,7 @@ pub fn publish_obs_metrics() {
     acme_obs::metrics::set_counter("tensor.pool.recycled", stats.recycled);
     acme_obs::metrics::set_counter("tensor.pool.dropped", stats.dropped);
     acme_obs::metrics::set_counter("tensor.packcache.packs", packcache::packs());
+    acme_obs::metrics::set_counter("tensor.packcache.hits", packcache::hits());
     acme_obs::metrics::set_gauge("tensor.packcache.entries", packcache::len() as f64);
     acme_obs::metrics::set_gauge(
         "tensor.packcache.cached_floats",

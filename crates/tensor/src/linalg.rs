@@ -283,21 +283,43 @@ impl Array {
         let in_shape = self.shape();
         let out_shape: Vec<usize> = perm.iter().map(|&p| in_shape[p]).collect();
         let in_strides = strides_for(in_shape);
-        let mut out = Array::zeros(&out_shape);
         let n = self.len();
-        // For each output linear index, compute output coords, map to input.
-        let out_strides = strides_for(&out_shape);
-        for oi in 0..n {
-            let mut rem = oi;
-            let mut ii = 0;
-            for (ax, &os) in out_strides.iter().enumerate() {
-                let coord = rem / os;
-                rem %= os;
-                ii += coord * in_strides[perm[ax]];
+        let rank = out_shape.len();
+        let mut data = crate::pool::take(n);
+        if n > 0 && rank > 0 {
+            // Walk output coordinates as an odometer, updating the input
+            // linear index incrementally — no per-element div/mod. When
+            // the innermost axis is preserved, whole contiguous runs copy
+            // at once.
+            let perm_strides: Vec<usize> = perm.iter().map(|&p| in_strides[p]).collect();
+            let run = if perm[rank - 1] == rank - 1 {
+                in_shape[rank - 1]
+            } else {
+                1
+            };
+            let outer_rank = if run > 1 { rank - 1 } else { rank };
+            let mut coords = vec![0usize; outer_rank];
+            let mut ii = 0usize;
+            for _ in 0..n / run {
+                if run > 1 {
+                    data.extend_from_slice(&self.data()[ii..ii + run]);
+                } else {
+                    data.push(self.data()[ii]);
+                }
+                for ax in (0..outer_rank).rev() {
+                    coords[ax] += 1;
+                    ii += perm_strides[ax];
+                    if coords[ax] < out_shape[ax] {
+                        break;
+                    }
+                    ii -= coords[ax] * perm_strides[ax];
+                    coords[ax] = 0;
+                }
             }
-            out.data_mut()[oi] = self.data()[ii];
+        } else if n > 0 {
+            data.push(self.data()[0]);
         }
-        Ok(out)
+        Array::from_vec(data, &out_shape)
     }
 
     /// Transposes a 2-D array.

@@ -6,6 +6,18 @@ use crate::error::{Result, TensorError};
 use crate::shape::{broadcast_shapes, broadcast_source_index, strides_for};
 use crate::{pool, rowwise};
 
+/// Whether `small` broadcasts against `big` as a pure trailing suffix
+/// (leading `1`s aside): every non-leading-1 axis of `small` equals the
+/// corresponding trailing axis of `big`. The broadcast then reduces to
+/// tiling `small` across `big`'s leading axes.
+fn is_trailing_suffix(small: &[usize], big: &[usize]) -> bool {
+    let trimmed = {
+        let lead = small.iter().take_while(|&&d| d == 1).count();
+        &small[lead..]
+    };
+    trimmed.len() <= big.len() && big[big.len() - trimmed.len()..] == *trimmed
+}
+
 impl Array {
     /// Elementwise binary operation with broadcasting.
     ///
@@ -32,6 +44,41 @@ impl Array {
             }
         })?;
         let n: usize = out_shape.iter().product();
+        // Fast paths below apply the same `f` to the same operand pairs in
+        // the same row-major order as the generic loop — identical bits,
+        // cheaper indexing.
+        if rhs.len() == 1 && out_shape == self.shape() {
+            // Scalar right operand.
+            let b = rhs.data()[0];
+            let mut data = pool::take(n);
+            data.extend(self.data().iter().map(|&a| f(a, b)));
+            return Array::from_vec(data, &out_shape);
+        }
+        if self.len() == 1 && out_shape == rhs.shape() {
+            // Scalar left operand.
+            let a = self.data()[0];
+            let mut data = pool::take(n);
+            data.extend(rhs.data().iter().map(|&b| f(a, b)));
+            return Array::from_vec(data, &out_shape);
+        }
+        if out_shape == self.shape() && is_trailing_suffix(rhs.shape(), self.shape()) {
+            // Right operand broadcasts only over leading axes (the bias
+            // pattern `[n, d] + [d]`): tile it across row chunks.
+            let b = rhs.data();
+            let mut data = pool::take(n);
+            for chunk in self.data().chunks_exact(b.len()) {
+                data.extend(chunk.iter().zip(b).map(|(&a, &b)| f(a, b)));
+            }
+            return Array::from_vec(data, &out_shape);
+        }
+        if out_shape == rhs.shape() && is_trailing_suffix(self.shape(), rhs.shape()) {
+            let a = self.data();
+            let mut data = pool::take(n);
+            for chunk in rhs.data().chunks_exact(a.len()) {
+                data.extend(a.iter().zip(chunk).map(|(&a, &b)| f(a, b)));
+            }
+            return Array::from_vec(data, &out_shape);
+        }
         let ls = strides_for(self.shape());
         let rs = strides_for(rhs.shape());
         let mut data = pool::take(n);

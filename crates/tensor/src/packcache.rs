@@ -83,6 +83,15 @@ pub fn packs() -> u64 {
     PACKS.load(Ordering::Relaxed)
 }
 
+/// Count of lookups served from the cache without repacking. The serving
+/// path's steady-state contract is "hits grow, packs stay flat".
+static HITS: AtomicU64 = AtomicU64::new(0);
+
+/// Total cache hits since process start (see [`HITS`]).
+pub fn hits() -> u64 {
+    HITS.load(Ordering::Relaxed)
+}
+
 struct Entry {
     version: u64,
     pack: Arc<PackedB>,
@@ -113,7 +122,10 @@ pub fn lookup_or_pack(ident: PackIdent, b: &Array) -> Arc<PackedB> {
     let key = (ident.store, ident.slot);
     let mut map = cache().lock().expect("packcache mutex");
     match map.get(&key) {
-        Some(e) if e.version == ident.version => Arc::clone(&e.pack),
+        Some(e) if e.version == ident.version => {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            Arc::clone(&e.pack)
+        }
         _ => {
             let pack = pack_now();
             map.insert(
@@ -171,8 +183,10 @@ mod tests {
             version: 0,
         };
         let p1 = lookup_or_pack(id_v0, &w);
+        let h0 = hits();
         let p2 = lookup_or_pack(id_v0, &w);
         assert!(Arc::ptr_eq(&p1, &p2), "same version hits the cache");
+        assert!(hits() > h0, "cache hit increments the hit counter");
         // A version bump replaces the entry rather than growing the map.
         let before = len();
         let p3 = lookup_or_pack(

@@ -4,9 +4,9 @@
 //! edge tiles (dimensions not divisible by any block size), degenerate
 //! `m = 1` / `n = 1` products, and empty `k = 0` reductions.
 
+use acme_runtime::Pool;
 use acme_tensor::gemm::{self, MatRef, MC, MR, NR};
 use acme_tensor::Array;
-use acme_runtime::Pool;
 use proptest::prelude::*;
 
 /// Deterministically fills a buffer with values in roughly `[-2, 2]`,

@@ -313,7 +313,7 @@ impl ImageClassifier for TwinsSvtLike {
         // splits into 2x2 windows, attention runs within each window —
         // the accuracy/efficiency compromise of the original design; the
         // CPE is the only cross-window pathway.
-        let windowed = grid % 2 == 0 && grid >= 2;
+        let windowed = grid.is_multiple_of(2) && grid >= 2;
         for blk in &self.blocks {
             if windowed {
                 let w = self.window_permute(g, tok, grid, false);

@@ -1,6 +1,6 @@
 //! The ViT backbone model with masking hooks for importance scoring.
 
-use acme_nn::{LayerNorm, Linear, ParamId, ParamSet, TransformerBlock};
+use acme_nn::{Activation, LayerNorm, Linear, ParamId, ParamSet, TransformerBlock};
 use acme_tensor::{randn, Array, Graph, Var};
 use rand::Rng;
 
@@ -85,10 +85,22 @@ impl Vit {
     ///
     /// Panics when `config.validate()` fails.
     pub fn new(ps: &mut ParamSet, config: &VitConfig, rng: &mut impl Rng) -> Self {
-        Self::with_head_dims(ps, config, rng)
+        Self::with_activation(ps, config, Activation::Gelu, rng)
     }
 
-    fn with_head_dims(ps: &mut ParamSet, config: &VitConfig, rng: &mut impl Rng) -> Self {
+    /// Like [`Vit::new`] but with an explicit MLP activation for every
+    /// block. The standard ViT recipe is GELU; serving deployments that
+    /// are elementwise-bound may trade it for the cheaper ReLU.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.validate()` fails.
+    pub fn with_activation(
+        ps: &mut ParamSet,
+        config: &VitConfig,
+        activation: Activation,
+        rng: &mut impl Rng,
+    ) -> Self {
         config.validate().expect("invalid ViT config");
         let patch_embed = Linear::new(ps, "vit.patch_embed", config.patch_dim(), config.dim, rng);
         let cls_token = ps.add("vit.cls", randn(&[1, 1, config.dim], rng).scale(0.02));
@@ -98,13 +110,14 @@ impl Vit {
         );
         let blocks = (0..config.depth)
             .map(|i| {
-                TransformerBlock::with_head_dim(
+                TransformerBlock::with_activation(
                     ps,
                     &format!("vit.block{i}"),
                     config.dim,
                     config.heads,
                     config.head_dim,
                     config.mlp_hidden,
+                    activation,
                     rng,
                 )
             })

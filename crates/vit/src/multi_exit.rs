@@ -86,6 +86,18 @@ impl MultiExitVit {
         &self.exit_layers
     }
 
+    /// The pre-head layer norm at each exit (parallel to
+    /// [`exit_layers`](Self::exit_layers)).
+    pub fn norms(&self) -> &[LayerNorm] {
+        &self.norms
+    }
+
+    /// The classifier head at each exit (parallel to
+    /// [`exit_layers`](Self::exit_layers)).
+    pub fn heads(&self) -> &[Linear] {
+        &self.heads
+    }
+
     /// Forward pass producing logits at *every* exit.
     pub fn all_exit_logits(
         &self,
@@ -113,6 +125,7 @@ impl MultiExitVit {
 
     /// Jointly trains all exits (sum of cross-entropies, backbone not
     /// frozen), returning the mean loss of the last epoch.
+    #[allow(clippy::too_many_arguments)]
     pub fn fit_exits(
         &self,
         ps: &mut ParamSet,

@@ -66,6 +66,37 @@ cargo run --release -p acme-bench --bin fleet_scale "${CARGO_FLAGS[@]}" -- \
     --smoke --out "$FLEET_SMOKE_OUT"
 rm -f "$FLEET_SMOKE_OUT"
 
+step "serving smoke (batched multi-tenant sweep under a wall-clock ceiling)"
+# One fleet, baseline + one batched setting over the variant store; the
+# bin asserts a wall-clock ceiling and sanity-checks its own rows.
+# Writes to a scratch path to leave the committed full-sweep
+# BENCH_serving.json alone, then validates the JSON shape here.
+SERVE_SMOKE_OUT="$(mktemp -t acme-serve-smoke.XXXXXX.json)"
+cargo run --release -p acme-bench --bin serving "${CARGO_FLAGS[@]}" -- \
+    --smoke --out "$SERVE_SMOKE_OUT"
+python3 - "$SERVE_SMOKE_OUT" <<'PY'
+import json, sys
+rows = json.load(open(sys.argv[1]))
+assert rows, "serving sweep emitted no rows"
+keys = {"bench", "fleet_devices", "clusters", "workers", "max_batch",
+        "batch_window_us", "requests", "elapsed_s", "throughput_rps",
+        "p50_ms", "p99_ms", "mean_batch", "occupancy", "early_exit_frac",
+        "speedup_vs_unbatched"}
+for r in rows:
+    assert set(r) == keys, f"row keys drifted: {sorted(set(r) ^ keys)}"
+    assert r["bench"] == "serving"
+    assert r["throughput_rps"] > 0 and r["p99_ms"] >= r["p50_ms"] > 0
+    assert 0 < r["occupancy"] <= 1 and 0 <= r["early_exit_frac"] <= 1
+base = [r for r in rows if r["max_batch"] == 1]
+batched = [r for r in rows if r["max_batch"] > 1]
+assert base and batched, "need a baseline row and a batched row"
+assert all(r["speedup_vs_unbatched"] > 1 for r in batched), \
+    "batched serving did not beat the unbatched baseline"
+print(f"serving OK: {len(rows)} rows, "
+      f"max speedup {max(r['speedup_vs_unbatched'] for r in batched):.2f}x")
+PY
+rm -f "$SERVE_SMOKE_OUT"
+
 step "observability smoke (fault-injected trace -> acme-obs-trace-v1)"
 # Run the fault-injected example with tracing on and validate the
 # exported document: per-round protocol spans, at least one retry and

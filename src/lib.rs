@@ -13,5 +13,8 @@
 //! * [`acme_nas`] — block-based header architecture search.
 //! * [`acme_agg`] — importance sets and personalized aggregation.
 //! * [`acme_distsys`] — the bidirectional single-loop distributed system.
+//! * [`acme_serve`] — multi-tenant batched inference over the per-device
+//!   variants the pipeline produces (variant store, shape-aware batcher,
+//!   early-exit engine, worker-pool server, load generator).
 
 pub use acme::*;

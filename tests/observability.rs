@@ -7,7 +7,7 @@
 
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
-use acme::{Acme, AcmeConfig, AcmeOutcome, ProtocolConfig};
+use acme::{Acme, AcmeConfig, AcmeOutcome, ProtocolConfig, ProtocolRun};
 use acme_energy::Fleet;
 
 /// The obs registries (trace rings, metrics, profile table) are
@@ -54,10 +54,11 @@ fn protocol_outcome_is_bit_identical_under_observation() {
     reset_obs();
     let fleet = Fleet::paper_default(2, 3);
     let cfg = ProtocolConfig::default();
-    let plain = acme::run_acme_protocol(&fleet, &cfg).expect("plain run");
+    let run = || ProtocolRun::new(&fleet).config(cfg.clone()).execute();
+    let plain = run().expect("plain run");
     assert!(plain.trace.is_none(), "no trace without runtime opt-in");
     acme_obs::trace::set_enabled(true);
-    let observed = acme::run_acme_protocol(&fleet, &cfg).expect("observed run");
+    let observed = run().expect("observed run");
     acme_obs::trace::set_enabled(false);
     // ProtocolOutcome equality deliberately ignores the trace field.
     assert_eq!(plain, observed);

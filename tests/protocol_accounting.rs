@@ -1,11 +1,19 @@
 //! Integration of the distributed protocol with the energy fleet: the
 //! transfer accounting that backs Table I.
 
-// The protocol runs go through the `acme` umbrella wrapper so the
-// fallible `Result<_, AcmeError>` surface is exercised end to end.
-use acme::run_acme_protocol;
+use acme::ProtocolRun;
 use acme_distsys::protocol::{centralized_transfers, ProtocolConfig};
 use acme_energy::Fleet;
+
+/// All protocol runs go through the [`ProtocolRun`] builder (re-exported
+/// by the `acme` umbrella), the replacement for the deprecated
+/// `run_acme_protocol` shims.
+fn run(fleet: &Fleet, cfg: &ProtocolConfig) -> acme_distsys::protocol::ProtocolOutcome {
+    ProtocolRun::new(fleet)
+        .config(cfg.clone())
+        .execute()
+        .expect("protocol run")
+}
 
 #[test]
 fn acme_upload_matches_closed_form() {
@@ -19,7 +27,7 @@ fn acme_upload_matches_closed_form() {
         importance_len: 50,
         ..ProtocolConfig::default()
     };
-    let out = run_acme_protocol(&fleet, &cfg).expect("protocol run");
+    let out = run(&fleet, &cfg);
     let n = (s * n_per) as u64;
     // Uplink = S attribute reports + N*T importance uploads.
     let attr = s as u64 * (16 + 32);
@@ -37,15 +45,14 @@ fn upload_ratio_matches_paper_band_at_paper_scale() {
     // land well below 10%.
     for n_clusters in [2usize, 4, 8] {
         let fleet = Fleet::paper_default(n_clusters, 5);
-        let acme = run_acme_protocol(
+        let acme = run(
             &fleet,
             &ProtocolConfig {
                 loop_rounds: 3,
                 importance_len: 4000,
                 ..ProtocolConfig::default()
             },
-        )
-        .expect("protocol run");
+        );
         let cs = centralized_transfers(&fleet, 500, 3072, 1_000_000).expect("baseline run");
         let ratio = acme.report.uplink_bytes as f64 / cs.uplink_bytes as f64;
         assert!(ratio < 0.10, "N={} ratio {ratio}", fleet.num_devices());
@@ -56,8 +63,8 @@ fn upload_ratio_matches_paper_band_at_paper_scale() {
 #[test]
 fn upload_scales_linearly_in_device_count() {
     let cfg = ProtocolConfig::default();
-    let small = run_acme_protocol(&Fleet::paper_default(2, 5), &cfg).expect("protocol run");
-    let large = run_acme_protocol(&Fleet::paper_default(4, 5), &cfg).expect("protocol run");
+    let small = run(&Fleet::paper_default(2, 5), &cfg);
+    let large = run(&Fleet::paper_default(4, 5), &cfg);
     let ratio = large.report.uplink_bytes as f64 / small.report.uplink_bytes as f64;
     assert!(
         (ratio - 2.0).abs() < 0.1,
@@ -69,8 +76,8 @@ fn upload_scales_linearly_in_device_count() {
 fn protocol_is_deterministic() {
     let fleet = Fleet::paper_default(3, 3);
     let cfg = ProtocolConfig::default();
-    let a = run_acme_protocol(&fleet, &cfg).expect("protocol run");
-    let b = run_acme_protocol(&fleet, &cfg).expect("protocol run");
+    let a = run(&fleet, &cfg);
+    let b = run(&fleet, &cfg);
     assert_eq!(a.report.total_bytes, b.report.total_bytes);
     assert_eq!(a.report.messages, b.report.messages);
 }

@@ -1,0 +1,179 @@
+//! End-to-end serving integration: the batched multi-tenant server must
+//! be bit-identical to the one-at-a-time reference at any worker count —
+//! including which exit answered each request — and its counters must
+//! publish through the unified observability registry.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+use acme_serve::{
+    serve, BatchEngine, BatcherConfig, ExitPolicy, Request, Response, ServeModelConfig,
+    ServerConfig, StoreConfig, VariantStore,
+};
+use acme_tensor::{Array, Graph, SmallRng64};
+use rand::RngCore;
+
+/// The serve counters and the obs registry are process-wide, so the
+/// tests in this file must not interleave.
+fn serialize() -> MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn test_store(devices: usize) -> VariantStore {
+    VariantStore::build(
+        &StoreConfig {
+            clusters: 2,
+            devices,
+            keep_classes: 4,
+            model: ServeModelConfig::tiny(),
+        },
+        17,
+    )
+}
+
+/// Seeded request mix over every device in the store, from the raw RNG
+/// stream (bit-stable across `rand` backend versions).
+fn test_requests(store: &VariantStore, n: usize, seed: u64) -> Vec<Request> {
+    let [c, h, w] = store.input_shape();
+    let devices = store.devices().len();
+    let mut rng = SmallRng64::new(seed);
+    (0..n)
+        .map(|id| {
+            let device = (rng.next_u64() as usize) % devices;
+            let data = (0..c * h * w)
+                .map(|_| (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32)
+                .collect();
+            Request {
+                id,
+                device,
+                input: Array::from_vec(data, &[c, h, w]).expect("input volume"),
+            }
+        })
+        .collect()
+}
+
+/// Bit pattern of everything numeric in a response.
+fn bits(r: &Response) -> (usize, usize, usize, usize, u32, Vec<u32>) {
+    (
+        r.id,
+        r.device,
+        r.exit,
+        r.class,
+        r.confidence.to_bits(),
+        r.logits.iter().map(|v| v.to_bits()).collect(),
+    )
+}
+
+#[test]
+fn batched_server_is_bitwise_identical_to_sequential_reference() {
+    let _g = serialize();
+    let store = test_store(3);
+    let reqs = test_requests(&store, 48, 5);
+    // Calibrated threshold so the workload genuinely splits across exits;
+    // otherwise the early-exit half of the claim is vacuous.
+    let policy = ExitPolicy::calibrated(&store, &reqs[..16], 0.5);
+
+    let mut g = Graph::new();
+    let reference = BatchEngine::new(&store, policy).serve_sequential(&mut g, &reqs);
+    let early = reference.iter().filter(|r| r.exit == 0).count();
+    assert!(
+        early > 0 && early < reference.len(),
+        "reference traffic must mix exit decisions (early {early}/{})",
+        reference.len()
+    );
+
+    for workers in [1usize, 2, 4] {
+        let cfg = ServerConfig {
+            workers,
+            batcher: BatcherConfig {
+                max_batch: 8,
+                window: Duration::from_millis(1),
+            },
+            policy,
+        };
+        let report = serve(&store, &cfg, |b| {
+            for r in &reqs {
+                b.push(r.clone());
+            }
+        });
+        assert_eq!(report.requests(), reqs.len(), "every request answered");
+        // Completions are sorted by request id, matching the reference.
+        for (c, r) in report.completions.iter().zip(&reference) {
+            assert_eq!(
+                bits(&c.response),
+                bits(r),
+                "request {} drifted at {workers} workers",
+                r.id
+            );
+        }
+    }
+}
+
+#[test]
+#[cfg(feature = "obs")]
+fn serving_counters_publish_into_obs_registry() {
+    let _g = serialize();
+    let store = test_store(2);
+    let reqs = test_requests(&store, 24, 9);
+    let policy = ExitPolicy::calibrated(&store, &reqs[..8], 0.5);
+
+    let req0 = acme_serve::metrics::requests();
+    let batch0 = acme_serve::metrics::batches();
+    acme_obs::trace::set_enabled(true);
+    let report = serve(
+        &store,
+        &ServerConfig {
+            workers: 2,
+            batcher: BatcherConfig {
+                max_batch: 8,
+                window: Duration::from_millis(1),
+            },
+            policy,
+        },
+        |b| {
+            for r in &reqs {
+                b.push(r.clone());
+            }
+        },
+    );
+    acme_serve::metrics::publish_obs_metrics();
+    acme_tensor::publish_obs_metrics();
+    acme_obs::trace::set_enabled(false);
+
+    assert_eq!(
+        acme_serve::metrics::requests() - req0,
+        reqs.len() as u64,
+        "request counter advanced by the run"
+    );
+    assert_eq!(
+        acme_serve::metrics::batches() - batch0,
+        report.batches,
+        "batch counter matches the report"
+    );
+
+    let snap = acme_obs::metrics::snapshot();
+    assert_eq!(
+        snap.counter("serve.requests"),
+        acme_serve::metrics::requests(),
+        "registry mirrors the process-wide request total"
+    );
+    assert_eq!(
+        snap.counter("serve.early_exits"),
+        acme_serve::metrics::early_exits()
+    );
+    let hist = snap
+        .histograms
+        .get("serve.batch_size")
+        .expect("batch-size histogram registered");
+    assert!(
+        hist.count >= report.batches,
+        "histogram saw this run's batches"
+    );
+    assert!(
+        snap.counters.contains_key("tensor.packcache.hits"),
+        "pack-cache counters ride along on the serve path"
+    );
+}
