@@ -156,8 +156,33 @@ fn main() {
             r.gflops()
         );
     }
-    match acme_bench::kernels::write_json("BENCH_kernels.json", &rows) {
-        Ok(_) => println!("wrote BENCH_kernels.json ({} rows)", rows.len()),
+
+    // f32-vs-int8 at the serving-relevant sizes, same thread counts.
+    let qsizes: &[usize] = if quick { &[256] } else { &[256, 512] };
+    let qrows = acme_bench::kernels::sweep_int8(qsizes, &threads);
+    println!("\nint8 gemm sweep (f32 = blocked engine, prepacked weights):");
+    println!(
+        "{:>6} {:>8} {:>11} {:>11} {:>8} {:>8} {:>12}",
+        "size", "threads", "f32_ms", "int8_ms", "speedup", "GOP/s", "quant_err"
+    );
+    for r in &qrows {
+        println!(
+            "{:>6} {:>8} {:>11.3} {:>11.3} {:>7.2}x {:>8.2} {:>12.6}",
+            r.size,
+            r.threads,
+            r.f32_ms,
+            r.int8_ms,
+            r.speedup_vs_f32(),
+            r.gops(),
+            r.mean_quant_error
+        );
+    }
+
+    match acme_bench::kernels::write_json("BENCH_kernels.json", &rows, &qrows) {
+        Ok(_) => println!(
+            "wrote BENCH_kernels.json ({} rows)",
+            rows.len() + qrows.len()
+        ),
         Err(e) => eprintln!("warning: could not write BENCH_kernels.json: {e}"),
     }
 }

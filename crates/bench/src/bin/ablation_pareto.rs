@@ -12,12 +12,14 @@ use acme_vit::{fit, DistillConfig, TrainConfig, Vit, VitConfig};
 /// Weighted-sum baseline: minimize the mean of objectives normalized by
 /// the population's worst value, subject to the storage bound.
 fn weighted_sum(candidates: &[Candidate], bound: f64) -> Option<&Candidate> {
-    let worst = candidates.iter().fold([f64::MIN; 3], |mut acc, c| {
-        for (a, &o) in acc.iter_mut().zip(&c.objectives) {
-            *a = a.max(o);
-        }
-        acc
-    });
+    let worst = candidates
+        .iter()
+        .fold([f64::MIN; acme_pareto::NUM_OBJECTIVES], |mut acc, c| {
+            for (a, &o) in acc.iter_mut().zip(&c.objectives) {
+                *a = a.max(o);
+            }
+            acc
+        });
     candidates
         .iter()
         .filter(|c| c.size() < bound)

@@ -9,6 +9,7 @@ use std::time::Instant;
 
 use acme_runtime::Pool;
 use acme_tensor::gemm::{self, MatRef};
+use acme_tensor::qgemm;
 
 /// One timed configuration of the sweep.
 #[derive(Debug, Clone)]
@@ -125,13 +126,92 @@ pub fn sweep(sizes: &[usize], thread_counts: &[usize]) -> Vec<GemmMeasurement> {
     rows
 }
 
-/// Serializes the sweep to a JSON array (hand-rolled — the bench crate
-/// deliberately has no serialization dependency).
-pub fn to_json(rows: &[GemmMeasurement]) -> String {
+/// One timed f32-vs-int8 configuration: both engines on the same
+/// operands, weights prepacked in both cases (the serving steady state,
+/// where the pack cache has already paid the one-time quantization).
+#[derive(Debug, Clone)]
+pub struct QGemmMeasurement {
+    /// Cubic problem size (`m = k = n = size`).
+    pub size: usize,
+    /// Worker threads handed to both engines.
+    pub threads: usize,
+    /// Best-of-reps wall time of the blocked f32 engine, in ms.
+    pub f32_ms: f64,
+    /// Best-of-reps wall time of the int8 engine — activation
+    /// quantization, i32 GEMM, and f32 dequantization included — in ms.
+    pub int8_ms: f64,
+    /// Mean absolute weight quantization error of the packed panels.
+    pub mean_quant_error: f64,
+}
+
+impl QGemmMeasurement {
+    /// f32-over-int8 speedup (how much faster the quantized engine is).
+    pub fn speedup_vs_f32(&self) -> f64 {
+        self.f32_ms / self.int8_ms
+    }
+
+    /// Int8-engine throughput in GOP/s (2·n³ MACs).
+    pub fn gops(&self) -> f64 {
+        2.0 * (self.size as f64).powi(3) / (self.int8_ms / 1e3) / 1e9
+    }
+}
+
+/// Times the blocked f32 engine against the int8 quantized engine for
+/// every `(size, threads)` combination. The f32 path is re-timed here
+/// (rather than reusing [`sweep`]'s numbers) so both columns of a row
+/// come from the same operands and the same run.
+pub fn sweep_int8(sizes: &[usize], thread_counts: &[usize]) -> Vec<QGemmMeasurement> {
+    let mut rows = Vec::new();
+    for &size in sizes {
+        let (m, k, n) = (size, size, size);
+        let mut a = vec![0.0f32; m * k];
+        let mut b = vec![0.0f32; k * n];
+        fill(&mut a, size as u64);
+        fill(&mut b, size as u64 ^ 0xBEEF);
+        let mut out = vec![0.0f32; m * n];
+        let packed = qgemm::pack_b_i8(MatRef::row_major(&b, n), k, n);
+        let reps = (256 / (size / 64).max(1).pow(2)).clamp(3, 20);
+        for &threads in thread_counts {
+            let pool = Pool::new(threads);
+            let f32_ms = best_ms(reps, || {
+                out.iter_mut().for_each(|v| *v = 0.0);
+                gemm::gemm(
+                    MatRef::row_major(&a, k),
+                    MatRef::row_major(&b, n),
+                    &mut out,
+                    m,
+                    k,
+                    n,
+                    &pool,
+                );
+                out[0]
+            });
+            let int8_ms = best_ms(reps, || {
+                qgemm::gemm_i8_dequant(&a, &packed, &mut out, m, &pool);
+                out[0]
+            });
+            rows.push(QGemmMeasurement {
+                size,
+                threads,
+                f32_ms,
+                int8_ms,
+                mean_quant_error: packed.mean_abs_error() as f64,
+            });
+        }
+    }
+    rows
+}
+
+/// Serializes both sweeps to one JSON array (hand-rolled — the bench
+/// crate deliberately has no serialization dependency). f32 rows carry
+/// the naive-vs-blocked comparison; int8 rows the f32-vs-int8 one. Both
+/// kinds are tagged with a `dtype` discriminator.
+pub fn to_json(rows: &[GemmMeasurement], qrows: &[QGemmMeasurement]) -> String {
     let mut s = String::from("[\n");
+    let total = rows.len() + qrows.len();
     for (i, r) in rows.iter().enumerate() {
         s.push_str(&format!(
-            "  {{\"bench\": \"gemm\", \"size\": {}, \"threads\": {}, \
+            "  {{\"bench\": \"gemm\", \"dtype\": \"f32\", \"size\": {}, \"threads\": {}, \
              \"naive_ms\": {:.4}, \"blocked_ms\": {:.4}, \
              \"speedup\": {:.3}, \"gflops\": {:.2}}}{}\n",
             r.size,
@@ -140,7 +220,23 @@ pub fn to_json(rows: &[GemmMeasurement]) -> String {
             r.blocked_ms,
             r.speedup(),
             r.gflops(),
-            if i + 1 < rows.len() { "," } else { "" }
+            if i + 1 < total { "," } else { "" }
+        ));
+    }
+    for (i, r) in qrows.iter().enumerate() {
+        s.push_str(&format!(
+            "  {{\"bench\": \"gemm\", \"dtype\": \"int8\", \"size\": {}, \"threads\": {}, \
+             \"f32_ms\": {:.4}, \"int8_ms\": {:.4}, \
+             \"speedup_vs_f32\": {:.3}, \"gops\": {:.2}, \
+             \"mean_quant_error\": {:.6}}}{}\n",
+            r.size,
+            r.threads,
+            r.f32_ms,
+            r.int8_ms,
+            r.speedup_vs_f32(),
+            r.gops(),
+            r.mean_quant_error,
+            if rows.len() + i + 1 < total { "," } else { "" }
         ));
     }
     s.push(']');
@@ -148,8 +244,12 @@ pub fn to_json(rows: &[GemmMeasurement]) -> String {
 }
 
 /// Writes the JSON summary to `path`, returning the serialized string.
-pub fn write_json(path: &str, rows: &[GemmMeasurement]) -> std::io::Result<String> {
-    let json = to_json(rows);
+pub fn write_json(
+    path: &str,
+    rows: &[GemmMeasurement],
+    qrows: &[QGemmMeasurement],
+) -> std::io::Result<String> {
+    let json = to_json(rows, qrows);
     let mut f = std::fs::File::create(path)?;
     f.write_all(json.as_bytes())?;
     f.write_all(b"\n")?;
@@ -172,6 +272,16 @@ mod tests {
     }
 
     #[test]
+    fn int8_sweep_produces_sane_rows() {
+        let rows = sweep_int8(&[64], &[1]);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert!(r.f32_ms > 0.0 && r.int8_ms > 0.0);
+        assert!(r.gops() > 0.0);
+        assert!(r.mean_quant_error > 0.0 && r.mean_quant_error < 0.1);
+    }
+
+    #[test]
     fn json_is_well_formed() {
         let rows = vec![
             GemmMeasurement {
@@ -187,10 +297,20 @@ mod tests {
                 blocked_ms: 2.0,
             },
         ];
-        let json = to_json(&rows);
+        let qrows = vec![QGemmMeasurement {
+            size: 256,
+            threads: 1,
+            f32_ms: 2.0,
+            int8_ms: 1.0,
+            mean_quant_error: 0.004,
+        }];
+        let json = to_json(&rows, &qrows);
         assert!(json.starts_with('[') && json.ends_with(']'));
-        assert_eq!(json.matches("\"bench\": \"gemm\"").count(), 2);
+        assert_eq!(json.matches("\"bench\": \"gemm\"").count(), 3);
+        assert_eq!(json.matches("\"dtype\": \"f32\"").count(), 2);
+        assert_eq!(json.matches("\"dtype\": \"int8\"").count(), 1);
         assert!(json.contains("\"speedup\": 2.000"));
-        assert_eq!(json.matches("},").count(), 1, "comma between rows only");
+        assert!(json.contains("\"speedup_vs_f32\": 2.000"));
+        assert_eq!(json.matches("},").count(), 2, "comma between rows only");
     }
 }

@@ -13,7 +13,7 @@ use std::io::Write as _;
 use std::time::Duration;
 
 use acme_serve::{
-    loadgen, serve, BatcherConfig, ExitPolicy, LoadGenConfig, ServerConfig, StoreConfig,
+    loadgen, serve, BatcherConfig, ExitPolicy, LoadGenConfig, Precision, ServerConfig, StoreConfig,
     VariantStore,
 };
 
@@ -30,6 +30,8 @@ pub struct ServingRow {
     pub max_batch: usize,
     /// Coalescing window in microseconds.
     pub batch_window_us: u64,
+    /// GEMM precision the store serves at (`"f32"` or `"int8"`).
+    pub precision: &'static str,
     /// Requests replayed.
     pub requests: usize,
     /// Wall-clock of the measured replay.
@@ -48,6 +50,12 @@ pub struct ServingRow {
     pub early_exit_frac: f64,
     /// Throughput over the matched `max_batch = 1` row.
     pub speedup_vs_unbatched: f64,
+    /// Mean absolute weight quantization error across the store's packed
+    /// int8 panels (`0.0` for f32 rows).
+    pub mean_quant_error: f64,
+    /// Throughput over the matched f32 row at the same fleet, workers,
+    /// and batching setting (`1.0` for f32 rows).
+    pub speedup_vs_f32: f64,
 }
 
 /// Sweep settings.
@@ -82,12 +90,13 @@ impl SweepConfig {
     }
 
     /// The CI smoke sweep: one fleet, one worker, baseline + one batched
-    /// setting.
+    /// setting (the same `max_batch = 32` point the full sweep's
+    /// precision criterion is stated at).
     pub fn smoke() -> Self {
         SweepConfig {
             fleets: vec![4],
             workers: vec![1],
-            batching: vec![(1, 0), (16, 500)],
+            batching: vec![(1, 0), (32, 500)],
             requests: 300,
             warmup: 32,
             seed: 42,
@@ -95,7 +104,92 @@ impl SweepConfig {
     }
 }
 
-/// Runs the sweep, one store and one trace per fleet size.
+/// Warms up and measures one `(workers, max_batch, window)` setting over
+/// `trace`, appending the resulting row. Baselines for
+/// `speedup_vs_unbatched` are resolved against `rows` (matched fleet,
+/// precision, and worker count).
+#[allow(clippy::too_many_arguments)]
+fn run_setting(
+    rows: &mut Vec<ServingRow>,
+    store: &VariantStore,
+    trace: &[acme_serve::Request],
+    policy: ExitPolicy,
+    workers: usize,
+    max_batch: usize,
+    window_us: u64,
+    warmup: usize,
+) {
+    let fleet = store.devices().len();
+    let server = ServerConfig {
+        workers,
+        batcher: BatcherConfig {
+            max_batch,
+            window: Duration::from_micros(window_us),
+        },
+        policy,
+    };
+    // Warmup: populate the pack cache and buffer pool so the
+    // measured replay is the steady state.
+    let warm: Vec<_> = trace[..trace.len().min(warmup)].to_vec();
+    serve(store, &server, move |b| {
+        for r in warm {
+            b.push(r);
+        }
+    });
+    // Two measured replays, keeping the faster one — a single
+    // replay on a shared host is at the mercy of scheduler
+    // hiccups; results are bit-identical between replays, so
+    // only the clock differs.
+    let report = (0..2)
+        .map(|_| {
+            let replay: Vec<_> = trace.to_vec();
+            serve(store, &server, move |b| {
+                for r in replay {
+                    b.push(r);
+                }
+            })
+        })
+        .min_by(|a, b| a.elapsed.cmp(&b.elapsed))
+        .expect("at least one replay");
+    let final_exit = store.clusters()[0].exits.exit_layers().len() - 1;
+    let precision = store.precision().label();
+    let baseline = rows
+        .iter()
+        .find(|r| {
+            r.fleet_devices == fleet
+                && r.precision == precision
+                && r.workers == workers
+                && r.max_batch == 1
+        })
+        .map(|r| r.throughput_rps);
+    let throughput = report.throughput_rps();
+    let quant_error = match store.precision() {
+        Precision::F32 => 0.0,
+        Precision::Int8 => acme_tensor::packcache::i8_mean_quant_error(),
+    };
+    rows.push(ServingRow {
+        fleet_devices: fleet,
+        clusters: store.clusters().len(),
+        workers,
+        max_batch,
+        batch_window_us: window_us,
+        precision,
+        requests: report.requests(),
+        elapsed_s: report.elapsed.as_secs_f64(),
+        throughput_rps: throughput,
+        p50_ms: report.latency_quantile_ms(0.5),
+        p99_ms: report.latency_quantile_ms(0.99),
+        mean_batch: report.mean_batch(),
+        occupancy: report.occupancy(max_batch),
+        early_exit_frac: report.early_exit_fraction(final_exit),
+        speedup_vs_unbatched: baseline.map_or(1.0, |b| throughput / b.max(1e-9)),
+        mean_quant_error: quant_error,
+        speedup_vs_f32: 1.0,
+    });
+}
+
+/// Runs the batching-axis sweep, one store and one trace per fleet size
+/// (all at f32 — see [`sweep_precision`] for the quantized axis).
 pub fn sweep(cfg: &SweepConfig) -> Vec<ServingRow> {
     let mut rows: Vec<ServingRow> = Vec::new();
     for &fleet in &cfg.fleets {
@@ -106,60 +200,53 @@ pub fn sweep(cfg: &SweepConfig) -> Vec<ServingRow> {
         let policy = ExitPolicy::calibrated(&store, probe, 0.6);
         for &workers in &cfg.workers {
             for &(max_batch, window_us) in &cfg.batching {
-                let server = ServerConfig {
-                    workers,
-                    batcher: BatcherConfig {
-                        max_batch,
-                        window: Duration::from_micros(window_us),
-                    },
-                    policy,
-                };
-                // Warmup: populate the pack cache and buffer pool so the
-                // measured replay is the steady state.
-                let warm: Vec<_> = trace[..trace.len().min(cfg.warmup)].to_vec();
-                serve(&store, &server, move |b| {
-                    for r in warm {
-                        b.push(r);
-                    }
-                });
-                // Two measured replays, keeping the faster one — a single
-                // replay on a shared host is at the mercy of scheduler
-                // hiccups; results are bit-identical between replays, so
-                // only the clock differs.
-                let report = (0..2)
-                    .map(|_| {
-                        let replay: Vec<_> = trace.clone();
-                        serve(&store, &server, move |b| {
-                            for r in replay {
-                                b.push(r);
-                            }
-                        })
-                    })
-                    .min_by(|a, b| a.elapsed.cmp(&b.elapsed))
-                    .expect("at least one replay");
-                let final_exit = store.clusters()[0].exits.exit_layers().len() - 1;
-                let baseline = rows
-                    .iter()
-                    .find(|r| r.fleet_devices == fleet && r.workers == workers && r.max_batch == 1)
-                    .map(|r| r.throughput_rps);
-                let throughput = report.throughput_rps();
-                rows.push(ServingRow {
-                    fleet_devices: fleet,
-                    clusters: store.clusters().len(),
-                    workers,
-                    max_batch,
-                    batch_window_us: window_us,
-                    requests: report.requests(),
-                    elapsed_s: report.elapsed.as_secs_f64(),
-                    throughput_rps: throughput,
-                    p50_ms: report.latency_quantile_ms(0.5),
-                    p99_ms: report.latency_quantile_ms(0.99),
-                    mean_batch: report.mean_batch(),
-                    occupancy: report.occupancy(max_batch),
-                    early_exit_frac: report.early_exit_fraction(final_exit),
-                    speedup_vs_unbatched: baseline.map_or(1.0, |b| throughput / b.max(1e-9)),
-                });
+                run_setting(
+                    &mut rows, &store, &trace, policy, workers, max_batch, window_us, cfg.warmup,
+                );
             }
+        }
+    }
+    rows
+}
+
+/// Runs the precision-axis sweep: the GEMM-heavy quantized serving model
+/// at f32 and at int8, over the same trace and batching settings, with
+/// each int8 row's `speedup_vs_f32` computed against the matched f32 row.
+/// Uses the first fleet size of `cfg` (the axis under measurement is
+/// precision, not fleet scale).
+pub fn sweep_precision(cfg: &SweepConfig) -> Vec<ServingRow> {
+    let fleet = *cfg.fleets.first().expect("at least one fleet size");
+    let mut rows: Vec<ServingRow> = Vec::new();
+    for precision in [Precision::F32, Precision::Int8] {
+        let store =
+            VariantStore::build(&StoreConfig::quantized_default(fleet, precision), cfg.seed);
+        let gen_cfg = LoadGenConfig::firehose(cfg.requests, cfg.seed);
+        let trace = loadgen::trace(&store, &gen_cfg);
+        let probe = &trace[..trace.len().min(96)];
+        let policy = ExitPolicy::calibrated(&store, probe, 0.6);
+        for &workers in &cfg.workers {
+            for &(max_batch, window_us) in &cfg.batching {
+                run_setting(
+                    &mut rows, &store, &trace, policy, workers, max_batch, window_us, cfg.warmup,
+                );
+            }
+        }
+    }
+    // Resolve each int8 row against its matched f32 row.
+    let f32_rows: Vec<(usize, usize, usize, f64)> = rows
+        .iter()
+        .filter(|r| r.precision == Precision::F32.label())
+        .map(|r| (r.fleet_devices, r.workers, r.max_batch, r.throughput_rps))
+        .collect();
+    for r in &mut rows {
+        if r.precision != Precision::Int8.label() {
+            continue;
+        }
+        if let Some(&(_, _, _, base)) = f32_rows
+            .iter()
+            .find(|&&(f, w, b, _)| f == r.fleet_devices && w == r.workers && b == r.max_batch)
+        {
+            r.speedup_vs_f32 = r.throughput_rps / base.max(1e-9);
         }
     }
     rows
@@ -176,15 +263,18 @@ pub fn write_json(path: &str, rows: &[ServingRow]) -> std::io::Result<()> {
         json.push_str(&format!(
             "  {{\"bench\": \"serving\", \"fleet_devices\": {}, \"clusters\": {}, \
              \"workers\": {}, \"max_batch\": {}, \"batch_window_us\": {}, \
+             \"precision\": \"{}\", \
              \"requests\": {}, \"elapsed_s\": {:.4}, \"throughput_rps\": {:.1}, \
              \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"mean_batch\": {:.2}, \
              \"occupancy\": {:.3}, \"early_exit_frac\": {:.3}, \
-             \"speedup_vs_unbatched\": {:.2}}}{}\n",
+             \"speedup_vs_unbatched\": {:.2}, \"mean_quant_error\": {:.6}, \
+             \"speedup_vs_f32\": {:.2}}}{}\n",
             r.fleet_devices,
             r.clusters,
             r.workers,
             r.max_batch,
             r.batch_window_us,
+            r.precision,
             r.requests,
             r.elapsed_s,
             r.throughput_rps,
@@ -194,6 +284,8 @@ pub fn write_json(path: &str, rows: &[ServingRow]) -> std::io::Result<()> {
             r.occupancy,
             r.early_exit_frac,
             r.speedup_vs_unbatched,
+            r.mean_quant_error,
+            r.speedup_vs_f32,
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }

@@ -33,6 +33,7 @@ mod device;
 mod fleet;
 mod model;
 
+pub use acme_tensor::Precision;
 pub use device::{Device, DeviceId};
 pub use fleet::{DeviceCluster, EdgeId, Fleet};
-pub use model::{ArchShape, EnergyModel};
+pub use model::{ArchShape, EnergyModel, INT8_MAC_ENERGY_RATIO};

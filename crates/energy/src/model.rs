@@ -1,8 +1,18 @@
-//! Energy model (Eqs. 1–2) and the parameter-count function ζ (Eq. 3).
+//! Energy model (Eqs. 1–2), the parameter-count function ζ (Eq. 3), and
+//! precision-aware deployment accounting.
 
+use acme_tensor::Precision;
 use serde::{Deserialize, Serialize};
 
 use crate::device::Device;
+
+/// Energy of one int8 multiply-accumulate relative to an f32 one.
+/// Quantized MACs move a quarter of the operand bytes and run on a
+/// narrower integer datapath; the ~4× advantage is the standard
+/// process-node figure (8-bit integer vs 32-bit float arithmetic) and
+/// matches the ~2× throughput × ~2× lower switching energy the VNNI
+/// kernel realizes on the serving path.
+pub const INT8_MAC_ENERGY_RATIO: f64 = 0.25;
 
 /// Architecture constants entering `ζ(θ) = d·w·(H + 2·ξ_h·ξ_f)`:
 /// per-layer attention parameters `H`, hidden width `ξ_h`, and
@@ -53,6 +63,22 @@ impl ArchShape {
         assert!(w > 0.0 && w <= 1.0, "width fraction must be in (0,1]");
         let per_layer = self.head_params as f64 + 2.0 * (self.hidden_dim * self.ff_dim) as f64;
         (d as f64 * w * per_layer) as u64 + self.fixed_params
+    }
+
+    /// Bytes shipped to (and stored on) a device for a `(w, d)` variant
+    /// deployed at `precision` — the bytes-on-the-wire quantity ACME's
+    /// Table I economics hinge on. An int8 deployment ships 1 byte per
+    /// parameter plus one f32 scale per output channel; the per-channel
+    /// scales (`≈ hidden_dim` f32s per weight matrix) are three orders
+    /// of magnitude below the parameter payload and are absorbed into
+    /// the rounding here.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `w` is outside `(0, 1]` (see
+    /// [`ArchShape::param_count`]).
+    pub fn deploy_bytes(&self, w: f64, d: usize, precision: Precision) -> u64 {
+        self.param_count(w, d) * precision.bytes_per_param()
     }
 }
 
@@ -108,6 +134,36 @@ impl EnergyModel {
     /// Total energy `E_n(θ)` over `epochs` epochs (Eq. 1).
     pub fn energy(&self, device: &Device, w: f64, d: usize, epochs: usize) -> f64 {
         epochs as f64 * self.power(device, w, d) * self.latency(device, w, d)
+    }
+
+    /// Scale applied to the compute term of the energy model when the
+    /// variant's multiply-accumulates run at `precision` (1.0 at f32,
+    /// [`INT8_MAC_ENERGY_RATIO`] at int8).
+    pub fn mac_energy_scale(&self, precision: Precision) -> f64 {
+        match precision {
+            Precision::F32 => 1.0,
+            Precision::Int8 => INT8_MAC_ENERGY_RATIO,
+        }
+    }
+
+    /// Per-inference serving energy of a `(w, d)` variant deployed at
+    /// `precision`: the Eq. 1 model for a single epoch with its
+    /// MAC-bound term scaled by [`EnergyModel::mac_energy_scale`]. The
+    /// base device draw (`G_n`) is precision-independent — quantization
+    /// cheapens the arithmetic, not the idle platform — so only the
+    /// width-depth-proportional compute component shrinks.
+    pub fn serving_energy(&self, device: &Device, w: f64, d: usize, precision: Precision) -> f64 {
+        let g = device.gpu_capacity();
+        let wd = w * d as f64;
+        let scale = self.mac_energy_scale(precision);
+        let compute = self.delta_g_ratio * g * wd * scale;
+        let batch = self.batch_power_ratio * g * device.batch_size() as f64;
+        let power = g + compute + device.num_patches() as f64 * batch;
+        // Latency's wd term shrinks with the kernel speedup (the int8
+        // engine retires roughly 1/scale MACs per cycle of f32).
+        let l = self.base_latency / device.gpu_capacity().max(1e-9);
+        let latency = l + self.delta_l_ratio * l * wd * scale;
+        power * latency
     }
 }
 
@@ -170,6 +226,38 @@ mod tests {
     #[should_panic(expected = "width fraction")]
     fn rejects_bad_width() {
         ArchShape::vit_base().param_count(0.0, 12);
+    }
+
+    #[test]
+    fn int8_deploy_ships_a_quarter_of_the_bytes() {
+        let arch = ArchShape::vit_base();
+        let f32_bytes = arch.deploy_bytes(1.0, 12, Precision::F32);
+        let i8_bytes = arch.deploy_bytes(1.0, 12, Precision::Int8);
+        assert_eq!(f32_bytes, arch.param_count(1.0, 12) * 4);
+        assert_eq!(i8_bytes * 4, f32_bytes);
+    }
+
+    #[test]
+    fn int8_serving_energy_is_cheaper_and_converges_to_base_draw() {
+        let m = EnergyModel::default();
+        let d = dev(5.0);
+        let f32_e = m.serving_energy(&d, 1.0, 12, Precision::F32);
+        let i8_e = m.serving_energy(&d, 1.0, 12, Precision::Int8);
+        assert!(i8_e < f32_e, "int8 {i8_e} vs f32 {f32_e}");
+        // At w·d = 0 there is no compute term to scale, so the two
+        // precisions cost the same (base draw × base latency).
+        let f32_base = m.serving_energy(&d, 1e-12, 0, Precision::F32);
+        let i8_base = m.serving_energy(&d, 1e-12, 0, Precision::Int8);
+        assert!((f32_base - i8_base).abs() < 1e-9);
+        // f32 serving matches the one-epoch Eq. 1 energy exactly.
+        assert!((f32_e - m.energy(&d, 1.0, 12, 1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mac_energy_scale_matches_ratio() {
+        let m = EnergyModel::default();
+        assert_eq!(m.mac_energy_scale(Precision::F32), 1.0);
+        assert_eq!(m.mac_energy_scale(Precision::Int8), INT8_MAC_ENERGY_RATIO);
     }
 
     #[test]

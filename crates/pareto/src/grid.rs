@@ -159,16 +159,32 @@ mod tests {
             assert!(psi.iter().all(|&p| p >= 1 && p <= spec.k()));
         }
         // Worse loss -> larger first coordinate.
-        let lo = spec.coords(&[0.5, 5.0, 5.0]);
-        let hi = spec.coords(&[1.5, 5.0, 5.0]);
+        let lo = spec.coords(&[0.5, 5.0, 5.0, 0.0]);
+        let hi = spec.coords(&[1.5, 5.0, 5.0, 0.0]);
         assert!(hi[0] > lo[0]);
     }
 
     #[test]
     fn ideal_maps_to_smallest_cell() {
-        let cs = cands();
+        // Mixed-precision pool: every axis (including quantization) has
+        // a nonzero span, so the ideal point lands in cell 1 everywhere.
+        let cs = vec![
+            Candidate::new(1.0, 12, [0.5, 9.0, 9.0]),
+            Candidate::new(0.5, 6, [0.9, 3.0, 3.0])
+                .with_precision(acme_tensor::Precision::Int8, 0.02),
+        ];
         let spec = GridSpec::from_candidates(&cs, 0.1).unwrap();
-        assert_eq!(spec.ideal_coords(), [1, 1, 1]);
+        assert_eq!(spec.ideal_coords(), [1, 1, 1, 1]);
+        // f32-only pools leave the quantization axis degenerate: every
+        // candidate shares the same coordinate there, so the axis never
+        // perturbs dominance or grid distance.
+        let f32_cs = cands();
+        let f32_spec = GridSpec::from_candidates(&f32_cs, 0.1).unwrap();
+        let q: Vec<usize> = f32_cs
+            .iter()
+            .map(|c| f32_spec.coords(&c.objectives)[3])
+            .collect();
+        assert!(q.iter().all(|&x| x == q[0]), "quant coords {q:?}");
     }
 
     #[test]
@@ -207,7 +223,7 @@ mod tests {
             Candidate::new(0.5, 1, [2.0, 2.0, 2.0]),
         ];
         let spec = GridSpec::from_candidates(&cs, 0.1).unwrap();
-        let psi = spec.coords(&[2.0, 2.0, 2.0]);
+        let psi = spec.coords(&[2.0, 2.0, 2.0, 0.0]);
         assert!(psi.iter().all(|&p| p >= 1));
     }
 
@@ -219,7 +235,9 @@ mod tests {
 
     #[test]
     fn grid_distance_is_euclidean() {
-        assert_eq!(GridSpec::grid_distance(&[1, 1, 1], &[1, 1, 1]), 0.0);
-        assert!((GridSpec::grid_distance(&[1, 2, 3], &[2, 3, 4]) - 3f64.sqrt()).abs() < 1e-12);
+        assert_eq!(GridSpec::grid_distance(&[1, 1, 1, 1], &[1, 1, 1, 1]), 0.0);
+        assert!(
+            (GridSpec::grid_distance(&[1, 2, 3, 1], &[2, 3, 4, 1]) - 3f64.sqrt()).abs() < 1e-12
+        );
     }
 }

@@ -5,8 +5,11 @@
 //! customization (Algorithm 1, Eqs. 10–13), plus the matching baselines
 //! and efficiency metrics used in Fig. 9 of the paper.
 //!
-//! A [`Candidate`] is a `(w, d)` backbone with its three objective values
-//! `(loss, energy, size)`. [`GridSpec`] discretizes the objective space
+//! A [`Candidate`] is a `(w, d)` backbone with its objective vector
+//! `(loss, energy, size, quantization)` — the paper's three minimized
+//! objectives plus the deployment-precision axis, which stays `0.0` for
+//! f32 candidates so three-objective populations behave exactly as
+//! before. [`GridSpec`] discretizes the objective space
 //! into `K` intervals per objective derived from the performance window
 //! `γ_p` (Eq. 11); [`pareto_front_grid`] keeps grid-nondominated
 //! candidates; [`select_constrained`] applies the storage truncation and
@@ -34,7 +37,8 @@ mod candidate;
 mod grid;
 mod select;
 
-pub use candidate::{dominates, Candidate};
+pub use acme_tensor::Precision;
+pub use candidate::{dominates, Candidate, NUM_OBJECTIVES};
 pub use grid::{pareto_front_grid, GridSpec};
 pub use select::{
     select_constrained, select_with, EfficiencyMetrics, MatchOutcome, MatchingMethod, SelectError,

@@ -209,7 +209,8 @@ pub fn select_with(
 
 /// The efficiency metrics of Fig. 9: accuracy per unit energy, accuracy
 /// per unit size, and the additive trade-off score
-/// `L + E + ζ` over *normalized* objectives (lower is better).
+/// `L + E + ζ + q` over *normalized* objectives (lower is better; the
+/// quantization term `q` vanishes for f32-only populations).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EfficiencyMetrics {
     /// Accuracy / energy.
@@ -248,7 +249,7 @@ impl EfficiencyMetrics {
                 0.0
             }
         };
-        let d = (0..3)
+        let d = (0..crate::candidate::NUM_OBJECTIVES)
             .map(|l| {
                 let u = unit(chosen.objectives[l], l);
                 u * u
@@ -260,7 +261,8 @@ impl EfficiencyMetrics {
             size_efficiency: chosen.accuracy / chosen.size().max(1e-12),
             tradeoff_score: norm(chosen.loss(), worst[0])
                 + norm(chosen.energy(), worst[1])
-                + norm(chosen.size(), worst[2]),
+                + norm(chosen.size(), worst[2])
+                + norm(chosen.quantization(), worst[3]),
             ideal_distance: d,
         }
     }

@@ -237,4 +237,32 @@ mod tests {
         assert_eq!(b.pop_batch().expect("batch").len(), 1);
         assert_eq!(b.pop_batch().expect("batch").len(), 1);
     }
+
+    #[test]
+    fn zero_window_still_coalesces_queued_backlog() {
+        // Regression guard: a zero batch window means "never wait for
+        // more arrivals", not "serve one row at a time". Same-key
+        // requests already sitting in the queue must leave as one batch
+        // up to max_batch, even before close().
+        let b = Batcher::new(BatcherConfig {
+            max_batch: 4,
+            window: Duration::ZERO,
+        });
+        for id in 0..6 {
+            b.push(req(id, 0));
+        }
+        let first = b.pop_batch().expect("batch");
+        assert_eq!(
+            first.iter().map(|q| q.request.id).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3],
+            "queued backlog must coalesce at window=0"
+        );
+        // The leftover pair also leaves together, still without close().
+        let second = b.pop_batch().expect("leftover batch");
+        assert_eq!(
+            second.iter().map(|q| q.request.id).collect::<Vec<_>>(),
+            vec![4, 5]
+        );
+        assert_eq!(b.pending(), 0);
+    }
 }

@@ -35,6 +35,7 @@ pub mod metrics;
 pub mod server;
 pub mod variant;
 
+pub use acme_tensor::Precision;
 pub use batcher::{Batcher, BatcherConfig, QueuedRequest};
 pub use engine::{BatchEngine, ExitPolicy, Request, Response};
 pub use loadgen::{replay, trace, LoadGenConfig};

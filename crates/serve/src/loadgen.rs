@@ -105,6 +105,7 @@ pub fn replay(batcher: &Batcher, cfg: &LoadGenConfig, requests: Vec<Request>) ->
 mod tests {
     use super::*;
     use crate::variant::{ServeModelConfig, StoreConfig, VariantStore};
+    use acme_tensor::Precision;
 
     fn store(devices: usize) -> VariantStore {
         VariantStore::build(
@@ -113,6 +114,7 @@ mod tests {
                 devices,
                 keep_classes: 4,
                 model: ServeModelConfig::tiny(),
+                precision: Precision::F32,
             },
             5,
         )

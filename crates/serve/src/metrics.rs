@@ -13,6 +13,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 static REQUESTS: AtomicU64 = AtomicU64::new(0);
 static BATCHES: AtomicU64 = AtomicU64::new(0);
 static EARLY_EXITS: AtomicU64 = AtomicU64::new(0);
+static INT8_REQUESTS: AtomicU64 = AtomicU64::new(0);
 
 /// Histogram bucket upper bounds for `serve.batch_size`.
 pub const BATCH_SIZE_BOUNDS: [f64; 6] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
@@ -41,10 +42,22 @@ pub fn early_exits() -> u64 {
     EARLY_EXITS.load(Ordering::Relaxed)
 }
 
+/// Records `rows` requests served against an int8-deployed store
+/// (called alongside [`record_batch`] by int8 serve loops).
+pub fn record_int8_rows(rows: usize) {
+    INT8_REQUESTS.fetch_add(rows as u64, Ordering::Relaxed);
+}
+
+/// Requests served at int8 deploy precision since process start.
+pub fn int8_requests() -> u64 {
+    INT8_REQUESTS.load(Ordering::Relaxed)
+}
+
 /// Publishes the serving counters as `serve.*` registry entries
-/// (`serve.requests`, `serve.batches`, `serve.early_exits`; the
-/// `serve.batch_size` histogram streams in via [`record_batch`]). No-op
-/// unless observability is compiled in and runtime-enabled.
+/// (`serve.requests`, `serve.batches`, `serve.early_exits`,
+/// `serve.int8_requests`; the `serve.batch_size` histogram streams in
+/// via [`record_batch`]). No-op unless observability is compiled in and
+/// runtime-enabled.
 pub fn publish_obs_metrics() {
     if !acme_obs::enabled() {
         return;
@@ -52,6 +65,7 @@ pub fn publish_obs_metrics() {
     acme_obs::metrics::set_counter("serve.requests", requests());
     acme_obs::metrics::set_counter("serve.batches", batches());
     acme_obs::metrics::set_counter("serve.early_exits", early_exits());
+    acme_obs::metrics::set_counter("serve.int8_requests", int8_requests());
 }
 
 #[cfg(test)]

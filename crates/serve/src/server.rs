@@ -142,6 +142,9 @@ where
                         - 1;
                     let early = responses.iter().filter(|r| r.exit < final_exit).count();
                     metrics::record_batch(responses.len(), early);
+                    if store.precision() == acme_tensor::Precision::Int8 {
+                        metrics::record_int8_rows(responses.len());
+                    }
                     batches.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     let done = Instant::now();
                     local.extend(enqueued.into_iter().zip(responses).map(|(at, response)| {
@@ -173,7 +176,7 @@ mod tests {
     use super::*;
     use crate::engine::Request;
     use crate::variant::{ServeModelConfig, StoreConfig, VariantStore};
-    use acme_tensor::{Array, SmallRng64};
+    use acme_tensor::{Array, Precision, SmallRng64};
     use rand::RngCore;
 
     fn store() -> VariantStore {
@@ -183,6 +186,7 @@ mod tests {
                 devices: 2,
                 keep_classes: 4,
                 model: ServeModelConfig::tiny(),
+                precision: Precision::F32,
             },
             2,
         )

@@ -10,7 +10,7 @@
 //! actually observes.
 
 use acme_nn::{Activation, ParamId, ParamSet};
-use acme_tensor::{Array, Graph, SmallRng64, Var};
+use acme_tensor::{Array, Graph, Precision, SmallRng64, Var};
 use acme_vit::{MultiExitVit, Vit, VitConfig};
 use rand::RngCore;
 
@@ -56,6 +56,35 @@ impl ServeModelConfig {
         }
     }
 
+    /// The precision-bench default: a backbone shaped so serving cost is
+    /// dominated by the frozen weight products themselves — the work the
+    /// int8 engine accelerates. Two tokens (one patch plus `[CLS]`)
+    /// put most of each request's flops into the backbone products while
+    /// `dim = 384` makes every weight matrix (`[384, 384]` attention
+    /// projections, `[384, 1536]`/`[1536, 384]` MLP, patch embed) far
+    /// above the pack-cache floor, so GEMM time is the serving time.
+    /// Both 384 and 1536 are multiples of the `NR = 48` register-tile
+    /// width, so the products run entirely on full-width microkernel
+    /// tiles at either precision. This is the config the
+    /// `BENCH_serving.json` precision rows sweep at f32 vs int8.
+    pub fn quantized_default() -> Self {
+        ServeModelConfig {
+            vit: VitConfig {
+                image: 16,
+                patch: 16,
+                channels: 1,
+                dim: 384,
+                depth: 4,
+                heads: 6,
+                head_dim: 64,
+                mlp_hidden: 1536,
+                classes: 16,
+            },
+            exit_layers: vec![1, 3],
+            activation: Activation::Relu,
+        }
+    }
+
     /// An even smaller config for unit tests.
     pub fn tiny() -> Self {
         ServeModelConfig {
@@ -88,18 +117,45 @@ pub struct StoreConfig {
     pub keep_classes: usize,
     /// The served model shape.
     pub model: ServeModelConfig,
+    /// Precision the variants are deployed at. `F32` (the default)
+    /// serves exactly the historical path; `Int8` quantizes every
+    /// pack-cache-eligible frozen weight once at first bind and runs
+    /// backbone products through the quantized engine
+    /// (see [`acme_tensor::qgemm`]). Training is unaffected — this knob
+    /// exists only on the serving store.
+    pub precision: Precision,
 }
 
 impl StoreConfig {
     /// The serving-bench default store: 2 clusters, `devices` variants,
-    /// 6-class headers over [`ServeModelConfig::serving_default`].
+    /// 6-class headers over [`ServeModelConfig::serving_default`], f32.
     pub fn serving_default(devices: usize) -> Self {
         StoreConfig {
             clusters: 2,
             devices,
             keep_classes: 6,
             model: ServeModelConfig::serving_default(),
+            precision: Precision::F32,
         }
+    }
+
+    /// The precision-bench store: like [`StoreConfig::serving_default`]
+    /// but over the GEMM-heavy [`ServeModelConfig::quantized_default`]
+    /// backbone, at the given precision.
+    pub fn quantized_default(devices: usize, precision: Precision) -> Self {
+        StoreConfig {
+            clusters: 2,
+            devices,
+            keep_classes: 6,
+            model: ServeModelConfig::quantized_default(),
+            precision,
+        }
+    }
+
+    /// The same store at a different deploy precision.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
     }
 }
 
@@ -152,6 +208,7 @@ impl DeviceVariant {
 pub struct VariantStore {
     clusters: Vec<ClusterModel>,
     devices: Vec<DeviceVariant>,
+    precision: Precision,
 }
 
 impl VariantStore {
@@ -192,7 +249,19 @@ impl VariantStore {
                 Self::prune_variant(&clusters[cluster], cluster, cfg, &mut rng)
             })
             .collect();
-        VariantStore { clusters, devices }
+        VariantStore {
+            clusters,
+            devices,
+            precision: cfg.precision,
+        }
+    }
+
+    /// The precision this store's variants are deployed at. The batch
+    /// engine configures each serving graph with it, so all
+    /// pack-cache-eligible backbone products run quantized when this is
+    /// [`Precision::Int8`].
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// Derives one device variant from its cluster backbone.
@@ -297,6 +366,7 @@ mod tests {
             devices: 5,
             keep_classes: 4,
             model: ServeModelConfig::tiny(),
+            precision: Precision::F32,
         };
         let a = VariantStore::build(&cfg, 7);
         let b = VariantStore::build(&cfg, 7);
@@ -316,6 +386,7 @@ mod tests {
             devices: 4,
             keep_classes: 4,
             model: ServeModelConfig::tiny(),
+            precision: Precision::F32,
         };
         let store = VariantStore::build(&cfg, 1);
         for (d, v) in store.devices().iter().enumerate() {
@@ -335,6 +406,7 @@ mod tests {
             devices: 2,
             keep_classes: 8,
             model: ServeModelConfig::tiny(),
+            precision: Precision::F32,
         };
         let store = VariantStore::build(&cfg, 3);
         let [w0, _] = store.device(0).head_ids[0];

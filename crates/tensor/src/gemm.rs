@@ -114,7 +114,7 @@ impl<'a> MatRef<'a> {
     }
 
     #[inline(always)]
-    fn at(&self, i: usize, j: usize) -> f32 {
+    pub(crate) fn at(&self, i: usize, j: usize) -> f32 {
         self.data[i * self.rs + j * self.cs]
     }
 }

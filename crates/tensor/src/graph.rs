@@ -7,6 +7,7 @@ use crate::array::Array;
 use crate::conv::{avgpool_forward, im2col, maxpool_forward, ConvGeom, PoolGeom};
 use crate::error::Result;
 use crate::packcache::{self, PackIdent};
+use crate::qgemm::Precision;
 use crate::{pool, rowwise};
 
 /// Handle to a node in a [`Graph`].
@@ -144,6 +145,10 @@ pub struct Graph {
     /// ident), recorded by [`Graph::bind_param_ident`] and consumed by
     /// [`Graph::matmul`] to reuse packed frozen weights.
     param_idents: HashMap<usize, PackIdent>,
+    /// Precision the pack-cache-eligible weight products run at (see
+    /// [`Graph::set_matmul_precision`]). Defaults to f32 and survives
+    /// [`Graph::reset`] — it is serving configuration, not tape state.
+    matmul_precision: Precision,
 }
 
 impl Graph {
@@ -180,6 +185,30 @@ impl Graph {
         self.ops.clear();
         self.param_bindings.clear();
         self.param_idents.clear();
+        // `matmul_precision` is intentionally kept: it configures the
+        // graph's serving mode, not the recorded tape.
+    }
+
+    /// Sets the precision at which pack-cache-eligible weight products
+    /// (parameters bound via [`Graph::bind_param_ident`] and large
+    /// enough to cache) execute. [`Precision::F32`] — the default —
+    /// leaves every product exactly as it has always been.
+    /// [`Precision::Int8`] routes them through the quantized engine
+    /// ([`crate::qgemm`]): per-row activation scales, per-output-channel
+    /// weight scales quantized once at bind time, i32 accumulation,
+    /// dequantized f32 outputs.
+    ///
+    /// This is an inference-mode knob: the tape still records
+    /// `Op::MatMul` over the f32 operands, so a backward pass computes
+    /// gradients as if the product were exact. Serving never
+    /// backpropagates; training graphs should stay at f32.
+    pub fn set_matmul_precision(&mut self, p: Precision) {
+        self.matmul_precision = p;
+    }
+
+    /// The precision configured via [`Graph::set_matmul_precision`].
+    pub fn matmul_precision(&self) -> Precision {
+        self.matmul_precision
     }
 
     fn push(&mut self, value: Array, op: Op) -> Var {
@@ -362,8 +391,16 @@ impl Graph {
     pub fn matmul(&mut self, a: Var, b: Var) -> Result<Var> {
         let v = match self.param_idents.get(&b.0) {
             Some(&ident) if packcache::worth_caching(self.value(b)) => {
-                let packed = packcache::lookup_or_pack(ident, self.value(b));
-                self.value(a).matmul_prepacked(&packed)?
+                match self.matmul_precision {
+                    Precision::F32 => {
+                        let packed = packcache::lookup_or_pack(ident, self.value(b));
+                        self.value(a).matmul_prepacked(&packed)?
+                    }
+                    Precision::Int8 => {
+                        let packed = packcache::lookup_or_pack_i8(ident, self.value(b));
+                        self.value(a).matmul_prepacked_i8(&packed)?
+                    }
+                }
             }
             _ => self.value(a).matmul(self.value(b))?,
         };

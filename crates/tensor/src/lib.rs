@@ -40,6 +40,7 @@ mod linalg;
 mod ops;
 pub mod packcache;
 pub mod pool;
+pub mod qgemm;
 mod random;
 mod rowwise;
 mod shape;
@@ -50,12 +51,15 @@ pub use error::{Result, TensorError};
 /// Publishes the tensor substrate's ad-hoc counters into the
 /// [`acme_obs::metrics`] registry: pool hits/misses/recycled/dropped
 /// (as `tensor.pool.*` counters), pack-cache packs
-/// (`tensor.packcache.packs` / `tensor.packcache.hits`) and its size
+/// (`tensor.packcache.packs` / `tensor.packcache.hits`, plus the
+/// `i8_packs` / `i8_hits` pair for the quantized side) and its size
 /// (`tensor.packcache.entries` / `tensor.packcache.cached_floats`
-/// gauges). Call at a snapshot point (end of run, before
-/// `metrics::snapshot`); the hot paths keep their dependency-free
-/// atomics, so observation costs nothing per allocation. No-op unless
-/// observability is compiled in and runtime-enabled.
+/// gauges), and the mean weight-quantization error over every int8
+/// pack performed (`tensor.packcache.i8_mean_quant_error`). Call at a
+/// snapshot point (end of run, before `metrics::snapshot`); the hot
+/// paths keep their dependency-free atomics, so observation costs
+/// nothing per allocation. No-op unless observability is compiled in
+/// and runtime-enabled.
 pub fn publish_obs_metrics() {
     if !acme_obs::enabled() {
         return;
@@ -67,14 +71,21 @@ pub fn publish_obs_metrics() {
     acme_obs::metrics::set_counter("tensor.pool.dropped", stats.dropped);
     acme_obs::metrics::set_counter("tensor.packcache.packs", packcache::packs());
     acme_obs::metrics::set_counter("tensor.packcache.hits", packcache::hits());
+    acme_obs::metrics::set_counter("tensor.packcache.i8_packs", packcache::i8_packs());
+    acme_obs::metrics::set_counter("tensor.packcache.i8_hits", packcache::i8_hits());
     acme_obs::metrics::set_gauge("tensor.packcache.entries", packcache::len() as f64);
     acme_obs::metrics::set_gauge(
         "tensor.packcache.cached_floats",
         packcache::cached_floats() as f64,
     );
+    acme_obs::metrics::set_gauge(
+        "tensor.packcache.i8_mean_quant_error",
+        packcache::i8_mean_quant_error(),
+    );
 }
 pub use gradcheck::{gradcheck, GradCheckReport};
 pub use graph::{Graph, Var};
 pub use packcache::PackIdent;
+pub use qgemm::Precision;
 pub use random::{kaiming_uniform, randn, uniform, SmallRng64};
 pub use shape::{broadcast_shapes, strides_for};

@@ -10,6 +10,7 @@
 use crate::array::Array;
 use crate::error::{Result, TensorError};
 use crate::gemm::{self, MatRef};
+use crate::qgemm;
 use crate::shape::strides_for;
 
 /// Raw 2-D matmul kernel: `out[m,n] += a[m,k] * b[k,n]` over contiguous
@@ -165,6 +166,44 @@ impl Array {
         let mut out = Array::zeros(&[m, packed.n()]);
         gemm::gemm_prepacked(
             MatRef::row_major(self.data(), k),
+            packed,
+            out.data_mut(),
+            m,
+            &acme_runtime::global_pool(),
+        );
+        Ok(out)
+    }
+
+    /// `self · b` against a weight already quantized to int8 and packed
+    /// into microkernel layout (see [`crate::qgemm`]): quantizes `self`
+    /// per row, runs the blocked i8·i8→i32 engine, and dequantizes into
+    /// an f32 output. Bit-identical to the scalar quantized oracle at
+    /// any thread count; *not* bit-identical to [`Array::matmul`] — the
+    /// quantization error is the precision trade serving opts into.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same rank/shape errors as [`Array::matmul`], with the
+    /// packed operand's logical shape standing in for `rhs`.
+    pub fn matmul_prepacked_i8(&self, packed: &qgemm::PackedBI8) -> Result<Array> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+                op: "matmul",
+            });
+        }
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        if k != packed.k() {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape().to_vec(),
+                rhs: vec![packed.k(), packed.n()],
+                op: "matmul",
+            });
+        }
+        let mut out = Array::zeros(&[m, packed.n()]);
+        qgemm::gemm_i8_dequant(
+            self.data(),
             packed,
             out.data_mut(),
             m,

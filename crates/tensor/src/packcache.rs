@@ -40,6 +40,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::array::Array;
 use crate::gemm::{self, PackedB};
+use crate::qgemm::{self, PackedBI8};
 
 /// Identity of one versioned parameter tensor, the cache key for its
 /// packed form. Obtained from the parameter store that owns the tensor
@@ -102,6 +103,66 @@ fn cache() -> &'static Mutex<HashMap<(u64, u64), Entry>> {
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
+/// Count of int8 quantize-and-pack operations actually performed
+/// (misses plus below-threshold packs) — the quantized twin of
+/// [`PACKS`]. Serving at int8 quantizes each frozen weight once at
+/// first bind; steady state is all hits.
+static I8_PACKS: AtomicU64 = AtomicU64::new(0);
+
+/// Total int8 packs performed since process start (see [`I8_PACKS`]).
+pub fn i8_packs() -> u64 {
+    I8_PACKS.load(Ordering::Relaxed)
+}
+
+/// Count of int8 lookups served from the cache without re-quantizing.
+static I8_HITS: AtomicU64 = AtomicU64::new(0);
+
+/// Total int8 cache hits since process start (see [`I8_HITS`]).
+pub fn i8_hits() -> u64 {
+    I8_HITS.load(Ordering::Relaxed)
+}
+
+/// Running `(sum of per-pack mean abs error, packs)` over every int8
+/// pack performed — the source of the
+/// `tensor.packcache.i8_mean_quant_error` gauge. The f64 bit pattern of
+/// the sum rides in an `AtomicU64` so the hot path stays lock-free.
+static I8_ERR_SUM_BITS: AtomicU64 = AtomicU64::new(0);
+static I8_ERR_COUNT: AtomicU64 = AtomicU64::new(0);
+
+fn record_i8_error(mean_abs: f32) {
+    // One CAS loop per *pack* (not per product); contention is nil.
+    let mut cur = I8_ERR_SUM_BITS.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + mean_abs as f64).to_bits();
+        match I8_ERR_SUM_BITS.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => break,
+            Err(seen) => cur = seen,
+        }
+    }
+    I8_ERR_COUNT.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Mean of the per-pack mean absolute weight-quantization errors across
+/// every int8 pack performed so far (0.0 before the first pack).
+pub fn i8_mean_quant_error() -> f64 {
+    let n = I8_ERR_COUNT.load(Ordering::Relaxed);
+    if n == 0 {
+        return 0.0;
+    }
+    f64::from_bits(I8_ERR_SUM_BITS.load(Ordering::Relaxed)) / n as f64
+}
+
+struct EntryI8 {
+    version: u64,
+    pack: Arc<PackedBI8>,
+}
+
+fn cache_i8() -> &'static Mutex<HashMap<(u64, u64), EntryI8>> {
+    static CACHE: OnceLock<Mutex<HashMap<(u64, u64), EntryI8>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
 /// The packed form of the 2-D weight matrix `b` under identity `ident`,
 /// served from the cache when the version still matches and re-packed
 /// (and re-cached) otherwise. Tiny matrices are packed without caching.
@@ -140,10 +201,61 @@ pub fn lookup_or_pack(ident: PackIdent, b: &Array) -> Arc<PackedB> {
     }
 }
 
-/// Drops every cached buffer (used by tests and by harnesses that want a
-/// cold-cache measurement).
+/// The int8 quantized-and-packed form of the 2-D weight matrix `b`
+/// under identity `ident`: symmetric per-output-channel quantization
+/// plus panel packing (see [`crate::qgemm::pack_b_i8`]), performed once
+/// per `(store, slot, version)` and served from the quantized cache
+/// thereafter. Versioning matches [`lookup_or_pack`]: a mutated weight
+/// re-quantizes, a frozen one quantizes exactly once per process. Each
+/// pack's mean absolute quantization error feeds
+/// [`i8_mean_quant_error`].
+///
+/// # Panics
+///
+/// Panics unless `b` is 2-D (callers gate on rank first).
+pub fn lookup_or_pack_i8(ident: PackIdent, b: &Array) -> Arc<PackedBI8> {
+    assert_eq!(b.rank(), 2, "packcache: weight must be 2-D");
+    let (k, n) = (b.shape()[0], b.shape()[1]);
+    let pack_now = || {
+        I8_PACKS.fetch_add(1, Ordering::Relaxed);
+        let pack = qgemm::pack_b_i8(gemm::MatRef::row_major(b.data(), n), k, n);
+        record_i8_error(pack.mean_abs_error());
+        Arc::new(pack)
+    };
+    if b.len() < MIN_CACHED_LEN {
+        return pack_now();
+    }
+    let key = (ident.store, ident.slot);
+    let mut map = cache_i8().lock().expect("packcache i8 mutex");
+    match map.get(&key) {
+        Some(e) if e.version == ident.version => {
+            I8_HITS.fetch_add(1, Ordering::Relaxed);
+            Arc::clone(&e.pack)
+        }
+        _ => {
+            let pack = pack_now();
+            map.insert(
+                key,
+                EntryI8 {
+                    version: ident.version,
+                    pack: Arc::clone(&pack),
+                },
+            );
+            pack
+        }
+    }
+}
+
+/// Drops every cached buffer — f32 and int8 sides both (used by tests
+/// and by harnesses that want a cold-cache measurement).
 pub fn clear() {
     cache().lock().expect("packcache mutex").clear();
+    cache_i8().lock().expect("packcache i8 mutex").clear();
+}
+
+/// Number of cached int8 packed matrices.
+pub fn len_i8() -> usize {
+    cache_i8().lock().expect("packcache i8 mutex").len()
 }
 
 /// Number of cached packed matrices.
@@ -217,6 +329,34 @@ mod tests {
         let pa = lookup_or_pack(a, &w);
         let pb = lookup_or_pack(b, &w);
         assert!(!Arc::ptr_eq(&pa, &pb));
+    }
+
+    #[test]
+    fn i8_side_hits_and_invalidates_like_f32() {
+        let w = big();
+        let store = fresh_store_id();
+        let id = PackIdent {
+            store,
+            slot: 0,
+            version: 0,
+        };
+        let p1 = lookup_or_pack_i8(id, &w);
+        let h0 = i8_hits();
+        let p2 = lookup_or_pack_i8(id, &w);
+        assert!(Arc::ptr_eq(&p1, &p2), "same version hits the i8 cache");
+        assert!(i8_hits() > h0);
+        let p3 = lookup_or_pack_i8(PackIdent { version: 1, ..id }, &w);
+        assert!(!Arc::ptr_eq(&p1, &p3), "stale version re-quantizes");
+        assert!(len_i8() >= 1);
+        assert!(i8_packs() >= 2, "miss and invalidation both pack");
+        assert!(
+            i8_mean_quant_error() >= 0.0,
+            "error stat populated after packs"
+        );
+        // The two dtype caches are independent: an f32 pack of the same
+        // ident must not collide with the i8 entry.
+        let pf = lookup_or_pack(PackIdent { version: 1, ..id }, &w);
+        assert_eq!((pf.k(), pf.n()), (p3.k(), p3.n()));
     }
 
     #[test]

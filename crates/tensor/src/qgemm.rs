@@ -1,0 +1,763 @@
+//! Int8 quantized GEMM: the second dtype instantiation of the blocked
+//! engine in [`crate::gemm`].
+//!
+//! The pipeline is symmetric per-row quantization on both operands,
+//! exact 32-bit integer accumulation, and a single dequantization pass
+//! on the accumulator:
+//!
+//! * the **activation** operand `a[m, k]` is quantized per row: row `i`
+//!   carries one scale `sa[i] = maxabs_i / 127` and the int8 row
+//!   `round(a[i, :] * 127 / maxabs_i)`;
+//! * the **weight** operand `b[k, n]` is quantized per *output channel*
+//!   — one scale per column of the logical `[k, n]` matrix, which is a
+//!   *row* of the output-major packed panel layout the microkernel
+//!   streams (see [`pack_b_i8`]);
+//! * the product accumulates in `i32` (`acc[i, j] = Σ_k qa[i,k]·qb[k,j]`)
+//!   and dequantizes once: `out[i, j] = acc[i, j] as f32 · (sa[i]·sb[j])`.
+//!
+//! # Determinism
+//!
+//! Integer addition is associative and commutative, and the wrapping
+//! behaviour of `i32` addition is identical across the scalar reference,
+//! the blocked kernels, and the AVX-512 VNNI kernel. The blocked,
+//! packed, and multi-threaded paths are therefore **bit-identical** to
+//! the scalar oracle [`gemm_i8_naive`] at any thread count and block
+//! size — stronger than the f32 path, where identity requires a fixed
+//! accumulation order. The only floating-point steps (quantization and
+//! the final dequantization) are shared single-expression kernels, so
+//! the f32 outputs agree bitwise too.
+//!
+//! # Packed layout and the VNNI kernel
+//!
+//! [`PackedBI8`] stores `KC`-deep, [`NR`]-wide panels like
+//! [`crate::gemm::PackedB`], but **quad-interleaved**: four consecutive
+//! depth steps of one column sit adjacent as four `i8`s, exactly the
+//! operand shape of `vpdpbusd` (AVX-512 VNNI), which multiplies 64
+//! byte pairs and accumulates 16 `i32` lanes in one instruction — four
+//! times the multiply-add throughput of the f32 FMA kernel, at one
+//! byte per weight in the panel stream.
+//!
+//! `vpdpbusd` multiplies *unsigned* bytes by signed bytes, so the
+//! signed activation codes are biased by `+128` into `u8` at pack time
+//! (`qa + 128`), and the surplus `128 · Σ_k qb[k, j]` is subtracted
+//! from each output column after accumulation. The per-column sums are
+//! precomputed once at weight-pack time ([`PackedBI8`] carries them
+//! premultiplied), and because `i32` addition wraps identically
+//! everywhere, the corrected result equals `Σ_k qa·qb` *bitwise* — the
+//! scalar oracle never sees the bias trick.
+
+use acme_runtime::Pool;
+
+use crate::gemm::{MatRef, KC, MC, MR, NR};
+
+/// Quantized values live in `[-QMAX, QMAX]`; the symmetric range keeps
+/// `-q` representable so sign-flipped inputs quantize to flipped codes.
+pub const QMAX: f32 = 127.0;
+
+/// Serving precision of a model variant: which GEMM instantiation its
+/// frozen weight products run through.
+///
+/// `F32` is the default and leaves every code path exactly as it was;
+/// `Int8` routes pack-cache-eligible products through the quantized
+/// engine in this module. Training always runs `F32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Precision {
+    /// Full-precision f32 kernels (bit-identical to the historical path).
+    #[default]
+    F32,
+    /// Int8 kernels: i8 operands, i32 accumulation, per-row scales.
+    Int8,
+}
+
+impl Precision {
+    /// Stable lowercase label (used in bench rows and CLI flags).
+    pub fn label(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::Int8 => "int8",
+        }
+    }
+
+    /// Parses the [`Precision::label`] form (`"f32"` / `"int8"`).
+    pub fn parse(s: &str) -> Option<Precision> {
+        match s {
+            "f32" => Some(Precision::F32),
+            "int8" => Some(Precision::Int8),
+            _ => None,
+        }
+    }
+
+    /// Deployed bytes per weight parameter at this precision (the
+    /// quantity ACME's Table I meters as bytes-on-the-wire). Per-channel
+    /// scales add 4 bytes per output column on top — negligible next to
+    /// `k` rows, and accounted separately by `acme-energy`.
+    pub fn bytes_per_param(self) -> u64 {
+        match self {
+            Precision::F32 => 4,
+            Precision::Int8 => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Quantizes one slice symmetrically against `maxabs`: returns the int8
+/// code of `v` under scale `maxabs / QMAX`. A zero `maxabs` (all-zero
+/// row) maps everything to code 0 under scale 0.0, which dequantizes
+/// exactly. Shared by every quantization entry point so the oracle and
+/// the packed path agree bitwise.
+#[inline(always)]
+fn quantize_one(v: f32, inv_scale: f32) -> i8 {
+    (v * inv_scale).round().clamp(-QMAX, QMAX) as i8
+}
+
+/// The `(inv_scale, scale)` pair for a maxabs. Both directions are kept
+/// explicit (they are not exact reciprocals in f32) so every caller uses
+/// the same two constants.
+#[inline(always)]
+fn scales_for(maxabs: f32) -> (f32, f32) {
+    if maxabs > 0.0 {
+        (QMAX / maxabs, maxabs / QMAX)
+    } else {
+        (0.0, 0.0)
+    }
+}
+
+/// Symmetric per-row quantization of a row-major `rows x cols` matrix:
+/// returns the int8 codes (same layout) and one scale per row.
+/// Dequantization is `q[i, j] as f32 * scales[i]`.
+pub fn quantize_rows(src: &[f32], rows: usize, cols: usize) -> (Vec<i8>, Vec<f32>) {
+    assert_eq!(src.len(), rows * cols, "quantize_rows: buffer size");
+    let mut q = vec![0i8; rows * cols];
+    let mut scales = vec![0.0f32; rows];
+    for i in 0..rows {
+        let row = &src[i * cols..(i + 1) * cols];
+        let maxabs = row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let (inv, scale) = scales_for(maxabs);
+        scales[i] = scale;
+        for (qv, &v) in q[i * cols..(i + 1) * cols].iter_mut().zip(row) {
+            *qv = quantize_one(v, inv);
+        }
+    }
+    (q, scales)
+}
+
+/// Symmetric per-output-channel quantization of a `k x n` weight view:
+/// returns row-major int8 codes and one scale per column (output
+/// channel). This is the "per-row" layout of the packed panels: each
+/// output channel's codes form one contiguous row of the panel stream.
+pub fn quantize_cols(b: MatRef<'_>, k: usize, n: usize) -> (Vec<i8>, Vec<f32>) {
+    let mut q = vec![0i8; k * n];
+    let mut scales = vec![0.0f32; n];
+    for j in 0..n {
+        let mut maxabs = 0.0f32;
+        for p in 0..k {
+            maxabs = maxabs.max(b.at(p, j).abs());
+        }
+        let (inv, scale) = scales_for(maxabs);
+        scales[j] = scale;
+        for p in 0..k {
+            q[p * n + j] = quantize_one(b.at(p, j), inv);
+        }
+    }
+    (q, scales)
+}
+
+/// Dequantizes int8 codes back to f32 under per-row scales (the inverse
+/// direction of [`quantize_rows`], used by round-trip tests and error
+/// accounting).
+pub fn dequantize_rows(q: &[i8], scales: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    assert_eq!(q.len(), rows * cols, "dequantize_rows: buffer size");
+    assert_eq!(scales.len(), rows, "dequantize_rows: scale count");
+    let mut out = vec![0.0f32; rows * cols];
+    for i in 0..rows {
+        for j in 0..cols {
+            out[i * cols + j] = q[i * cols + j] as f32 * scales[i];
+        }
+    }
+    out
+}
+
+/// Dequantizes the i32 accumulator into f32 outputs:
+/// `out[i, j] = acc[i, j] as f32 * (sa[i] * sb[j])`. One shared kernel,
+/// so every code path performs the identical float expression.
+pub fn dequantize_acc(acc: &[i32], sa: &[f32], sb: &[f32], out: &mut [f32], m: usize, n: usize) {
+    assert_eq!(acc.len(), m * n, "dequantize_acc: accumulator size");
+    assert_eq!(out.len(), m * n, "dequantize_acc: output size");
+    assert_eq!(sa.len(), m, "dequantize_acc: row scales");
+    assert_eq!(sb.len(), n, "dequantize_acc: column scales");
+    for i in 0..m {
+        let row_scale = sa[i];
+        let acc_row = &acc[i * n..(i + 1) * n];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for j in 0..n {
+            let s = row_scale * sb[j];
+            out_row[j] = acc_row[j] as f32 * s;
+        }
+    }
+}
+
+/// Depth steps consumed per microkernel iteration (one `i8` quad).
+const KP: usize = 4;
+
+/// A weight matrix quantized to int8 and packed into quad-interleaved,
+/// `NR`-wide column panels for the VNNI microkernel (see the module
+/// docs for the layout). Carries the per-output-channel scales, the
+/// premultiplied `u8`-bias corrections, and the mean absolute
+/// quantization error of the weights it encodes.
+#[derive(Debug, Clone)]
+pub struct PackedBI8 {
+    k: usize,
+    n: usize,
+    /// Quad-interleaved panels of int8 codes.
+    data: Vec<i8>,
+    /// One scale per output channel (column of the logical `[k, n]`).
+    scales: Vec<f32>,
+    /// `128 · Σ_k qb[k, j]` per output channel (wrapping i32): the
+    /// surplus the biased-`u8` activation path accumulates, subtracted
+    /// once per output after the depth loop.
+    col_bias: Vec<i32>,
+    /// Mean `|dequantized - original|` over all `k * n` weights.
+    mean_abs_error: f32,
+}
+
+impl PackedBI8 {
+    /// Depth (rows) of the packed matrix.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Columns (output channels) of the packed matrix.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Packed size in bytes (for cache accounting).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the packed buffer is empty (`k == 0` or `n == 0`).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Per-output-channel dequantization scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Mean absolute quantization error of the encoded weights.
+    pub fn mean_abs_error(&self) -> f32 {
+        self.mean_abs_error
+    }
+
+    /// Padded column count (multiple of [`NR`]).
+    fn n_padded(&self) -> usize {
+        self.n.div_ceil(NR) * NR
+    }
+
+    /// The panel of depth block `pc` (`kcb` deep) and column panel `jp`:
+    /// `kcb.div_ceil(4) * NR * 4` bytes, `[quad][column][4]` ordered.
+    #[inline]
+    fn panel(&self, pc: usize, kcb: usize, jp: usize) -> &[i8] {
+        // Depth blocks before `pc` are all full KC blocks.
+        let quads_before = (pc / KC) * KC.div_ceil(KP);
+        let kcp = kcb.div_ceil(KP);
+        let base = quads_before * self.n_padded() * KP + jp * NR * kcp * KP;
+        &self.data[base..base + kcp * NR * KP]
+    }
+}
+
+/// Quantizes a logical `k x n` weight view per output channel and packs
+/// it into [`PackedBI8`] layout.
+pub fn pack_b_i8(b: MatRef<'_>, k: usize, n: usize) -> PackedBI8 {
+    let (q, scales) = quantize_cols(b, k, n);
+    // Quantization error before the codes are consumed by packing.
+    let mut err_sum = 0.0f64;
+    for p in 0..k {
+        for j in 0..n {
+            let deq = q[p * n + j] as f32 * scales[j];
+            err_sum += (deq - b.at(p, j)).abs() as f64;
+        }
+    }
+    let mean_abs_error = if k * n > 0 {
+        (err_sum / (k * n) as f64) as f32
+    } else {
+        0.0
+    };
+
+    // Per-output-channel bias corrections for the `u8` activation trick:
+    // `128 · Σ_k qb[k, j]`, accumulated with the same wrapping i32
+    // arithmetic the kernels use.
+    let mut col_bias = vec![0i32; n];
+    for p in 0..k {
+        for (j, bias) in col_bias.iter_mut().enumerate() {
+            *bias = bias.wrapping_add(q[p * n + j] as i32);
+        }
+    }
+    for bias in &mut col_bias {
+        *bias = bias.wrapping_mul(128);
+    }
+
+    let n_panels = n.div_ceil(NR);
+    let total_quads: usize = {
+        let mut t = 0;
+        let mut pc = 0;
+        while pc < k {
+            let kcb = KC.min(k - pc);
+            t += kcb.div_ceil(KP);
+            pc += kcb;
+        }
+        t
+    };
+    let mut data = vec![0i8; total_quads * n_panels * NR * KP];
+    let mut base = 0;
+    let mut pc = 0;
+    while pc < k {
+        let kcb = KC.min(k - pc);
+        let kcp = kcb.div_ceil(KP);
+        for jp in 0..n_panels {
+            let j0 = jp * NR;
+            let nrb = NR.min(n - j0);
+            for p4 in 0..kcp {
+                let row0 = pc + p4 * KP;
+                let dst = base + p4 * NR * KP;
+                // Depth tail stays zero-padded: a zero weight byte
+                // contributes exact zero whatever the activation byte.
+                for j in 0..nrb {
+                    for t in 0..KP.min(pc + kcb - row0) {
+                        data[dst + j * KP + t] = q[(row0 + t) * n + j0 + j];
+                    }
+                }
+            }
+            base += kcp * NR * KP;
+        }
+        pc += kcb;
+    }
+    PackedBI8 {
+        k,
+        n,
+        data,
+        scales,
+        col_bias,
+        mean_abs_error,
+    }
+}
+
+/// Packs rows `i0 .. i0+mb` of the row-major int8 activation matrix
+/// (depth slice `p0 .. p0+kcb`) into `MR`-row, quad-interleaved panels
+/// ordered `[panel][quad][row][4]`, biasing each code by `+128` into
+/// `u8` for the `vpdpbusd` operand shape. Padding (past the last row or
+/// the depth tail) stays at the biased zero `0x80`; tail products still
+/// vanish because the weight panel pads with zero bytes. `buf` is
+/// resized as needed.
+fn pack_a_i8(qa: &[i8], k: usize, i0: usize, mb: usize, p0: usize, kcb: usize, buf: &mut Vec<u8>) {
+    let panels = mb.div_ceil(MR);
+    let kcp = kcb.div_ceil(KP);
+    buf.clear();
+    buf.resize(panels * kcp * MR * KP, 0x80);
+    for ip in 0..panels {
+        let r0 = i0 + ip * MR;
+        let mrb = MR.min(i0 + mb - r0);
+        let base = ip * kcp * MR * KP;
+        for p4 in 0..kcp {
+            let c0 = p0 + p4 * KP;
+            let dst = base + p4 * MR * KP;
+            for r in 0..mrb {
+                for t in 0..KP.min(p0 + kcb - c0) {
+                    buf[dst + r * KP + t] = (qa[(r0 + r) * k + c0 + t] as u8) ^ 0x80;
+                }
+            }
+        }
+    }
+}
+
+/// Scalar `MR x NR` int8 microkernel: `out += pa · pb` over `kcp` depth
+/// quads, accumulating in `i32`. `pa` carries `+128`-biased `u8` codes
+/// (the caller subtracts the per-column bias after the depth loop).
+/// Each quad dot product (`4 · 255 · 127`) fits `i32` exactly, matching
+/// `vpdpbusd`'s internal arithmetic, and the accumulator wraps
+/// identically — the two kernels are bit-interchangeable.
+#[cfg(not(all(
+    target_arch = "x86_64",
+    target_feature = "avx512f",
+    target_feature = "avx512vnni"
+)))]
+#[inline(always)]
+fn microkernel_i8_full(pa: &[u8], pb: &[i8], kcp: usize, out: &mut [i32], ldc: usize) {
+    let mut acc = [[0i32; NR]; MR];
+    for (ap, bp) in pa[..kcp * MR * KP]
+        .chunks_exact(MR * KP)
+        .zip(pb[..kcp * NR * KP].chunks_exact(NR * KP))
+    {
+        for (r, row) in acc.iter_mut().enumerate() {
+            let a = &ap[r * KP..(r + 1) * KP];
+            for (c, cell) in row.iter_mut().enumerate() {
+                let b = &bp[c * KP..(c + 1) * KP];
+                let mut dot = 0i32;
+                for t in 0..KP {
+                    dot += a[t] as i32 * b[t] as i32;
+                }
+                *cell = cell.wrapping_add(dot);
+            }
+        }
+    }
+    for (r, row) in acc.iter().enumerate() {
+        for (c, &v) in row.iter().enumerate() {
+            let o = &mut out[r * ldc + c];
+            *o = o.wrapping_add(v);
+        }
+    }
+}
+
+/// AVX-512 VNNI form of the int8 microkernel: a 4×48 i32 accumulator
+/// block in twelve zmm registers, one `vpdpbusd` (64 byte multiplies +
+/// 16 i32 accumulates) per accumulator per depth *quad* — four times
+/// the multiply-add density of the f32 FMA kernel. The four per-lane
+/// byte products each fit `i16` (`255 · 127`), their sum accumulates
+/// into `i32` without saturation, and integer accumulation wraps
+/// exactly like the scalar form, so the result is bit-identical to it.
+#[cfg(all(
+    target_arch = "x86_64",
+    target_feature = "avx512f",
+    target_feature = "avx512vnni"
+))]
+#[inline(always)]
+fn microkernel_i8_full(pa: &[u8], pb: &[i8], kcp: usize, out: &mut [i32], ldc: usize) {
+    use core::arch::x86_64::*;
+    assert!(pa.len() >= kcp * MR * KP && pb.len() >= kcp * NR * KP);
+    assert!(out.len() >= (MR - 1) * ldc + NR);
+    // SAFETY: avx512f/avx512vnni are compile-time-enabled under this
+    // cfg; all pointer arithmetic stays inside the slices per the
+    // asserts above, and every multi-byte access goes through
+    // unaligned loads/stores.
+    unsafe {
+        let o = out.as_mut_ptr();
+        let mut acc = [[_mm512_setzero_si512(); 3]; MR];
+        let mut ap = pa.as_ptr() as *const i32; // one u8 quad per i32
+        let mut bp = pb.as_ptr() as *const i32;
+        for _ in 0..kcp {
+            let b0 = _mm512_loadu_si512(bp as *const __m512i);
+            let b1 = _mm512_loadu_si512(bp.add(16) as *const __m512i);
+            let b2 = _mm512_loadu_si512(bp.add(32) as *const __m512i);
+            for (r, row) in acc.iter_mut().enumerate() {
+                let a = _mm512_set1_epi32(core::ptr::read_unaligned(ap.add(r)));
+                row[0] = _mm512_dpbusd_epi32(row[0], a, b0);
+                row[1] = _mm512_dpbusd_epi32(row[1], a, b1);
+                row[2] = _mm512_dpbusd_epi32(row[2], a, b2);
+            }
+            ap = ap.add(MR);
+            bp = bp.add(NR);
+        }
+        for (r, row) in acc.iter().enumerate() {
+            for (v, cell) in row.iter().enumerate() {
+                let dst = o.add(r * ldc + v * 16);
+                let prev = _mm512_loadu_si512(dst as *const __m512i);
+                _mm512_storeu_si512(dst as *mut __m512i, _mm512_add_epi32(prev, *cell));
+            }
+        }
+    }
+}
+
+/// Edge-tile int8 microkernel for partial tiles (`mr <= MR`,
+/// `nr <= NR`): the full-tile kernel runs over a zero-initialized
+/// `MR x NR` scratch tile (padded lanes contribute exact zeros, and the
+/// packed panels are zero-padded, so the arithmetic is identical to the
+/// full path — VNNI-accelerated when the full kernel is), then only the
+/// valid `mr x nr` region is accumulated into `out`.
+fn microkernel_i8_edge(
+    pa: &[u8],
+    pb: &[i8],
+    kcp: usize,
+    out: &mut [i32],
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    let mut tile = [0i32; MR * NR];
+    microkernel_i8_full(pa, pb, kcp, &mut tile, NR);
+    for r in 0..mr {
+        for c in 0..nr {
+            let o = &mut out[r * ldc + c];
+            *o = o.wrapping_add(tile[r * NR + c]);
+        }
+    }
+}
+
+/// Runs the blocked int8 kernels over output rows `row0 .. row0+rows`,
+/// accumulating into `out` (the caller's buffer starting at `row0`),
+/// then subtracts the per-column `u8`-bias surplus so the result equals
+/// the pure `Σ qa·qb` the oracle computes. Each row's full depth
+/// reduction lives inside one call, so the correction applies exactly
+/// once per output whatever the parallel row split.
+fn gemm_i8_rows(qa: &[i8], pb: &PackedBI8, out: &mut [i32], row0: usize, rows: usize) {
+    let (k, n) = (pb.k, pb.n);
+    let mut pa_buf: Vec<u8> = Vec::new();
+    let mut pc = 0;
+    while pc < k {
+        let kcb = KC.min(k - pc);
+        let kcp = kcb.div_ceil(KP);
+        let mut ic = 0;
+        while ic < rows {
+            let mcb = MC.min(rows - ic);
+            pack_a_i8(qa, k, row0 + ic, mcb, pc, kcb, &mut pa_buf);
+            for jp in 0..n.div_ceil(NR) {
+                let j0 = jp * NR;
+                let nrb = NR.min(n - j0);
+                let bp = pb.panel(pc, kcb, jp);
+                for ip in 0..mcb.div_ceil(MR) {
+                    let r0 = ip * MR;
+                    let mrb = MR.min(mcb - r0);
+                    let ap = &pa_buf[ip * kcp * MR * KP..(ip + 1) * kcp * MR * KP];
+                    let co = (ic + r0) * n + j0;
+                    if mrb == MR && nrb == NR {
+                        microkernel_i8_full(ap, bp, kcp, &mut out[co..], n);
+                    } else {
+                        microkernel_i8_edge(ap, bp, kcp, &mut out[co..], n, mrb, nrb);
+                    }
+                }
+            }
+            ic += mcb;
+        }
+        pc += kcb;
+    }
+    for r in 0..rows {
+        let out_row = &mut out[r * n..(r + 1) * n];
+        for (o, &bias) in out_row.iter_mut().zip(&pb.col_bias) {
+            *o = o.wrapping_sub(bias);
+        }
+    }
+}
+
+/// Reference kernel and bitwise oracle: the naive triple loop over the
+/// *same* quantized operands, `i32` wrapping accumulation. The blocked
+/// and SIMD paths must match this exactly at any thread count.
+pub fn gemm_i8_naive(qa: &[i8], qb: &[i8], out: &mut [i32], m: usize, k: usize, n: usize) {
+    assert_eq!(qa.len(), m * k, "gemm_i8_naive: lhs size");
+    assert_eq!(qb.len(), k * n, "gemm_i8_naive: rhs size");
+    assert_eq!(out.len(), m * n, "gemm_i8_naive: output size");
+    for i in 0..m {
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for p in 0..k {
+            let av = qa[i * k + p] as i32;
+            let b_row = &qb[p * n..(p + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o = o.wrapping_add(av * bv as i32);
+            }
+        }
+    }
+}
+
+/// Work below which the driver stays on the calling thread (the int8
+/// kernel retires several times the multiply-adds per cycle of the f32
+/// kernel, so fanning out pays later).
+const PARALLEL_MIN_MACS: usize = 1 << 27;
+
+/// `out[m, n] += qa[m, k] · pb[k, n]` over int8 operands with i32
+/// accumulation: cache blocking, packing, and row-panel parallelism over
+/// `pool`. Bit-identical to [`gemm_i8_naive`] on the same quantized
+/// operands at any thread count.
+pub fn gemm_i8_prepacked(qa: &[i8], pb: &PackedBI8, out: &mut [i32], m: usize, pool: &Pool) {
+    let (k, n) = (pb.k, pb.n);
+    assert_eq!(qa.len(), m * k, "gemm_i8_prepacked: lhs size");
+    assert_eq!(out.len(), m * n, "gemm_i8_prepacked: output size");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let _t = acme_obs::timer!("tensor.gemm.i8", "m" => m, "k" => k, "n" => n);
+    let work = m * k * n;
+    let chunks = if pool.is_serial() || work < PARALLEL_MIN_MACS {
+        1
+    } else {
+        pool.threads().min(m.div_ceil(MC))
+    };
+    if chunks <= 1 {
+        return gemm_i8_rows(qa, pb, out, 0, m);
+    }
+    // Disjoint row panels on MC boundaries; integer accumulation makes
+    // any split bit-identical by construction.
+    let rows_per = m.div_ceil(chunks).div_ceil(MC) * MC;
+    pool.scope(|s| {
+        let mut iter = out.chunks_mut(rows_per * n).enumerate();
+        let first = iter.next();
+        for (t, chunk) in iter {
+            let rows = chunk.len() / n;
+            s.spawn(move || gemm_i8_rows(qa, pb, chunk, t * rows_per, rows));
+        }
+        if let Some((_, chunk)) = first {
+            let rows = chunk.len() / n;
+            gemm_i8_rows(qa, pb, chunk, 0, rows);
+        }
+    });
+}
+
+/// The full quantized product for an f32 activation block against a
+/// pre-packed int8 weight: per-row quantization of `a`, the blocked
+/// int8 engine, and the shared dequantization into `out`. This is the
+/// serving fast path behind `Array::matmul_prepacked_i8`.
+pub fn gemm_i8_dequant(a: &[f32], pb: &PackedBI8, out: &mut [f32], m: usize, pool: &Pool) {
+    let (k, n) = (pb.k, pb.n);
+    assert_eq!(a.len(), m * k, "gemm_i8_dequant: lhs size");
+    assert_eq!(out.len(), m * n, "gemm_i8_dequant: output size");
+    if m == 0 || n == 0 {
+        return;
+    }
+    let (qa, sa) = quantize_rows(a, m, k);
+    let mut acc = vec![0i32; m * n];
+    gemm_i8_prepacked(&qa, pb, &mut acc, m, pool);
+    dequantize_acc(&acc, &sa, &pb.scales, out, m, n);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift values in roughly [-2, 2].
+    fn fill(buf: &mut [f32], seed: u64) {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        for v in buf.iter_mut() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            *v = ((s >> 40) as f32 / (1u64 << 22) as f32) - 2.0;
+        }
+    }
+
+    /// The scalar quantized oracle: shared quantization, naive i32
+    /// product, shared dequantization.
+    fn oracle(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> (Vec<i32>, Vec<f32>) {
+        let (qa, sa) = quantize_rows(a, m, k);
+        let (qb, sb) = quantize_cols(MatRef::row_major(b, n), k, n);
+        let mut acc = vec![0i32; m * n];
+        gemm_i8_naive(&qa, &qb, &mut acc, m, k, n);
+        let mut out = vec![0.0f32; m * n];
+        dequantize_acc(&acc, &sa, &sb, &mut out, m, n);
+        (acc, out)
+    }
+
+    #[test]
+    fn blocked_matches_naive_bitwise_across_shapes() {
+        // Shapes straddling every blocking edge, including odd depths
+        // (the quad-interleaved layout zero-pads the depth tail).
+        let shapes = [
+            (1, 1, 1),
+            (1, 7, 1),
+            (3, 5, 5),
+            (MR, KC, NR),
+            (MR + 1, KC + 1, NR + 1),
+            (MC, 17, NR * 3),
+            (MC + MR - 1, KC - 1, NR * 2 - 3),
+            (2 * MC + 3, KC + 5, 37),
+            (65, 301, 41),
+        ];
+        for &(m, k, n) in &shapes {
+            let mut a = vec![0.0; m * k];
+            let mut b = vec![0.0; k * n];
+            fill(&mut a, (m * 31 + k * 7 + n) as u64);
+            fill(&mut b, (m + k * 13 + n * 3) as u64);
+            let (acc_ref, out_ref) = oracle(&a, &b, m, k, n);
+            let pb = pack_b_i8(MatRef::row_major(&b, n), k, n);
+            let (qa, sa) = quantize_rows(&a, m, k);
+            for threads in [1, 2, 4] {
+                let mut acc = vec![0i32; m * n];
+                gemm_i8_prepacked(&qa, &pb, &mut acc, m, &Pool::new(threads));
+                assert_eq!(acc, acc_ref, "{m}x{k}x{n} t{threads}: i32 accumulator");
+                let mut out = vec![0.0f32; m * n];
+                dequantize_acc(&acc, &sa, pb.scales(), &mut out, m, n);
+                for (i, (x, y)) in out.iter().zip(&out_ref).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "{m}x{k}x{n} t{threads}: f32 element {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_round_trip_is_bounded_by_half_step() {
+        let mut src = vec![0.0f32; 13 * 29];
+        fill(&mut src, 99);
+        let (q, scales) = quantize_rows(&src, 13, 29);
+        let back = dequantize_rows(&q, &scales, 13, 29);
+        for i in 0..13 {
+            // Half a quantization step per element (plus f32 epsilon).
+            let bound = scales[i] * 0.5 + 1e-6;
+            for j in 0..29 {
+                let err = (back[i * 29 + j] - src[i * 29 + j]).abs();
+                assert!(err <= bound, "row {i} col {j}: err {err} > {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rows_and_columns_quantize_exactly() {
+        let src = vec![0.0f32; 4 * 6];
+        let (q, scales) = quantize_rows(&src, 4, 6);
+        assert!(q.iter().all(|&v| v == 0));
+        assert!(scales.iter().all(|&s| s == 0.0));
+        let back = dequantize_rows(&q, &scales, 4, 6);
+        assert!(back.iter().all(|&v| v == 0.0));
+        let pb = pack_b_i8(MatRef::row_major(&src, 6), 4, 6);
+        assert_eq!(pb.mean_abs_error(), 0.0);
+    }
+
+    #[test]
+    fn gemm_i8_dequant_matches_oracle() {
+        let (m, k, n) = (33, 70, 51);
+        let mut a = vec![0.0; m * k];
+        let mut b = vec![0.0; k * n];
+        fill(&mut a, 5);
+        fill(&mut b, 6);
+        let (_, out_ref) = oracle(&a, &b, m, k, n);
+        let pb = pack_b_i8(MatRef::row_major(&b, n), k, n);
+        let mut out = vec![0.0f32; m * n];
+        gemm_i8_dequant(&a, &pb, &mut out, m, &Pool::new(2));
+        for (i, (x, y)) in out.iter().zip(&out_ref).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "element {i}");
+        }
+    }
+
+    #[test]
+    fn quantization_error_is_small_and_reported() {
+        let (k, n) = (96, 80);
+        let mut b = vec![0.0; k * n];
+        fill(&mut b, 11);
+        let pb = pack_b_i8(MatRef::row_major(&b, n), k, n);
+        let err = pb.mean_abs_error();
+        // Inputs span [-2, 2]: one quantization step is at most
+        // 2/127 ≈ 0.016, so the mean error must sit well under it.
+        assert!(err > 0.0 && err < 0.01, "mean quant error {err}");
+        assert_eq!(pb.scales().len(), n);
+        // Panels hold one byte per weight plus NR-column padding.
+        assert!((pb.k(), pb.n()) == (k, n) && !pb.is_empty() && pb.len() >= k * n);
+    }
+
+    #[test]
+    fn precision_labels_round_trip() {
+        for p in [Precision::F32, Precision::Int8] {
+            assert_eq!(Precision::parse(p.label()), Some(p));
+            assert_eq!(p.to_string(), p.label());
+        }
+        assert_eq!(Precision::parse("fp16"), None);
+        assert_eq!(Precision::default(), Precision::F32);
+        assert_eq!(Precision::F32.bytes_per_param(), 4);
+        assert_eq!(Precision::Int8.bytes_per_param(), 1);
+    }
+
+    #[test]
+    fn empty_dims_are_noops() {
+        let pb = pack_b_i8(MatRef::row_major(&[], 3), 0, 3);
+        let mut out = vec![7.5f32; 6];
+        gemm_i8_dequant(&[], &pb, &mut out, 2, &Pool::new(2));
+        // k == 0: accumulator stays zero, scales are zero; output is
+        // the dequantized zero product.
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests of the int8 quantized GEMM: quantization
+//! round-trips stay inside half a step, per-row scales are equivariant
+//! under row permutation, and the blocked/packed/multi-threaded engine
+//! is **bit-for-bit** identical to the scalar quantized oracle — in the
+//! i32 accumulator and in the dequantized f32 output.
+
+use acme_runtime::Pool;
+use acme_tensor::gemm::{MatRef, MC, MR, NR};
+use acme_tensor::qgemm::{
+    self, dequantize_acc, dequantize_rows, gemm_i8_naive, pack_b_i8, quantize_cols, quantize_rows,
+};
+use proptest::prelude::*;
+
+/// Deterministically fills a buffer with values in roughly `[-2, 2]`,
+/// including exact zeros and whole zero rows (maxabs = 0 edge).
+fn fill(buf: &mut [f32], seed: u64, zero_row_stride: usize, cols: usize) {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    for (i, v) in buf.iter_mut().enumerate() {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        let row = i / cols.max(1);
+        let zero_row = zero_row_stride > 0 && row % zero_row_stride == zero_row_stride - 1;
+        *v = if zero_row || i % 13 == 5 {
+            0.0
+        } else {
+            ((s >> 40) as f32 / (1u64 << 22) as f32) - 2.0
+        };
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Symmetric per-row quantization round-trips within half a
+    /// quantization step per element (`scale / 2`, plus f32 slack), and
+    /// all-zero rows round-trip exactly.
+    #[test]
+    fn quantize_round_trip_is_half_step_bounded(
+        rows in 1usize..24,
+        cols in 1usize..64,
+        seed in 0u64..1u64 << 48,
+        zero_stride in 0usize..5,
+    ) {
+        let mut src = vec![0.0f32; rows * cols];
+        fill(&mut src, seed, zero_stride, cols);
+        let (q, scales) = quantize_rows(&src, rows, cols);
+        let back = dequantize_rows(&q, &scales, rows, cols);
+        for i in 0..rows {
+            let bound = scales[i] * 0.5 + 1e-6;
+            for j in 0..cols {
+                let err = (back[i * cols + j] - src[i * cols + j]).abs();
+                prop_assert!(
+                    err <= bound,
+                    "row {i} col {j}: err {err} > bound {bound}"
+                );
+            }
+        }
+    }
+
+    /// Per-row quantization is equivariant under row permutation:
+    /// quantizing a row-rotated matrix yields the rotated codes and the
+    /// rotated scales, bitwise. (Each row's scale depends only on that
+    /// row, never on its neighbours.)
+    #[test]
+    fn row_scales_are_permutation_equivariant(
+        rows in 2usize..16,
+        cols in 1usize..48,
+        rot in 1usize..16,
+        seed in 0u64..1u64 << 48,
+    ) {
+        let rot = rot % rows;
+        let mut src = vec![0.0f32; rows * cols];
+        fill(&mut src, seed, 3, cols);
+        let (q, scales) = quantize_rows(&src, rows, cols);
+        // Rotate rows by `rot` and quantize the permuted matrix.
+        let mut permuted = vec![0.0f32; rows * cols];
+        for i in 0..rows {
+            let p = (i + rot) % rows;
+            permuted[i * cols..(i + 1) * cols]
+                .copy_from_slice(&src[p * cols..(p + 1) * cols]);
+        }
+        let (qp, sp) = quantize_rows(&permuted, rows, cols);
+        for i in 0..rows {
+            let p = (i + rot) % rows;
+            prop_assert_eq!(
+                sp[i].to_bits(), scales[p].to_bits(),
+                "scale of permuted row {} vs source row {}", i, p
+            );
+            prop_assert_eq!(
+                &qp[i * cols..(i + 1) * cols],
+                &q[p * cols..(p + 1) * cols],
+                "codes of permuted row {} vs source row {}", i, p
+            );
+        }
+    }
+
+    /// Random (m, k, n) — biased to straddle the MR/NR/MC tile and the
+    /// depth-quad edges — at 1, 2, and 4 threads: the packed int8 engine
+    /// must match the scalar quantized oracle bitwise, both the i32
+    /// accumulator and the dequantized f32 output.
+    #[test]
+    fn int8_engine_bitwise_matches_oracle(
+        m in 1usize..(MC + MR + 2),
+        k in 0usize..96,
+        n in 1usize..(NR + 18),
+        seed in 0u64..1u64 << 48,
+    ) {
+        let mut a = vec![0.0f32; m * k];
+        let mut b = vec![0.0f32; k * n];
+        fill(&mut a, seed, 4, k);
+        fill(&mut b, seed ^ 0xABCD, 0, n);
+        let (qa, sa) = quantize_rows(&a, m, k);
+        let (qb, sb) = quantize_cols(MatRef::row_major(&b, n), k, n);
+        let mut acc_ref = vec![0i32; m * n];
+        gemm_i8_naive(&qa, &qb, &mut acc_ref, m, k, n);
+        let mut out_ref = vec![0.0f32; m * n];
+        dequantize_acc(&acc_ref, &sa, &sb, &mut out_ref, m, n);
+
+        let pb = pack_b_i8(MatRef::row_major(&b, n), k, n);
+        for threads in [1usize, 2, 4] {
+            let mut acc = vec![0i32; m * n];
+            qgemm::gemm_i8_prepacked(&qa, &pb, &mut acc, m, &Pool::new(threads));
+            prop_assert_eq!(&acc, &acc_ref, "{}x{}x{} t{}: accumulator", m, k, n, threads);
+            let mut out = vec![0.0f32; m * n];
+            dequantize_acc(&acc, &sa, pb.scales(), &mut out, m, n);
+            for (i, (x, y)) in out.iter().zip(&out_ref).enumerate() {
+                prop_assert_eq!(
+                    x.to_bits(), y.to_bits(),
+                    "{}x{}x{} t{}: f32 element {}", m, k, n, threads, i
+                );
+            }
+        }
+        // The one-call f32-in/f32-out entry point agrees too.
+        let mut out = vec![0.0f32; m * n];
+        qgemm::gemm_i8_dequant(&a, &pb, &mut out, m, &Pool::new(2));
+        for (i, (x, y)) in out.iter().zip(&out_ref).enumerate() {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "dequant entry: element {}", i);
+        }
+    }
+}

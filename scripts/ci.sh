@@ -41,6 +41,25 @@ cargo build --workspace --release "${CARGO_FLAGS[@]}"
 step "cargo test (release)"
 cargo test --workspace --release -q "${CARGO_FLAGS[@]}"
 
+step "int8 oracle matrix (quantized GEMM vs scalar oracle, 1/2/4 threads)"
+# The quantized engine must be bit-identical to the scalar i32 oracle at
+# every thread count — unit matrix plus the property tests; run them on
+# their own so a VNNI/layout regression is attributable at a glance.
+cargo test -p acme-tensor --release --lib "${CARGO_FLAGS[@]}" -q qgemm
+cargo test -p acme-tensor --release --test qgemm_props -q "${CARGO_FLAGS[@]}"
+
+step "deprecated-shim gate (run_acme_protocol must not reaccumulate)"
+# clippy -D warnings already rejects un-allowed deprecated calls; this
+# also stops #[allow(deprecated)] escapes of the protocol shims outside
+# the one equivalence test that lives beside their definitions.
+SHIM_HITS="$(grep -rln "run_acme_protocol" examples tests crates/bench/src \
+    crates/bench/benches 2>/dev/null | grep -v "tests/protocol_accounting.rs" || true)"
+if [[ -n "$SHIM_HITS" ]]; then
+    echo "error: deprecated run_acme_protocol referenced outside its shim:" >&2
+    echo "$SHIM_HITS" >&2
+    exit 1
+fi
+
 step "fault-matrix smoke (release, real timers)"
 # The fault matrix exercises recv timeouts, retransmission, and
 # per-cluster degradation against wall-clock budgets; run it in release
@@ -66,8 +85,9 @@ cargo run --release -p acme-bench --bin fleet_scale "${CARGO_FLAGS[@]}" -- \
     --smoke --out "$FLEET_SMOKE_OUT"
 rm -f "$FLEET_SMOKE_OUT"
 
-step "serving smoke (batched multi-tenant sweep under a wall-clock ceiling)"
-# One fleet, baseline + one batched setting over the variant store; the
+step "serving smoke (batched + quantized sweep under a wall-clock ceiling)"
+# One fleet, baseline + one batched setting over the variant store —
+# both the f32 batching axis and the f32-vs-int8 precision axis; the
 # bin asserts a wall-clock ceiling and sanity-checks its own rows.
 # Writes to a scratch path to leave the committed full-sweep
 # BENCH_serving.json alone, then validates the JSON shape here.
@@ -79,12 +99,14 @@ import json, sys
 rows = json.load(open(sys.argv[1]))
 assert rows, "serving sweep emitted no rows"
 keys = {"bench", "fleet_devices", "clusters", "workers", "max_batch",
-        "batch_window_us", "requests", "elapsed_s", "throughput_rps",
-        "p50_ms", "p99_ms", "mean_batch", "occupancy", "early_exit_frac",
-        "speedup_vs_unbatched"}
+        "batch_window_us", "precision", "requests", "elapsed_s",
+        "throughput_rps", "p50_ms", "p99_ms", "mean_batch", "occupancy",
+        "early_exit_frac", "speedup_vs_unbatched", "mean_quant_error",
+        "speedup_vs_f32"}
 for r in rows:
     assert set(r) == keys, f"row keys drifted: {sorted(set(r) ^ keys)}"
     assert r["bench"] == "serving"
+    assert r["precision"] in ("f32", "int8")
     assert r["throughput_rps"] > 0 and r["p99_ms"] >= r["p50_ms"] > 0
     assert 0 < r["occupancy"] <= 1 and 0 <= r["early_exit_frac"] <= 1
 base = [r for r in rows if r["max_batch"] == 1]
@@ -92,8 +114,18 @@ batched = [r for r in rows if r["max_batch"] > 1]
 assert base and batched, "need a baseline row and a batched row"
 assert all(r["speedup_vs_unbatched"] > 1 for r in batched), \
     "batched serving did not beat the unbatched baseline"
+int8 = [r for r in rows if r["precision"] == "int8"]
+assert int8, "precision sweep lost its int8 rows"
+assert all(r["mean_quant_error"] > 0 for r in int8), \
+    "int8 rows did not record a quantization error"
+assert all(r["speedup_vs_f32"] > 1 for r in int8 if r["max_batch"] > 1), \
+    "batched int8 serving did not beat the matched f32 rows"
+assert all(r["mean_quant_error"] == 0 and r["speedup_vs_f32"] == 1
+           for r in rows if r["precision"] == "f32"), \
+    "f32 rows must carry neutral precision-axis fields"
 print(f"serving OK: {len(rows)} rows, "
-      f"max speedup {max(r['speedup_vs_unbatched'] for r in batched):.2f}x")
+      f"max speedup {max(r['speedup_vs_unbatched'] for r in batched):.2f}x, "
+      f"int8 vs f32 {max(r['speedup_vs_f32'] for r in int8):.2f}x")
 PY
 rm -f "$SERVE_SMOKE_OUT"
 

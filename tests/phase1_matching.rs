@@ -82,7 +82,8 @@ fn selected_model_is_feasible_and_grid_undominated() {
     }
     // And it must never be dominated by a *strictly smaller and better*
     // candidate in raw space outside its cell.
-    let raw: Vec<[f64; 3]> = candidates.iter().map(|c| c.objectives).collect();
+    let raw: Vec<[f64; acme_pareto::NUM_OBJECTIVES]> =
+        candidates.iter().map(|c| c.objectives).collect();
     for (j, o) in raw.iter().enumerate() {
         if j != idx && dominates(o, &raw[idx]) {
             let other = spec.coords(o);

@@ -10,7 +10,7 @@ use acme_serve::{
     serve, BatchEngine, BatcherConfig, ExitPolicy, Request, Response, ServeModelConfig,
     ServerConfig, StoreConfig, VariantStore,
 };
-use acme_tensor::{Array, Graph, SmallRng64};
+use acme_tensor::{Array, Graph, Precision, SmallRng64};
 use rand::RngCore;
 
 /// The serve counters and the obs registry are process-wide, so the
@@ -29,6 +29,7 @@ fn test_store(devices: usize) -> VariantStore {
             devices,
             keep_classes: 4,
             model: ServeModelConfig::tiny(),
+            precision: Precision::F32,
         },
         17,
     )
