@@ -20,6 +20,7 @@ use acme_tensor::SmallRng64;
 
 pub mod kernels;
 pub mod serving;
+pub mod store;
 pub mod trainstep;
 
 /// Scale of a harness run.

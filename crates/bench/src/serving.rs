@@ -119,7 +119,7 @@ fn run_setting(
     window_us: u64,
     warmup: usize,
 ) {
-    let fleet = store.devices().len();
+    let fleet = store.num_devices();
     let server = ServerConfig {
         workers,
         batcher: BatcherConfig {

@@ -73,46 +73,3 @@ pub use refine::{
     apply_neuron_drops, backbone_features, header_neuron_importance, refine_cluster, DeviceSetup,
     RefineConfig, RefineOutcome,
 };
-
-/// Runs the transfer-accounting protocol schedule (§II-A) over `fleet`,
-/// surfacing faults as [`AcmeError::Protocol`]. Thin wrapper over
-/// [`acme_distsys::ProtocolRun`] so pipeline callers handle one error
-/// type.
-///
-/// # Errors
-///
-/// Returns [`AcmeError::Protocol`] when any node faults.
-#[deprecated(note = "use `ProtocolRun::new(fleet).config(config.clone()).execute()`")]
-pub fn run_acme_protocol(
-    fleet: &acme_energy::Fleet,
-    config: &ProtocolConfig,
-) -> Result<ProtocolOutcome, AcmeError> {
-    ProtocolRun::new(fleet)
-        .config(config.clone())
-        .execute()
-        .map_err(AcmeError::from)
-}
-
-/// Like [`run_acme_protocol`], but with a deterministic [`FaultPlan`]
-/// injected into the message fabric: lost or delayed messages are
-/// retried per [`RetryPolicy`] and silent nodes degrade their cluster
-/// instead of failing the run (see [`ProtocolOutcome::nodes`]).
-///
-/// # Errors
-///
-/// Returns [`AcmeError::Protocol`] only on structural faults (a
-/// panicking node thread).
-#[deprecated(
-    note = "use `ProtocolRun::new(fleet).config(config.clone()).faults(faults).execute()`"
-)]
-pub fn run_acme_protocol_with_faults(
-    fleet: &acme_energy::Fleet,
-    config: &ProtocolConfig,
-    faults: FaultPlan,
-) -> Result<ProtocolOutcome, AcmeError> {
-    ProtocolRun::new(fleet)
-        .config(config.clone())
-        .faults(faults)
-        .execute()
-        .map_err(AcmeError::from)
-}

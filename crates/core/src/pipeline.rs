@@ -196,6 +196,7 @@ impl Acme {
                     w: chosen.w,
                     d: chosen.d,
                     param_count: chosen.params,
+                    measured_bytes: None,
                 },
             )?;
             let energy = cluster
@@ -287,6 +288,7 @@ impl Acme {
                             tokens: header.arch().to_tokens(),
                             u: header.arch().u(),
                             param_count: header_params + chosen.params,
+                            measured_bytes: None,
                         },
                     )?;
                 }

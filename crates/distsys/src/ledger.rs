@@ -173,6 +173,33 @@ impl TransferReport {
     pub fn uplink_megabytes(&self) -> f64 {
         self.uplink_bytes as f64 / 1e6
     }
+
+    /// Sum of this report and `other`: totals add, and per-kind rows
+    /// with the same kind label merge. Used when a protocol run is
+    /// persisted and resumed — the resumed segment's ledger starts at
+    /// zero, so the full-run report is the merge of all segments.
+    #[must_use]
+    pub fn merged(&self, other: &TransferReport) -> TransferReport {
+        let mut per_kind: BTreeMap<String, KindRow> = BTreeMap::new();
+        for row in self.per_kind.iter().chain(&other.per_kind) {
+            per_kind
+                .entry(row.kind.clone())
+                .and_modify(|r| {
+                    r.messages += row.messages;
+                    r.uplink_bytes += row.uplink_bytes;
+                    r.downlink_bytes += row.downlink_bytes;
+                })
+                .or_insert_with(|| row.clone());
+        }
+        TransferReport {
+            messages: self.messages + other.messages,
+            total_bytes: self.total_bytes + other.total_bytes,
+            uplink_bytes: self.uplink_bytes + other.uplink_bytes,
+            retransmissions: self.retransmissions + other.retransmissions,
+            retransmitted_bytes: self.retransmitted_bytes + other.retransmitted_bytes,
+            per_kind: per_kind.into_values().collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -255,6 +282,39 @@ mod tests {
         assert_eq!(report.total_bytes, 32);
         assert_eq!(report.retransmissions, 1);
         assert_eq!(report.retransmitted_bytes, 16);
+    }
+
+    #[test]
+    fn merged_sums_totals_and_unions_kinds() {
+        let a = Ledger::new();
+        a.record(&env(true, Payload::Ack));
+        a.record(&env(
+            true,
+            Payload::ImportanceUpload {
+                round: 0,
+                values: vec![0.0; 2],
+            },
+        ));
+        let b = Ledger::new();
+        b.record(&env(false, Payload::Ack));
+        b.record_retransmission(&env(false, Payload::Ack));
+        let merged = a.report().merged(&b.report());
+        // The merge must equal one ledger that saw all four envelopes.
+        let all = Ledger::new();
+        all.record(&env(true, Payload::Ack));
+        all.record(&env(
+            true,
+            Payload::ImportanceUpload {
+                round: 0,
+                values: vec![0.0; 2],
+            },
+        ));
+        all.record(&env(false, Payload::Ack));
+        all.record_retransmission(&env(false, Payload::Ack));
+        assert_eq!(merged, all.report());
+        // Merging with an empty report is the identity.
+        let empty = Ledger::new().report();
+        assert_eq!(merged.merged(&empty), merged);
     }
 
     #[test]

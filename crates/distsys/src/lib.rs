@@ -58,6 +58,7 @@ mod ledger;
 mod message;
 mod network;
 pub mod node;
+pub mod persist;
 pub mod protocol;
 
 pub use driver::{simulate_fleet, Driver, SimConfig, SimDriver, SimStats, ThreadedDriver};
@@ -69,7 +70,8 @@ pub use network::{Network, RegisterError, SendError};
 pub use node::{
     CloudNode, DeviceNode, EdgeNode, Event, NodeStateMachine, Outbox, TimerToken, VirtualTime,
 };
+pub use persist::RunCheckpoint;
 pub use protocol::{
-    DriverKind, DropPoint, NodeStatus, ProtocolConfig, ProtocolError, ProtocolOutcome, ProtocolRun,
-    RetryPolicy,
+    DriverKind, DropPoint, MeasuredDeploy, NodeStatus, ProtocolConfig, ProtocolError,
+    ProtocolOutcome, ProtocolRun, RetryPolicy,
 };

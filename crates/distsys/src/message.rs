@@ -50,6 +50,10 @@ pub enum Payload {
         d: usize,
         /// Parameters shipped (weights payload, 4 bytes each).
         param_count: u64,
+        /// Measured weight-payload bytes when the deployment ships from
+        /// a content-addressed model store (the serialized backbone
+        /// blob); `None` falls back to the `4·param_count` estimate.
+        measured_bytes: Option<u64>,
     },
     /// Edge → device: the coarse header architecture and its shared
     /// weights (plus the backbone reference the device already holds).
@@ -60,6 +64,11 @@ pub enum Payload {
         u: usize,
         /// Header weight parameters shipped.
         param_count: u64,
+        /// Measured weight-payload bytes when the deployment ships a
+        /// structural variant delta against a backbone the device
+        /// already stores (`VariantDelta::bytes()` in `acme-store`);
+        /// `None` falls back to the `4·param_count` estimate.
+        measured_bytes: Option<u64>,
     },
     /// Device → edge (loop uplink): the importance set `Q_n` (Eq. 18).
     ImportanceUpload {
@@ -108,18 +117,26 @@ impl Payload {
     /// Bytes this message occupies on the wire. Weights and importance
     /// values are 4-byte floats; architecture tokens 2 bytes; attribute
     /// scalars 8 bytes; a 16-byte routing header (which carries the loop
-    /// round tag) is charged per message.
+    /// round tag) is charged per message. Weight payloads carrying a
+    /// `measured_bytes` (deploys shipped from the content-addressed
+    /// model store) are charged that measured size instead of the
+    /// `4·param_count` estimate.
     pub fn wire_bytes(&self) -> u64 {
         const HEADER: u64 = 16;
         HEADER
             + match self {
                 Payload::AttributeReport { .. } => 4 * 8,
-                Payload::BackboneAssignment { param_count, .. } => 16 + 4 * param_count,
+                Payload::BackboneAssignment {
+                    param_count,
+                    measured_bytes,
+                    ..
+                } => 16 + measured_bytes.unwrap_or(4 * param_count),
                 Payload::HeaderSpec {
                     tokens,
                     param_count,
+                    measured_bytes,
                     ..
-                } => 8 + 2 * tokens.len() as u64 + 4 * param_count,
+                } => 8 + 2 * tokens.len() as u64 + measured_bytes.unwrap_or(4 * param_count),
                 Payload::ImportanceUpload { values, .. }
                 | Payload::PersonalizedImportance { values, .. } => 4 * values.len() as u64,
                 Payload::RawDataUpload {
@@ -202,12 +219,14 @@ mod tests {
             w: 1.0,
             d: 12,
             param_count: 100,
+            measured_bytes: None,
         };
         assert_eq!(bb.wire_bytes(), 16 + 16 + 400);
         let hs = Payload::HeaderSpec {
             tokens: vec![0; 12],
             u: 2,
             param_count: 10,
+            measured_bytes: None,
         };
         assert_eq!(hs.wire_bytes(), 16 + 8 + 24 + 40);
         let imp = Payload::ImportanceUpload {
@@ -223,6 +242,28 @@ mod tests {
         };
         assert_eq!(raw.wire_bytes(), 16 + 30720);
         assert_eq!(Payload::Ack.wire_bytes(), 16);
+    }
+
+    #[test]
+    fn measured_bytes_override_the_param_count_estimate() {
+        // A store-shipped backbone blob is charged at its measured size,
+        // not 4 bytes per parameter.
+        let bb = Payload::BackboneAssignment {
+            w: 1.0,
+            d: 12,
+            param_count: 100,
+            measured_bytes: Some(123),
+        };
+        assert_eq!(bb.wire_bytes(), 16 + 16 + 123);
+        // A variant delta can be far smaller than the dense header it
+        // replaces; the ledger sees the delta's true wire size.
+        let hs = Payload::HeaderSpec {
+            tokens: vec![0; 12],
+            u: 2,
+            param_count: 1000,
+            measured_bytes: Some(64),
+        };
+        assert_eq!(hs.wire_bytes(), 16 + 8 + 24 + 64);
     }
 
     #[test]
@@ -282,7 +323,8 @@ mod tests {
             Payload::HeaderSpec {
                 tokens: vec![],
                 u: 1,
-                param_count: 0
+                param_count: 0,
+                measured_bytes: None
             }
             .link_class(),
             LinkClass::DeviceEdge

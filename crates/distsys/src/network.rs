@@ -302,6 +302,7 @@ mod tests {
                 w: 1.0,
                 d: 6,
                 param_count: 10,
+                measured_bytes: None,
             },
         )
         .unwrap();

@@ -580,6 +580,7 @@ impl NodeStateMachine for EdgeNode {
                                 tokens: vec![0; self.cfg.header_tokens],
                                 u: 1,
                                 param_count: self.cfg.header_params + self.cfg.backbone_params,
+                                measured_bytes: self.cfg.deploy.map(|m| m.variant_bytes),
                             },
                         );
                     }
@@ -760,6 +761,7 @@ impl NodeStateMachine for CloudNode {
             w: 1.0,
             d: 6,
             param_count: self.cfg.backbone_params,
+            measured_bytes: self.cfg.deploy.map(|m| m.backbone_bytes),
         };
         if self.assigned.insert(env.from) {
             out.send(env.from, assignment);
@@ -831,6 +833,7 @@ mod tests {
                     tokens: vec![0; 4],
                     u: 1,
                     param_count: 10,
+                    measured_bytes: None,
                 },
             }),
             VirtualTime::ZERO,
@@ -881,6 +884,7 @@ mod tests {
                     tokens: vec![],
                     u: 1,
                     param_count: 0,
+                    measured_bytes: None,
                 },
             }),
             VirtualTime::ZERO,
@@ -920,6 +924,7 @@ mod tests {
                     w: 1.0,
                     d: 6,
                     param_count: 1,
+                    measured_bytes: None,
                 },
             }),
             VirtualTime::ZERO,
@@ -949,6 +954,7 @@ mod tests {
                     w: 1.0,
                     d: 6,
                     param_count: 1,
+                    measured_bytes: None,
                 },
             }),
             VirtualTime::ZERO,
@@ -1002,6 +1008,7 @@ mod tests {
                     w: 1.0,
                     d: 6,
                     param_count: 1,
+                    measured_bytes: None,
                 },
             }),
             VirtualTime::ZERO,

@@ -219,6 +219,35 @@ pub struct ProtocolConfig {
     /// single-loop rounds (capped at the cluster size). Below it the
     /// edge abandons the cluster.
     pub min_quorum: usize,
+    /// Measured deploy payload sizes from a content-addressed model
+    /// store (`acme-store`). When set, the transfer ledger charges
+    /// weight deploys at these byte counts instead of the
+    /// `4·param_count` estimate: backbone assignments ship the
+    /// serialized backbone blob and header distributions ship a
+    /// structural variant delta. `None` keeps the estimate.
+    pub deploy: Option<MeasuredDeploy>,
+}
+
+/// Byte-accurate deploy sizes measured from serialized model-store
+/// artifacts, replacing the dense 4-bytes-per-parameter estimate in
+/// [`crate::Payload::wire_bytes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeasuredDeploy {
+    /// Serialized backbone checkpoint blob size (cloud → edge).
+    pub backbone_bytes: u64,
+    /// Structural variant-delta size (edge → device), typically
+    /// `VariantDelta::bytes()`.
+    pub variant_bytes: u64,
+}
+
+impl ProtocolConfig {
+    /// Charge deploys at the given measured sizes instead of the
+    /// parameter-count estimate.
+    #[must_use]
+    pub fn with_measured_deploy(mut self, deploy: MeasuredDeploy) -> Self {
+        self.deploy = Some(deploy);
+        self
+    }
 }
 
 impl Default for ProtocolConfig {
@@ -231,6 +260,7 @@ impl Default for ProtocolConfig {
             importance_len: 4_000,
             retry: RetryPolicy::default(),
             min_quorum: 1,
+            deploy: None,
         }
     }
 }
@@ -514,49 +544,47 @@ impl<'a> ProtocolRun<'a> {
             DriverKind::Sim => SimDriver::new(self.sim).run(self.fleet, &self.config, self.faults),
         }
     }
-}
 
-/// Executes the ACME schedule over `fleet` on a fault-free fabric with
-/// one OS thread per node (1 cloud + S edges + N devices), returning the
-/// metered transfer report and per-node statuses.
-///
-/// # Errors
-///
-/// Returns a [`ProtocolError`] only for structural faults (duplicate
-/// registration, a panicking node thread); lost peers degrade the run
-/// per cluster instead, visible in [`ProtocolOutcome::nodes`].
-#[deprecated(note = "use `ProtocolRun::new(fleet).config(config.clone()).execute()`")]
-pub fn run_acme_protocol(
-    fleet: &Fleet,
-    config: &ProtocolConfig,
-) -> Result<ProtocolOutcome, ProtocolError> {
-    ProtocolRun::new(fleet).config(config.clone()).execute()
-}
-
-/// Executes the ACME schedule over `fleet` with the given deterministic
-/// fault plan injected into the message fabric.
-///
-/// The run always terminates: every wait is bounded by
-/// `config.retry`, so even a fully dark fleet unwinds within the retry
-/// budget per schedule phase, and surviving clusters complete all
-/// [`ProtocolConfig::loop_rounds`].
-///
-/// # Errors
-///
-/// Returns a [`ProtocolError`] only for structural faults (duplicate
-/// registration, a panicking node thread).
-#[deprecated(
-    note = "use `ProtocolRun::new(fleet).config(config.clone()).faults(faults).execute()`"
-)]
-pub fn run_acme_protocol_with_faults(
-    fleet: &Fleet,
-    config: &ProtocolConfig,
-    faults: FaultPlan,
-) -> Result<ProtocolOutcome, ProtocolError> {
-    ProtocolRun::new(fleet)
-        .config(config.clone())
-        .faults(faults)
-        .execute()
+    /// Executes only the first `rounds` loop rounds of the configured
+    /// schedule (clamped to [`ProtocolConfig::loop_rounds`]), returning
+    /// the segment's outcome together with a resumable
+    /// [`RunCheckpoint`](crate::persist::RunCheckpoint) that carries the
+    /// fleet, the full-run configuration, and the cumulative accounting.
+    /// Persist the checkpoint with
+    /// [`RunCheckpoint::save`](crate::persist::RunCheckpoint::save) and
+    /// continue later with
+    /// [`RunCheckpoint::resume`](crate::persist::RunCheckpoint::resume).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ProtocolRun::execute`].
+    pub fn execute_segment(
+        self,
+        rounds: usize,
+    ) -> Result<(ProtocolOutcome, crate::persist::RunCheckpoint), ProtocolError> {
+        let rounds = rounds.min(self.config.loop_rounds);
+        let mut seg_cfg = self.config.clone();
+        seg_cfg.loop_rounds = rounds;
+        let segment = ProtocolRun {
+            fleet: self.fleet,
+            config: seg_cfg,
+            faults: self.faults,
+            driver: self.driver,
+            sim: self.sim.clone(),
+        }
+        .execute()?;
+        let checkpoint = crate::persist::RunCheckpoint {
+            fleet: self.fleet.clone(),
+            config: self.config,
+            rounds_done: rounds,
+            report: segment.report.clone(),
+            nodes: segment.nodes.clone(),
+            driver: self.driver,
+            seed: self.sim.seed,
+            jitter: self.sim.jitter,
+        };
+        Ok((segment, checkpoint))
+    }
 }
 
 /// The centralized-system baseline of Table I: every device uploads its
@@ -596,6 +624,7 @@ pub fn centralized_transfers(
                     w: 1.0,
                     d: 12,
                     param_count: model_params,
+                    measured_bytes: None,
                 },
             )?;
         }
@@ -643,23 +672,6 @@ mod tests {
                 NodeId::Cloud => assert_eq!(status.completed_rounds, 3),
             }
         }
-    }
-
-    #[test]
-    fn deprecated_shims_delegate_to_the_builder() {
-        let fleet = Fleet::paper_default(2, 2);
-        let cfg = ProtocolConfig {
-            loop_rounds: 1,
-            ..ProtocolConfig::default()
-        };
-        #[allow(deprecated)]
-        let via_shim = run_acme_protocol(&fleet, &cfg).expect("shim run");
-        let via_builder = run_threaded(&fleet, &cfg);
-        assert_eq!(via_shim, via_builder);
-        #[allow(deprecated)]
-        let via_fault_shim =
-            run_acme_protocol_with_faults(&fleet, &cfg, FaultPlan::none()).expect("shim run");
-        assert_eq!(via_fault_shim, via_builder);
     }
 
     #[test]

@@ -1,25 +1,43 @@
 //! Dependency-free binary checkpointing of a [`ParamSet`].
 //!
-//! The format is a little-endian stream:
+//! The current (version 2) format is a little-endian stream:
 //!
 //! ```text
 //! magic "ACME" | version u32 | param count u64
 //! per parameter:
 //!   name len u32 | name bytes (UTF-8) | trainable u8
 //!   rank u32 | dims u64 x rank | f32 values x volume
+//! fnv1a-128 digest (16 bytes) of every preceding byte
 //! ```
+//!
+//! Version 1 is the same stream without the trailing digest;
+//! [`load_params`] accepts both, [`save_params`] always writes v2. The
+//! digest is the same [`digest128`] the content-addressed model store
+//! (`acme-store`) keys blobs by, so a blob's address doubles as its
+//! integrity check.
 //!
 //! In the ACME system this is what a cloud → edge `BackboneAssignment`
 //! or edge → device `HeaderSpec` weight payload would contain; the
 //! distributed-system simulation meters `4 · param_count` bytes, which
 //! [`save_params`] matches up to the fixed header overhead.
+//!
+//! Every length field declared by the stream is validated against the
+//! bytes actually remaining *before* any allocation is sized from it, so
+//! a corrupt or adversarial header (a multi-exabyte parameter count, a
+//! 4 GiB name, a dimension product that wraps `usize`) is rejected
+//! cheaply instead of triggering a huge `Vec::with_capacity`.
 
 use acme_tensor::Array;
 
 use crate::param::ParamSet;
 
 const MAGIC: &[u8; 4] = b"ACME";
-const VERSION: u32 = 1;
+/// Current checkpoint format version written by [`save_params`].
+pub const CHECKPOINT_VERSION: u32 = 2;
+const DIGEST_LEN: usize = 16;
+/// Minimum bytes one parameter record can occupy: name len (4) +
+/// trainable (1) + rank (4). Used to sanity-bound a declared count.
+const MIN_RECORD_BYTES: u64 = 9;
 
 /// Error from [`load_params`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,10 +46,16 @@ pub enum CheckpointError {
     BadMagic,
     /// The stream declares an unsupported format version.
     UnsupportedVersion(u32),
-    /// The stream ended before the declared content.
+    /// The stream ended before the declared content, or declares more
+    /// content than it carries.
     Truncated,
     /// A name field is not valid UTF-8.
     BadName,
+    /// A declared shape is unrepresentable: its dimension product
+    /// overflows, or its rank/volume cannot fit in the stream.
+    BadShape,
+    /// The v2 integrity digest does not match the content.
+    BadChecksum,
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -41,17 +65,31 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
             CheckpointError::Truncated => write!(f, "checkpoint truncated"),
             CheckpointError::BadName => write!(f, "parameter name is not valid utf-8"),
+            CheckpointError::BadShape => write!(f, "parameter shape is unrepresentable"),
+            CheckpointError::BadChecksum => write!(f, "checkpoint integrity digest mismatch"),
         }
     }
 }
 
 impl std::error::Error for CheckpointError {}
 
-/// Serializes every parameter (values, names, trainable flags) to bytes.
-pub fn save_params(ps: &ParamSet) -> Vec<u8> {
-    let mut out = Vec::with_capacity(16 + ps.num_scalars() * 4);
+/// 128-bit FNV-1a digest. This is the hash the v2 checkpoint trailer
+/// carries and the content-addressed model store derives blob addresses
+/// from — one function, so an object's address *is* its checksum.
+pub fn digest128(bytes: &[u8]) -> [u8; 16] {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013b;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u128;
+        h = h.wrapping_mul(PRIME);
+    }
+    h.to_le_bytes()
+}
+
+fn write_body(out: &mut Vec<u8>, ps: &ParamSet, version: u32) {
     out.extend_from_slice(MAGIC);
-    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&version.to_le_bytes());
     out.extend_from_slice(&(ps.len() as u64).to_le_bytes());
     for id in ps.ids() {
         let name = ps.name(id).as_bytes();
@@ -67,6 +105,25 @@ pub fn save_params(ps: &ParamSet) -> Vec<u8> {
             out.extend_from_slice(&v.to_le_bytes());
         }
     }
+}
+
+/// Serializes every parameter (values, names, trainable flags) to the
+/// current (v2) format: the v1 record stream plus a trailing
+/// [`digest128`] integrity digest.
+pub fn save_params(ps: &ParamSet) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32 + ps.num_scalars() * 4);
+    write_body(&mut out, ps, CHECKPOINT_VERSION);
+    let digest = digest128(&out);
+    out.extend_from_slice(&digest);
+    out
+}
+
+/// Serializes in the legacy v1 format (no integrity trailer). Kept so
+/// forward-compatibility tests can produce genuine v1 streams; new code
+/// should use [`save_params`].
+pub fn save_params_v1(ps: &ParamSet) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + ps.num_scalars() * 4);
+    write_body(&mut out, ps, 1);
     out
 }
 
@@ -76,8 +133,12 @@ struct Reader<'a> {
 }
 
 impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
     fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
-        if self.pos + n > self.buf.len() {
+        if n > self.remaining() {
             return Err(CheckpointError::Truncated);
         }
         let s = &self.buf[self.pos..self.pos + n];
@@ -104,23 +165,45 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Restores a [`ParamSet`] written by [`save_params`]. Parameter ids are
-/// assigned in stream order, so a set saved and reloaded is structurally
-/// identical (same ids, names, shapes, flags, values).
+/// Restores a [`ParamSet`] written by [`save_params`] (v2) or by the
+/// legacy v1 writer. Parameter ids are assigned in stream order, so a
+/// set saved and reloaded is structurally identical (same ids, names,
+/// shapes, flags, values).
 ///
 /// # Errors
 ///
-/// Returns a [`CheckpointError`] for malformed input.
+/// Returns a [`CheckpointError`] for malformed input. Every declared
+/// length is checked against the remaining input before any allocation
+/// is sized from it, so corrupt headers fail fast and cheap.
 pub fn load_params(bytes: &[u8]) -> Result<ParamSet, CheckpointError> {
     let mut r = Reader { buf: bytes, pos: 0 };
     if r.take(4)? != MAGIC {
         return Err(CheckpointError::BadMagic);
     }
     let version = r.u32()?;
-    if version != VERSION {
-        return Err(CheckpointError::UnsupportedVersion(version));
+    match version {
+        1 => {}
+        2 => {
+            // Verify the integrity trailer, then parse only the body.
+            let len = bytes.len();
+            if r.remaining() < DIGEST_LEN {
+                return Err(CheckpointError::Truncated);
+            }
+            let body = &bytes[..len - DIGEST_LEN];
+            if digest128(body) != bytes[len - DIGEST_LEN..] {
+                return Err(CheckpointError::BadChecksum);
+            }
+            r.buf = body;
+        }
+        v => return Err(CheckpointError::UnsupportedVersion(v)),
     }
-    let count = r.u64()? as usize;
+    let count = r.u64()?;
+    // A record occupies at least MIN_RECORD_BYTES, so a count the
+    // remaining bytes cannot possibly carry is rejected before the
+    // parse loop ever runs.
+    if count > r.remaining() as u64 / MIN_RECORD_BYTES {
+        return Err(CheckpointError::Truncated);
+    }
     let mut ps = ParamSet::new();
     for _ in 0..count {
         let name_len = r.u32()? as usize;
@@ -129,16 +212,28 @@ pub fn load_params(bytes: &[u8]) -> Result<ParamSet, CheckpointError> {
             .to_string();
         let trainable = r.take(1)?[0] != 0;
         let rank = r.u32()? as usize;
-        let mut shape = Vec::with_capacity(rank);
-        for _ in 0..rank {
-            shape.push(r.u64()? as usize);
+        // Each dimension is 8 bytes on the wire; size the shape buffer
+        // only after the stream proves it carries that many.
+        if rank > r.remaining() / 8 {
+            return Err(CheckpointError::Truncated);
         }
-        let volume: usize = shape.iter().product();
+        let mut shape = Vec::with_capacity(rank);
+        let mut volume: u64 = 1;
+        for _ in 0..rank {
+            let d = r.u64()?;
+            volume = volume.checked_mul(d).ok_or(CheckpointError::BadShape)?;
+            shape.push(usize::try_from(d).map_err(|_| CheckpointError::BadShape)?);
+        }
+        let value_bytes = volume.checked_mul(4).ok_or(CheckpointError::BadShape)?;
+        if value_bytes > r.remaining() as u64 {
+            return Err(CheckpointError::Truncated);
+        }
+        let volume = usize::try_from(volume).map_err(|_| CheckpointError::BadShape)?;
         let mut data = Vec::with_capacity(volume);
         for _ in 0..volume {
             data.push(r.f32()?);
         }
-        let array = Array::from_vec(data, &shape).map_err(|_| CheckpointError::Truncated)?;
+        let array = Array::from_vec(data, &shape).map_err(|_| CheckpointError::BadShape)?;
         let id = ps.add(name, array);
         ps.set_trainable(id, trainable);
     }
@@ -149,6 +244,7 @@ pub fn load_params(bytes: &[u8]) -> Result<ParamSet, CheckpointError> {
 mod tests {
     use super::*;
     use acme_tensor::{randn, SmallRng64};
+    use rand::RngCore;
 
     fn sample_set() -> ParamSet {
         let mut rng = SmallRng64::new(0);
@@ -160,17 +256,36 @@ mod tests {
         ps
     }
 
+    fn assert_sets_equal(a: &ParamSet, b: &ParamSet) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.ids().zip(b.ids()) {
+            assert_eq!(a.name(x), b.name(y));
+            assert_eq!(a.value(x), b.value(y));
+            assert_eq!(a.is_trainable(x), b.is_trainable(y));
+        }
+    }
+
     #[test]
     fn roundtrip_preserves_everything() {
         let ps = sample_set();
         let bytes = save_params(&ps);
         let back = load_params(&bytes).unwrap();
-        assert_eq!(back.len(), ps.len());
-        for (a, b) in ps.ids().zip(back.ids()) {
-            assert_eq!(ps.name(a), back.name(b));
-            assert_eq!(ps.value(a), back.value(b));
-            assert_eq!(ps.is_trainable(a), back.is_trainable(b));
-        }
+        assert_sets_equal(&ps, &back);
+    }
+
+    #[test]
+    fn v1_streams_still_load() {
+        // Forward compatibility: bytes written by the legacy v1 writer
+        // load under the v2-aware loader with identical content.
+        let ps = sample_set();
+        let v1 = save_params_v1(&ps);
+        assert_eq!(&v1[4..8], &1u32.to_le_bytes());
+        let back = load_params(&v1).unwrap();
+        assert_sets_equal(&ps, &back);
+        // And v2 is exactly v1 plus the 16-byte digest trailer.
+        let v2 = save_params(&ps);
+        assert_eq!(v2.len(), v1.len() + 16);
+        assert_eq!(&v2[8..v1.len()], &v1[8..]);
     }
 
     #[test]
@@ -195,7 +310,11 @@ mod tests {
         );
         let mut bytes = save_params(&sample_set());
         bytes.truncate(bytes.len() - 3);
-        assert_eq!(load_params(&bytes).unwrap_err(), CheckpointError::Truncated);
+        // Dropping trailer bytes breaks the digest window alignment.
+        assert_eq!(
+            load_params(&bytes).unwrap_err(),
+            CheckpointError::BadChecksum
+        );
         // Wrong version.
         let mut bytes = save_params(&sample_set());
         bytes[4] = 99;
@@ -206,10 +325,143 @@ mod tests {
     }
 
     #[test]
+    fn v2_detects_bit_flips_anywhere() {
+        let ps = sample_set();
+        let good = save_params(&ps);
+        // Flip one bit in every byte position past the version field; the
+        // digest must catch each one (a flip inside the digest itself
+        // included).
+        for pos in 8..good.len() {
+            let mut bad = good.clone();
+            bad[pos] ^= 0x40;
+            assert_eq!(
+                load_params(&bad).unwrap_err(),
+                CheckpointError::BadChecksum,
+                "flip at {pos} went undetected"
+            );
+        }
+    }
+
+    /// Builds a syntactically valid v1 header with an arbitrary body so
+    /// corrupt-header tests bypass the v2 digest (which would otherwise
+    /// mask them) and hit the length validation directly.
+    fn v1_stream(count: u64, body: &[u8]) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&count.to_le_bytes());
+        bytes.extend_from_slice(body);
+        bytes
+    }
+
+    #[test]
+    fn huge_declared_count_fails_before_allocating() {
+        // Regression: `param count = u64::MAX` must be rejected against
+        // the remaining stream length, not looped over.
+        for count in [u64::MAX, u64::MAX / 2, 1 << 40] {
+            let bytes = v1_stream(count, &[0u8; 64]);
+            assert_eq!(load_params(&bytes).unwrap_err(), CheckpointError::Truncated);
+        }
+    }
+
+    #[test]
+    fn huge_declared_name_fails_before_allocating() {
+        // One record whose name claims 4 GiB against a 6-byte body.
+        let mut body = Vec::new();
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        body.extend_from_slice(b"ab");
+        let bytes = v1_stream(1, &body);
+        assert_eq!(load_params(&bytes).unwrap_err(), CheckpointError::Truncated);
+    }
+
+    #[test]
+    fn huge_declared_rank_fails_before_allocating() {
+        // Regression: a rank of ~4 billion used to size an 8-byte-per-dim
+        // Vec before a single dimension was read.
+        let mut body = Vec::new();
+        body.extend_from_slice(&1u32.to_le_bytes()); // name len 1
+        body.push(b'w');
+        body.push(1); // trainable
+        body.extend_from_slice(&u32::MAX.to_le_bytes()); // rank
+        body.extend_from_slice(&[0u8; 32]);
+        let bytes = v1_stream(1, &body);
+        assert_eq!(load_params(&bytes).unwrap_err(), CheckpointError::Truncated);
+    }
+
+    #[test]
+    fn overflowing_dims_are_bad_shape_not_missized() {
+        // Regression: dims whose product wraps `usize` used to mis-size
+        // the value read; now they are a typed BadShape error.
+        let mut body = Vec::new();
+        body.extend_from_slice(&1u32.to_le_bytes());
+        body.push(b'w');
+        body.push(1);
+        body.extend_from_slice(&3u32.to_le_bytes()); // rank 3
+        body.extend_from_slice(&(1u64 << 32).to_le_bytes());
+        body.extend_from_slice(&(1u64 << 32).to_le_bytes());
+        body.extend_from_slice(&16u64.to_le_bytes());
+        let bytes = v1_stream(1, &body);
+        assert_eq!(load_params(&bytes).unwrap_err(), CheckpointError::BadShape);
+        // A volume that fits u64 but not the stream is Truncated.
+        let mut body = Vec::new();
+        body.extend_from_slice(&1u32.to_le_bytes());
+        body.push(b'w');
+        body.push(1);
+        body.extend_from_slice(&2u32.to_le_bytes()); // rank 2
+        body.extend_from_slice(&(1u64 << 20).to_le_bytes());
+        body.extend_from_slice(&(1u64 << 20).to_le_bytes());
+        let bytes = v1_stream(1, &body);
+        assert_eq!(load_params(&bytes).unwrap_err(), CheckpointError::Truncated);
+        // And a volume whose *byte* size overflows u64 is BadShape.
+        let mut body = Vec::new();
+        body.extend_from_slice(&1u32.to_le_bytes());
+        body.push(b'w');
+        body.push(1);
+        body.extend_from_slice(&2u32.to_le_bytes());
+        body.extend_from_slice(&(1u64 << 62).to_le_bytes());
+        body.extend_from_slice(&2u64.to_le_bytes());
+        let bytes = v1_stream(1, &body);
+        assert_eq!(load_params(&bytes).unwrap_err(), CheckpointError::BadShape);
+    }
+
+    #[test]
+    fn fuzzed_streams_never_panic() {
+        // Deterministic mutation fuzzing over both versions: every
+        // truncation point and a seeded storm of byte mutations must
+        // produce Ok or a typed error, never a panic or a huge alloc.
+        let ps = sample_set();
+        for base in [save_params(&ps), save_params_v1(&ps)] {
+            for cut in 0..base.len() {
+                let _ = load_params(&base[..cut]);
+            }
+            let mut rng = SmallRng64::new(0xfacade);
+            for _ in 0..2000 {
+                let mut bytes = base.clone();
+                let flips = 1 + (rng.next_u64() as usize) % 8;
+                for _ in 0..flips {
+                    let pos = (rng.next_u64() as usize) % bytes.len();
+                    bytes[pos] = rng.next_u64() as u8;
+                }
+                let _ = load_params(&bytes);
+            }
+        }
+    }
+
+    #[test]
     fn empty_set_roundtrips() {
         let ps = ParamSet::new();
         let back = load_params(&save_params(&ps)).unwrap();
         assert!(back.is_empty());
+        let back = load_params(&save_params_v1(&ps)).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn digest128_is_stable_and_sensitive() {
+        let a = digest128(b"acme");
+        assert_eq!(a, digest128(b"acme"));
+        assert_ne!(a, digest128(b"acmf"));
+        assert_ne!(digest128(b""), [0u8; 16]);
     }
 
     #[test]

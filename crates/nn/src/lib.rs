@@ -48,7 +48,9 @@ mod transformer;
 
 pub use activation::Activation;
 pub use attention::MultiHeadSelfAttention;
-pub use checkpoint::{load_params, save_params, CheckpointError};
+pub use checkpoint::{
+    digest128, load_params, save_params, save_params_v1, CheckpointError, CHECKPOINT_VERSION,
+};
 pub use conv::Conv2dLayer;
 pub use linear::{EmbeddingLayer, Linear, Mlp};
 pub use lstm::LstmCell;

@@ -20,7 +20,7 @@ use crate::variant::VariantStore;
 pub struct Request {
     /// Caller-assigned id, echoed in the [`Response`].
     pub id: usize,
-    /// Device variant to serve (indexes [`VariantStore::devices`]).
+    /// Device variant to serve (resolved via [`VariantStore::device`]).
     pub device: usize,
     /// Input image, shape `[channels, image, image]`.
     pub input: Array,

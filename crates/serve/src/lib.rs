@@ -32,6 +32,7 @@ pub mod batcher;
 pub mod engine;
 pub mod loadgen;
 pub mod metrics;
+pub mod persist;
 pub mod server;
 pub mod variant;
 
@@ -39,6 +40,7 @@ pub use acme_tensor::Precision;
 pub use batcher::{Batcher, BatcherConfig, QueuedRequest};
 pub use engine::{BatchEngine, ExitPolicy, Request, Response};
 pub use loadgen::{replay, trace, LoadGenConfig};
+pub use persist::{ManifestVariant, StoreManifest};
 pub use server::{serve, Completion, ServeReport, ServerConfig};
 pub use variant::{
     ClusterModel, DeviceVariant, ServeModelConfig, StoreConfig, VariantStore,

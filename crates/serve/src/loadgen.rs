@@ -51,7 +51,7 @@ fn unit(rng: &mut SmallRng64) -> f64 {
 /// uniform noise images; ids are sequential).
 pub fn trace(store: &VariantStore, cfg: &LoadGenConfig) -> Vec<Request> {
     let mut rng = SmallRng64::new(cfg.seed);
-    let devices = store.devices().len();
+    let devices = store.num_devices();
     // Zipf CDF over devices ranked by index.
     let weights: Vec<f64> = (0..devices)
         .map(|d| 1.0 / ((d + 1) as f64).powf(cfg.zipf_exponent))

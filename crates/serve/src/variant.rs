@@ -9,14 +9,17 @@
 //! device's own exit heads, class-pruned to the label subset the device
 //! actually observes.
 
+use std::sync::OnceLock;
+
 use acme_nn::{Activation, ParamId, ParamSet};
+use acme_store::VariantDelta;
 use acme_tensor::{Array, Graph, Precision, SmallRng64, Var};
 use acme_vit::{MultiExitVit, Vit, VitConfig};
 use rand::RngCore;
 
 /// Model shape served by a cluster: the ViT backbone plus its exit
 /// positions.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeModelConfig {
     /// Backbone architecture.
     pub vit: VitConfig,
@@ -202,13 +205,49 @@ impl DeviceVariant {
     }
 }
 
+/// One device slot in the [`VariantStore`]: the variant itself when it
+/// has been materialized, or the structural delta to materialize it
+/// from (stores loaded from an [`acme_store::ModelStore`] start with
+/// every slot unmaterialized — see [`VariantStore::from_store`]).
+#[derive(Debug)]
+pub(crate) struct VariantSlot {
+    pub(crate) cluster: usize,
+    /// Present iff the slot can (re)materialize lazily; slots built
+    /// in-memory are seeded directly into `cell` and carry no delta.
+    pub(crate) delta: Option<VariantDelta>,
+    pub(crate) cell: OnceLock<DeviceVariant>,
+}
+
+impl VariantSlot {
+    pub(crate) fn materialized(cluster: usize, variant: DeviceVariant) -> Self {
+        let cell = OnceLock::new();
+        cell.set(variant).expect("fresh cell");
+        VariantSlot {
+            cluster,
+            delta: None,
+            cell,
+        }
+    }
+
+    pub(crate) fn lazy(cluster: usize, delta: VariantDelta) -> Self {
+        VariantSlot {
+            cluster,
+            delta: Some(delta),
+            cell: OnceLock::new(),
+        }
+    }
+}
+
 /// All variants a serving process can resolve: cluster backbones plus
 /// per-device pruned headers.
 #[derive(Debug)]
 pub struct VariantStore {
     clusters: Vec<ClusterModel>,
-    devices: Vec<DeviceVariant>,
+    pub(crate) slots: Vec<VariantSlot>,
     precision: Precision,
+    /// The served model shape, kept so the store can be persisted (the
+    /// manifest records it) and rebuilt from blobs.
+    model: ServeModelConfig,
 }
 
 impl VariantStore {
@@ -242,18 +281,41 @@ impl VariantStore {
                 ClusterModel { vit, exits, params }
             })
             .collect();
-        let devices = (0..cfg.devices)
+        let slots = (0..cfg.devices)
             .map(|d| {
                 let cluster = d % cfg.clusters;
                 let mut rng = root.fork(0xdec1_ce00 + d as u64);
-                Self::prune_variant(&clusters[cluster], cluster, cfg, &mut rng)
+                let variant = Self::prune_variant(&clusters[cluster], cluster, cfg, &mut rng);
+                VariantSlot::materialized(cluster, variant)
             })
             .collect();
         VariantStore {
             clusters,
-            devices,
+            slots,
             precision: cfg.precision,
+            model: cfg.model.clone(),
         }
+    }
+
+    /// Assembles a store from already-constructed parts (used by the
+    /// persistence path when rebuilding from blobs).
+    pub(crate) fn from_parts(
+        clusters: Vec<ClusterModel>,
+        slots: Vec<VariantSlot>,
+        precision: Precision,
+        model: ServeModelConfig,
+    ) -> Self {
+        VariantStore {
+            clusters,
+            slots,
+            precision,
+            model,
+        }
+    }
+
+    /// The served model shape.
+    pub fn model_config(&self) -> &ServeModelConfig {
+        &self.model
     }
 
     /// The precision this store's variants are deployed at. The batch
@@ -319,27 +381,48 @@ impl VariantStore {
         &self.clusters
     }
 
-    /// The device variants; a request's `device` field indexes here.
-    pub fn devices(&self) -> &[DeviceVariant] {
-        &self.devices
+    /// Number of device variants; a request's `device` field is bounded
+    /// by this.
+    pub fn num_devices(&self) -> usize {
+        self.slots.len()
     }
 
-    /// The variant for `device`.
+    /// How many device variants are currently materialized. A store
+    /// freshly loaded from blobs ([`VariantStore::from_store`]) starts
+    /// at zero and materializes per device on first request.
+    pub fn materialized_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.cell.get().is_some()).count()
+    }
+
+    /// The variant for `device`, materializing it from backbone + delta
+    /// on first access (thread-safe; concurrent first accesses race
+    /// benignly and all observe one winner).
     ///
     /// # Panics
     ///
     /// Panics when `device` is out of range.
     pub fn device(&self, device: usize) -> &DeviceVariant {
-        &self.devices[device]
+        let slot = &self.slots[device];
+        slot.cell.get_or_init(|| {
+            let delta = slot
+                .delta
+                .as_ref()
+                .expect("unmaterialized slot must carry a delta");
+            let params = delta
+                .apply(&self.clusters[slot.cluster].params)
+                .expect("delta validated against its backbone at load time");
+            device_variant_from_params(slot.cluster, delta, params)
+        })
     }
 
-    /// The backbone the given device runs on.
+    /// The backbone the given device runs on (does not materialize the
+    /// variant).
     ///
     /// # Panics
     ///
     /// Panics when `device` is out of range.
     pub fn cluster_of(&self, device: usize) -> &ClusterModel {
-        &self.clusters[self.devices[device].cluster]
+        &self.clusters[self.slots[device].cluster]
     }
 
     /// Input shape `[channels, image, image]` every request must carry.
@@ -353,6 +436,26 @@ impl VariantStore {
 /// raw RNG stream (bit-stable across `rand` backend versions).
 fn personalization_delta(rng: &mut SmallRng64) -> f32 {
     ((rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32 - 0.5) * 0.1
+}
+
+/// Rebuilds a [`DeviceVariant`] from a delta-applied [`ParamSet`]. The
+/// delta's ops are in the variant's original registration order (one
+/// `exit{e}.head.w` / `exit{e}.head.b` pair per exit), so consecutive id
+/// pairs are the per-exit `[weight, bias]` bindings.
+pub(crate) fn device_variant_from_params(
+    cluster: usize,
+    delta: &VariantDelta,
+    params: ParamSet,
+) -> DeviceVariant {
+    debug_assert_eq!(params.len() % 2, 0, "head params come in (w, b) pairs");
+    let ids: Vec<ParamId> = params.ids().collect();
+    let head_ids = ids.chunks_exact(2).map(|c| [c[0], c[1]]).collect();
+    DeviceVariant {
+        cluster,
+        classes: delta.classes.iter().map(|&c| c as usize).collect(),
+        params,
+        head_ids,
+    }
 }
 
 #[cfg(test)]
@@ -389,7 +492,10 @@ mod tests {
             precision: Precision::F32,
         };
         let store = VariantStore::build(&cfg, 1);
-        for (d, v) in store.devices().iter().enumerate() {
+        assert_eq!(store.num_devices(), 4);
+        assert_eq!(store.materialized_count(), 4, "built stores are eager");
+        for d in 0..store.num_devices() {
+            let v = store.device(d);
             assert_eq!(v.cluster, d % 2);
             assert_eq!(v.classes.len(), 4);
             assert!(v.classes.windows(2).all(|w| w[0] < w[1]));

@@ -1,0 +1,265 @@
+//! Little-endian wire primitives shared by the store's serialized
+//! formats ([`VariantDelta`](crate::VariantDelta) here, the fleet-run
+//! checkpoint in `acme-distsys`).
+//!
+//! The reader enforces the repo-wide robustness rule from the checkpoint
+//! bugfix sweep: every declared length is validated against the bytes
+//! actually remaining *before* any allocation is sized from it.
+
+/// Error from a [`ByteReader`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The stream ended before the declared content, or declares more
+    /// content than it carries.
+    Truncated,
+    /// The stream does not start with the expected magic bytes.
+    BadMagic,
+    /// The stream declares an unsupported format version.
+    UnsupportedVersion(u32),
+    /// The trailing integrity digest does not match the content.
+    BadChecksum,
+    /// An enum tag byte has no defined meaning.
+    BadTag(u8),
+    /// A string field is not valid UTF-8.
+    BadName,
+    /// A declared shape or count is unrepresentable on this platform.
+    BadShape,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "stream truncated"),
+            WireError::BadMagic => write!(f, "bad magic bytes"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
+            WireError::BadChecksum => write!(f, "integrity digest mismatch"),
+            WireError::BadTag(t) => write!(f, "unknown tag byte {t}"),
+            WireError::BadName => write!(f, "string field is not valid utf-8"),
+            WireError::BadShape => write!(f, "declared shape is unrepresentable"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Append-only little-endian writer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// An empty writer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        ByteWriter {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends raw bytes.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f32`.
+    pub fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a length-prefixed (u32) UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.bytes(s.as_bytes());
+    }
+
+    /// Bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the writer, returning the buffer.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Length-validating little-endian reader over a byte slice.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the whole input was consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Takes the next `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if n > self.remaining() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.bytes(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.bytes(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `f64`.
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(
+            self.bytes(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `f32`.
+    pub fn f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_le_bytes(
+            self.bytes(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a length-prefixed (u32) UTF-8 string. The declared length
+    /// is bounded by the remaining input before anything is copied.
+    pub fn str(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let raw = self.bytes(len)?;
+        Ok(std::str::from_utf8(raw)
+            .map_err(|_| WireError::BadName)?
+            .to_string())
+    }
+
+    /// Validates a declared element count against the remaining input
+    /// (`count · elem_bytes` must still be readable) and converts it to
+    /// `usize`. Call this before sizing any collection from a count the
+    /// stream declares.
+    pub fn checked_count(&self, count: u64, elem_bytes: usize) -> Result<usize, WireError> {
+        debug_assert!(elem_bytes > 0);
+        if count > (self.remaining() / elem_bytes) as u64 {
+            return Err(WireError::Truncated);
+        }
+        usize::try_from(count).map_err(|_| WireError::BadShape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_primitives() {
+        let mut w = ByteWriter::new();
+        w.u8(7);
+        w.u32(0xdead_beef);
+        w.u64(u64::MAX - 1);
+        w.f32(-0.0);
+        w.f64(2.5);
+        w.str("ünïcode");
+        let bytes = w.into_vec();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.f32().unwrap().to_bits(), (-0.0f32).to_bits());
+        assert_eq!(r.f64().unwrap(), 2.5);
+        assert_eq!(r.str().unwrap(), "ünïcode");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut r = ByteReader::new(&[1, 2]);
+        assert_eq!(r.u32().unwrap_err(), WireError::Truncated);
+        // A failed read consumes nothing.
+        assert_eq!(r.remaining(), 2);
+        assert_eq!(r.u8().unwrap(), 1);
+    }
+
+    #[test]
+    fn oversized_declared_string_is_rejected_before_copy() {
+        let mut w = ByteWriter::new();
+        w.u32(u32::MAX);
+        w.bytes(b"ab");
+        let bytes = w.into_vec();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.str().unwrap_err(), WireError::Truncated);
+    }
+
+    #[test]
+    fn checked_count_bounds_against_remaining() {
+        let r = ByteReader::new(&[0u8; 40]);
+        assert_eq!(r.checked_count(10, 4).unwrap(), 10);
+        assert_eq!(r.checked_count(11, 4).unwrap_err(), WireError::Truncated);
+        assert_eq!(
+            r.checked_count(u64::MAX, 1).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+
+    #[test]
+    fn invalid_utf8_is_bad_name() {
+        let mut w = ByteWriter::new();
+        w.u32(2);
+        w.bytes(&[0xff, 0xfe]);
+        let bytes = w.into_vec();
+        assert_eq!(
+            ByteReader::new(&bytes).str().unwrap_err(),
+            WireError::BadName
+        );
+    }
+}

@@ -48,18 +48,6 @@ step "int8 oracle matrix (quantized GEMM vs scalar oracle, 1/2/4 threads)"
 cargo test -p acme-tensor --release --lib "${CARGO_FLAGS[@]}" -q qgemm
 cargo test -p acme-tensor --release --test qgemm_props -q "${CARGO_FLAGS[@]}"
 
-step "deprecated-shim gate (run_acme_protocol must not reaccumulate)"
-# clippy -D warnings already rejects un-allowed deprecated calls; this
-# also stops #[allow(deprecated)] escapes of the protocol shims outside
-# the one equivalence test that lives beside their definitions.
-SHIM_HITS="$(grep -rln "run_acme_protocol" examples tests crates/bench/src \
-    crates/bench/benches 2>/dev/null | grep -v "tests/protocol_accounting.rs" || true)"
-if [[ -n "$SHIM_HITS" ]]; then
-    echo "error: deprecated run_acme_protocol referenced outside its shim:" >&2
-    echo "$SHIM_HITS" >&2
-    exit 1
-fi
-
 step "fault-matrix smoke (release, real timers)"
 # The fault matrix exercises recv timeouts, retransmission, and
 # per-cluster degradation against wall-clock budgets; run it in release
@@ -128,6 +116,37 @@ print(f"serving OK: {len(rows)} rows, "
       f"int8 vs f32 {max(r['speedup_vs_f32'] for r in int8):.2f}x")
 PY
 rm -f "$SERVE_SMOKE_OUT"
+
+step "model-store smoke (persist/restore footprint under a wall-clock ceiling)"
+# Persist one fleet into the content-addressed store, restore it, and
+# verify the bitwise round-trip plus the committed >= 10x saving over
+# naive per-device checkpoints. Writes to a scratch path to leave the
+# committed full-sweep BENCH_store.json alone, then validates the JSON
+# shape here.
+STORE_SMOKE_OUT="$(mktemp -t acme-store-smoke.XXXXXX.json)"
+cargo run --release -p acme-bench --bin store "${CARGO_FLAGS[@]}" -- \
+    --smoke --out "$STORE_SMOKE_OUT"
+python3 - "$STORE_SMOKE_OUT" <<'PY'
+import json, sys
+rows = json.load(open(sys.argv[1]))
+assert rows, "store sweep emitted no rows"
+keys = {"bench", "fleet_devices", "clusters", "backbone_params",
+        "backbone_blob_bytes", "mean_delta_bytes", "manifest_bytes",
+        "store_bytes", "naive_bytes", "ratio", "persist_s", "restore_s",
+        "bitwise_identical"}
+for r in rows:
+    assert set(r) == keys, f"row keys drifted: {sorted(set(r) ^ keys)}"
+    assert r["bench"] == "store"
+    assert r["bitwise_identical"] is True, "restored fleet drifted bitwise"
+    assert r["store_bytes"] < r["naive_bytes"]
+    assert r["ratio"] >= 10, \
+        f"store is only {r['ratio']:.1f}x smaller than naive (need >= 10x)"
+    assert r["mean_delta_bytes"] * 10 < r["backbone_blob_bytes"], \
+        "per-device deltas are not small against the backbone"
+print(f"store OK: {len(rows)} rows, "
+      f"best saving {max(r['ratio'] for r in rows):.1f}x over naive")
+PY
+rm -f "$STORE_SMOKE_OUT"
 
 step "observability smoke (fault-injected trace -> acme-obs-trace-v1)"
 # Run the fault-injected example with tracing on and validate the

@@ -16,5 +16,8 @@
 //! * [`acme_serve`] — multi-tenant batched inference over the per-device
 //!   variants the pipeline produces (variant store, shape-aware batcher,
 //!   early-exit engine, worker-pool server, load generator).
+//! * [`acme_store`] — content-addressed model store: shared backbone
+//!   checkpoint blobs, per-device structural deltas, and versioned wire
+//!   formats behind fleet persist/restore.
 
 pub use acme::*;

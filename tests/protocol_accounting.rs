@@ -6,8 +6,7 @@ use acme_distsys::protocol::{centralized_transfers, ProtocolConfig};
 use acme_energy::Fleet;
 
 /// All protocol runs go through the [`ProtocolRun`] builder (re-exported
-/// by the `acme` umbrella), the replacement for the deprecated
-/// `run_acme_protocol` shims.
+/// by the `acme` umbrella).
 fn run(fleet: &Fleet, cfg: &ProtocolConfig) -> acme_distsys::protocol::ProtocolOutcome {
     ProtocolRun::new(fleet)
         .config(cfg.clone())

@@ -39,7 +39,7 @@ fn test_store(devices: usize) -> VariantStore {
 /// stream (bit-stable across `rand` backend versions).
 fn test_requests(store: &VariantStore, n: usize, seed: u64) -> Vec<Request> {
     let [c, h, w] = store.input_shape();
-    let devices = store.devices().len();
+    let devices = store.num_devices();
     let mut rng = SmallRng64::new(seed);
     (0..n)
         .map(|id| {
