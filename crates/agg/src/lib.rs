@@ -10,6 +10,11 @@
 //! The Jensen–Shannon divergence and plain averaging are included as the
 //! `JS` and `Avg` baselines of Fig. 11.
 //!
+//! Since PR 10 the crate also hosts the sliding-window [`DriftDetector`]
+//! that watches per-device statistics post-deployment, and every metric
+//! validates its inputs through the typed [`MetricError`] instead of
+//! panicking (or silently returning `0.0` for an empty window).
+//!
 //! ```
 //! use acme_agg::{similarity_matrix_wasserstein, normalize_similarity, aggregate_importance};
 //! use acme_tensor::{Array, SmallRng64};
@@ -19,20 +24,24 @@
 //! let b = Array::from_vec(vec![0.05, 0.0, 0.12, 0.1], &[2, 2]).unwrap();
 //! let c = Array::from_vec(vec![5.0, 5.0, 5.1, 5.2], &[2, 2]).unwrap();
 //! let mut rng = SmallRng64::new(0);
-//! let sim = similarity_matrix_wasserstein(&[a, b, c], 16, &mut rng);
+//! let sim = similarity_matrix_wasserstein(&[a, b, c], 16, &mut rng).unwrap();
 //! assert!(sim[0][1] > sim[0][2]); // a is closer to b than to c
-//! let weights = normalize_similarity(&sim);
+//! let weights = normalize_similarity(&sim).unwrap();
 //! let sets = vec![vec![1.0, 0.0], vec![1.0, 0.2], vec![0.0, 9.0]];
 //! let fused = aggregate_importance(&sets, &weights, 0);
 //! assert_eq!(fused.len(), 2);
 //! ```
 
 mod divergence;
+mod drift;
+mod error;
 mod importance;
 mod similarity;
 mod wasserstein;
 
 pub use divergence::{js_divergence, kl_divergence};
+pub use drift::{DriftDetector, DriftDetectorConfig, DriftStatus};
+pub use error::MetricError;
 pub use importance::{
     aggregate_importance, aggregation_weights, importance_set_from_grads, least_important,
     AggregationMethod, ImportanceSet,

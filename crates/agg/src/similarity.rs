@@ -5,6 +5,7 @@ use acme_tensor::{Array, SmallRng64};
 use rand::Rng;
 
 use crate::divergence::js_divergence;
+use crate::error::MetricError;
 use crate::wasserstein::sliced_wasserstein;
 
 /// Similarity matrix from per-device feature clouds using the Wasserstein
@@ -14,27 +15,31 @@ use crate::wasserstein::sliced_wasserstein;
 /// `features[i]` is an `[n_i, d]` matrix of extracted features from a
 /// tiny random sample of `D_i` (the paper's `D̃_i`).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when fewer than one device or mismatched feature widths.
+/// Returns [`MetricError::NoDevices`] for an empty fleet and propagates
+/// any [`sliced_wasserstein`] validation error (mismatched widths, bad
+/// ranks, empty clouds).
 pub fn similarity_matrix_wasserstein(
     features: &[Array],
     projections: usize,
     rng: &mut impl Rng,
-) -> Vec<Vec<f64>> {
-    assert!(!features.is_empty(), "similarity of zero devices");
+) -> Result<Vec<Vec<f64>>, MetricError> {
+    if features.is_empty() {
+        return Err(MetricError::NoDevices);
+    }
     let n = features.len();
     let mut sim = vec![vec![0.0; n]; n];
     for i in 0..n {
         sim[i][i] = 1.0;
         for j in (i + 1)..n {
-            let d = sliced_wasserstein(&features[i], &features[j], projections, rng);
+            let d = sliced_wasserstein(&features[i], &features[j], projections, rng)?;
             let w = 1.0 / (1.0 + d);
             sim[i][j] = w;
             sim[j][i] = w;
         }
     }
-    sim
+    Ok(sim)
 }
 
 /// [`similarity_matrix_wasserstein`] with every upper-triangle pair
@@ -44,16 +49,19 @@ pub fn similarity_matrix_wasserstein(
 /// not bit-identical to the serial function, which threads one stream
 /// through all pairs).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when fewer than one device or mismatched feature widths.
+/// Same contract as [`similarity_matrix_wasserstein`]; the first
+/// validation error in row-major pair order is the one reported.
 pub fn similarity_matrix_wasserstein_on(
     pool: &Pool,
     features: &[Array],
     projections: usize,
     rng: &mut SmallRng64,
-) -> Vec<Vec<f64>> {
-    assert!(!features.is_empty(), "similarity of zero devices");
+) -> Result<Vec<Vec<f64>>, MetricError> {
+    if features.is_empty() {
+        return Err(MetricError::NoDevices);
+    }
     let n = features.len();
     let mut pairs: Vec<(usize, usize, SmallRng64)> = Vec::with_capacity(n * (n - 1) / 2);
     for i in 0..n {
@@ -63,49 +71,56 @@ pub fn similarity_matrix_wasserstein_on(
     }
     let dists = pool.par_map(pairs, |_, (i, j, mut pair_rng)| {
         let d = sliced_wasserstein(&features[i], &features[j], projections, &mut pair_rng);
-        (i, j, 1.0 / (1.0 + d))
+        (i, j, d.map(|d| 1.0 / (1.0 + d)))
     });
     let mut sim = vec![vec![0.0; n]; n];
     for (i, row) in sim.iter_mut().enumerate() {
         row[i] = 1.0;
     }
+    // `par_map` preserves input order, so the first error here is the
+    // first in row-major pair order — identical to the serial function.
     for (i, j, w) in dists {
+        let w = w?;
         sim[i][j] = w;
         sim[j][i] = w;
     }
-    sim
+    Ok(sim)
 }
 
 /// Similarity matrix from per-device label distributions using the JS
 /// divergence — the `JS` baseline of Figs. 10–11: `w_ij = 1/(1+JS_ij)`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when distributions have mismatched lengths.
-pub fn similarity_matrix_js(label_dists: &[Vec<f64>]) -> Vec<Vec<f64>> {
-    assert!(!label_dists.is_empty(), "similarity of zero devices");
+/// Returns [`MetricError::NoDevices`] for an empty fleet and
+/// [`MetricError::LengthMismatch`] when distributions have different
+/// supports.
+pub fn similarity_matrix_js(label_dists: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, MetricError> {
+    if label_dists.is_empty() {
+        return Err(MetricError::NoDevices);
+    }
     let n = label_dists.len();
     let mut sim = vec![vec![0.0; n]; n];
     for i in 0..n {
         sim[i][i] = 1.0;
         for j in (i + 1)..n {
-            let d = js_divergence(&label_dists[i], &label_dists[j]);
+            let d = js_divergence(&label_dists[i], &label_dists[j])?;
             let w = 1.0 / (1.0 + d);
             sim[i][j] = w;
             sim[j][i] = w;
         }
     }
-    sim
+    Ok(sim)
 }
 
 /// Regularizes a similarity matrix per Eq. (20): symmetrize through the
 /// elementwise square root of `W·Wᵀ`, then normalize rows with a softmax.
 /// Every row of the result sums to 1.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on a non-square input.
-pub fn normalize_similarity(sim: &[Vec<f64>]) -> Vec<Vec<f64>> {
+/// Returns [`MetricError::NotSquare`] on a ragged or non-square input.
+pub fn normalize_similarity(sim: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, MetricError> {
     normalize_similarity_with_temperature(sim, 1.0)
 }
 
@@ -118,16 +133,24 @@ pub fn normalize_similarity(sim: &[Vec<f64>]) -> Vec<Vec<f64>> {
 /// near-uniform weights. A small `tau` (e.g. `0.02`) restores the
 /// contrast the paper's Fig. 10 displays without changing the ranking.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on a non-square input or non-positive `tau`.
-pub fn normalize_similarity_with_temperature(sim: &[Vec<f64>], tau: f64) -> Vec<Vec<f64>> {
+/// Returns [`MetricError::NotSquare`] on a non-square input and
+/// [`MetricError::BadTemperature`] when `tau` is not positive and finite.
+pub fn normalize_similarity_with_temperature(
+    sim: &[Vec<f64>],
+    tau: f64,
+) -> Result<Vec<Vec<f64>>, MetricError> {
     let n = sim.len();
-    assert!(
-        sim.iter().all(|r| r.len() == n),
-        "similarity matrix must be square"
-    );
-    assert!(tau > 0.0, "temperature must be positive");
+    if let Some(row) = sim.iter().find(|r| r.len() != n) {
+        return Err(MetricError::NotSquare {
+            rows: n,
+            row_len: row.len(),
+        });
+    }
+    if !(tau > 0.0 && tau.is_finite()) {
+        return Err(MetricError::BadTemperature(tau));
+    }
     // W̄ = sqrt(W · Wᵀ) elementwise.
     let mut bar = vec![vec![0.0; n]; n];
     for i in 0..n {
@@ -146,7 +169,7 @@ pub fn normalize_similarity_with_temperature(sim: &[Vec<f64>], tau: f64) -> Vec<
             out[i][j] = exps[j] / s;
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -158,7 +181,7 @@ mod tests {
     fn wasserstein_similarity_is_symmetric_with_unit_diagonal() {
         let mut rng = SmallRng64::new(0);
         let feats: Vec<Array> = (0..3).map(|_| randn(&[10, 4], &mut rng)).collect();
-        let sim = similarity_matrix_wasserstein(&feats, 8, &mut rng);
+        let sim = similarity_matrix_wasserstein(&feats, 8, &mut rng).unwrap();
         for (i, row) in sim.iter().enumerate() {
             assert_eq!(row[i], 1.0);
             for (j, &v) in row.iter().enumerate() {
@@ -174,7 +197,7 @@ mod tests {
         let base = randn(&[20, 4], &mut rng);
         let near = base.add_scalar(0.05);
         let far = base.add_scalar(4.0);
-        let sim = similarity_matrix_wasserstein(&[base, near, far], 16, &mut rng);
+        let sim = similarity_matrix_wasserstein(&[base, near, far], 16, &mut rng).unwrap();
         assert!(sim[0][1] > sim[0][2]);
     }
 
@@ -182,8 +205,10 @@ mod tests {
     fn parallel_similarity_is_thread_count_invariant() {
         let mut rng = SmallRng64::new(3);
         let feats: Vec<Array> = (0..5).map(|_| randn(&[12, 4], &mut rng)).collect();
-        let serial = similarity_matrix_wasserstein_on(&Pool::serial(), &feats, 8, &mut rng.clone());
-        let parallel = similarity_matrix_wasserstein_on(&Pool::new(4), &feats, 8, &mut rng);
+        let serial =
+            similarity_matrix_wasserstein_on(&Pool::serial(), &feats, 8, &mut rng.clone()).unwrap();
+        let parallel =
+            similarity_matrix_wasserstein_on(&Pool::new(4), &feats, 8, &mut rng).unwrap();
         assert_eq!(serial, parallel);
         for (i, row) in serial.iter().enumerate() {
             assert_eq!(row[i], 1.0);
@@ -194,13 +219,37 @@ mod tests {
     }
 
     #[test]
+    fn empty_fleet_and_ragged_widths_are_typed_errors() {
+        let mut rng = SmallRng64::new(0);
+        assert_eq!(
+            similarity_matrix_wasserstein(&[], 8, &mut rng),
+            Err(MetricError::NoDevices)
+        );
+        let a = randn(&[4, 3], &mut rng);
+        let b = randn(&[4, 5], &mut rng);
+        assert_eq!(
+            similarity_matrix_wasserstein(&[a.clone(), b.clone()], 8, &mut rng),
+            Err(MetricError::WidthMismatch { left: 3, right: 5 })
+        );
+        assert_eq!(
+            similarity_matrix_wasserstein_on(&Pool::new(2), &[a, b], 8, &mut rng),
+            Err(MetricError::WidthMismatch { left: 3, right: 5 })
+        );
+        assert_eq!(similarity_matrix_js(&[]), Err(MetricError::NoDevices));
+        assert_eq!(
+            similarity_matrix_js(&[vec![1.0], vec![0.5, 0.5]]),
+            Err(MetricError::LengthMismatch { left: 1, right: 2 })
+        );
+    }
+
+    #[test]
     fn js_similarity_matches_block_structure() {
         // Devices 0-2 share one distribution, 3-4 another (the Fig. 10
         // setup).
         let d1 = vec![0.5, 0.5, 0.0, 0.0];
         let d2 = vec![0.0, 0.0, 0.5, 0.5];
         let dists = vec![d1.clone(), d1.clone(), d1, d2.clone(), d2];
-        let sim = similarity_matrix_js(&dists);
+        let sim = similarity_matrix_js(&dists).unwrap();
         assert!(sim[0][1] > sim[0][3]);
         assert!(sim[3][4] > sim[2][3]);
         assert!((sim[0][1] - 1.0).abs() < 1e-9);
@@ -213,7 +262,7 @@ mod tests {
             vec![0.8, 1.0, 0.2],
             vec![0.1, 0.2, 1.0],
         ];
-        let w = normalize_similarity(&sim);
+        let w = normalize_similarity(&sim).unwrap();
         for row in &w {
             let s: f64 = row.iter().sum();
             assert!((s - 1.0).abs() < 1e-9);
@@ -233,7 +282,7 @@ mod tests {
             vec![0.9, 1.0, 0.1],
             vec![0.1, 0.1, 1.0],
         ];
-        let w = normalize_similarity(&sim);
+        let w = normalize_similarity(&sim).unwrap();
         assert!(w[0][1] > w[0][2]);
     }
 
@@ -244,8 +293,8 @@ mod tests {
             vec![0.9, 1.0, 0.5],
             vec![0.5, 0.5, 1.0],
         ];
-        let soft = normalize_similarity(&sim);
-        let sharp = normalize_similarity_with_temperature(&sim, 0.05);
+        let soft = normalize_similarity(&sim).unwrap();
+        let sharp = normalize_similarity_with_temperature(&sim, 0.05).unwrap();
         // Sharper softmax concentrates more mass on the similar device.
         assert!(sharp[0][1] / sharp[0][2] > soft[0][1] / soft[0][2]);
         for row in &sharp {
@@ -254,14 +303,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "temperature")]
-    fn normalize_rejects_bad_temperature() {
-        normalize_similarity_with_temperature(&[vec![1.0]], 0.0);
-    }
-
-    #[test]
-    #[should_panic(expected = "square")]
-    fn normalize_rejects_ragged() {
-        normalize_similarity(&[vec![1.0, 0.5], vec![0.5]]);
+    fn normalize_rejects_bad_temperature_and_ragged_input() {
+        assert_eq!(
+            normalize_similarity_with_temperature(&[vec![1.0]], 0.0),
+            Err(MetricError::BadTemperature(0.0))
+        );
+        assert!(matches!(
+            normalize_similarity_with_temperature(&[vec![1.0]], f64::NAN),
+            Err(MetricError::BadTemperature(_))
+        ));
+        assert_eq!(
+            normalize_similarity(&[vec![1.0, 0.5], vec![0.5]]),
+            Err(MetricError::NotSquare {
+                rows: 2,
+                row_len: 1
+            })
+        );
     }
 }

@@ -4,6 +4,8 @@
 use acme_tensor::{randn, Array};
 use rand::Rng;
 
+use crate::error::MetricError;
+
 /// Exact 1-Wasserstein distance between two empirical sample sets on the
 /// line (L1 ground cost): `∫₀¹ |F_a⁻¹(t) - F_b⁻¹(t)| dt` under the
 /// quantile coupling. Sample counts may differ.
@@ -14,10 +16,25 @@ use rand::Rng;
 /// compared as scaled integers over the common denominator `n·m`, so the
 /// segmentation itself is exact too.
 ///
-/// Returns 0 when either set is empty.
-pub fn wasserstein_1d_samples(xs: &[f32], ys: &[f32]) -> f64 {
-    if xs.is_empty() || ys.is_empty() {
-        return 0.0;
+/// Two empty sets are identical distributions-to-be, so
+/// empty-vs-empty is well-defined and returns `Ok(0.0)`.
+///
+/// # Errors
+///
+/// Returns [`MetricError::EmptyWindow`] when exactly one set is empty:
+/// the coupling against an empty distribution is undefined, and the
+/// `0.0` this function used to return silently read as "zero distance /
+/// no drift" to windowed callers whose buffer had not filled yet.
+pub fn wasserstein_1d_samples(xs: &[f32], ys: &[f32]) -> Result<f64, MetricError> {
+    match (xs.is_empty(), ys.is_empty()) {
+        (true, true) => return Ok(0.0),
+        (false, false) => {}
+        _ => {
+            return Err(MetricError::EmptyWindow {
+                left: xs.len(),
+                right: ys.len(),
+            })
+        }
     }
     let mut a: Vec<f32> = xs.to_vec();
     let mut b: Vec<f32> = ys.to_vec();
@@ -43,17 +60,22 @@ pub fn wasserstein_1d_samples(xs: &[f32], ys: &[f32]) -> f64 {
         }
         t_prev = t_next;
     }
-    total / (n * m) as f64
+    Ok(total / (n * m) as f64)
 }
 
 /// Exact 1-Wasserstein distance between two histograms over the same
 /// ordered bins with unit spacing: the L1 distance between CDFs.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when lengths differ.
-pub fn wasserstein_1d_hist(p: &[f64], q: &[f64]) -> f64 {
-    assert_eq!(p.len(), q.len(), "histogram length mismatch");
+/// Returns [`MetricError::LengthMismatch`] when the supports differ.
+pub fn wasserstein_1d_hist(p: &[f64], q: &[f64]) -> Result<f64, MetricError> {
+    if p.len() != q.len() {
+        return Err(MetricError::LengthMismatch {
+            left: p.len(),
+            right: q.len(),
+        });
+    }
     let (sp, sq): (f64, f64) = (p.iter().sum(), q.iter().sum());
     let mut cdf_diff = 0.0f64;
     let mut total = 0.0f64;
@@ -63,7 +85,7 @@ pub fn wasserstein_1d_hist(p: &[f64], q: &[f64]) -> f64 {
         cdf_diff += pa - qb;
         total += cdf_diff.abs();
     }
-    total
+    Ok(total)
 }
 
 /// Sliced 1-Wasserstein distance between two feature clouds `x: [n, d]`,
@@ -72,16 +94,50 @@ pub fn wasserstein_1d_hist(p: &[f64], q: &[f64]) -> f64 {
 /// Wasserstein distance (Eq. 20 of the paper uses the distance only to
 /// *rank* device similarity) while staying exactly computable.
 ///
-/// # Panics
+/// Two empty clouds compare at `Ok(0.0)`, like
+/// [`wasserstein_1d_samples`].
 ///
-/// Panics when the feature widths differ or `projections == 0`.
-pub fn sliced_wasserstein(x: &Array, y: &Array, projections: usize, rng: &mut impl Rng) -> f64 {
-    assert!(projections > 0, "need at least one projection");
-    assert_eq!(x.rank(), 2, "x must be [n, d]");
-    assert_eq!(y.rank(), 2, "y must be [m, d]");
-    assert_eq!(x.shape()[1], y.shape()[1], "feature width mismatch");
-    if x.shape()[0] == 0 || y.shape()[0] == 0 {
-        return 0.0;
+/// # Errors
+///
+/// Returns [`MetricError::ZeroProjections`], [`MetricError::BadRank`],
+/// [`MetricError::WidthMismatch`], or [`MetricError::EmptyWindow`]
+/// (exactly one cloud has zero rows) on degenerate inputs.
+pub fn sliced_wasserstein(
+    x: &Array,
+    y: &Array,
+    projections: usize,
+    rng: &mut impl Rng,
+) -> Result<f64, MetricError> {
+    if projections == 0 {
+        return Err(MetricError::ZeroProjections);
+    }
+    if x.rank() != 2 {
+        return Err(MetricError::BadRank {
+            arg: "x",
+            rank: x.rank(),
+        });
+    }
+    if y.rank() != 2 {
+        return Err(MetricError::BadRank {
+            arg: "y",
+            rank: y.rank(),
+        });
+    }
+    if x.shape()[1] != y.shape()[1] {
+        return Err(MetricError::WidthMismatch {
+            left: x.shape()[1],
+            right: y.shape()[1],
+        });
+    }
+    match (x.shape()[0] == 0, y.shape()[0] == 0) {
+        (true, true) => return Ok(0.0),
+        (false, false) => {}
+        _ => {
+            return Err(MetricError::EmptyWindow {
+                left: x.shape()[0],
+                right: y.shape()[0],
+            })
+        }
     }
     let d = x.shape()[1];
     let mut total = 0.0f64;
@@ -101,9 +157,10 @@ pub fn sliced_wasserstein(x: &Array, y: &Array, projections: usize, rng: &mut im
                 })
                 .collect()
         };
-        total += wasserstein_1d_samples(&project(x), &project(y));
+        total += wasserstein_1d_samples(&project(x), &project(y))
+            .expect("both projected sets are non-empty");
     }
-    total / projections as f64
+    Ok(total / projections as f64)
 }
 
 #[cfg(test)]
@@ -114,14 +171,14 @@ mod tests {
     #[test]
     fn identical_samples_distance_zero() {
         let xs = [1.0, 2.0, 3.0];
-        assert!(wasserstein_1d_samples(&xs, &xs) < 1e-9);
+        assert!(wasserstein_1d_samples(&xs, &xs).unwrap() < 1e-9);
     }
 
     #[test]
     fn shifted_samples_distance_equals_shift() {
         let xs = [0.0, 1.0, 2.0];
         let ys = [3.0, 4.0, 5.0];
-        let d = wasserstein_1d_samples(&xs, &ys);
+        let d = wasserstein_1d_samples(&xs, &ys).unwrap();
         assert!((d - 3.0).abs() < 1e-6, "got {d}");
     }
 
@@ -129,26 +186,41 @@ mod tests {
     fn unequal_sample_counts_supported() {
         let xs = [0.0, 0.0, 0.0, 0.0];
         let ys = [1.0];
-        let d = wasserstein_1d_samples(&xs, &ys);
+        let d = wasserstein_1d_samples(&xs, &ys).unwrap();
         assert!((d - 1.0).abs() < 1e-6, "got {d}");
     }
 
     #[test]
-    fn empty_sets_are_zero() {
-        assert_eq!(wasserstein_1d_samples(&[], &[1.0]), 0.0);
+    fn empty_vs_nonempty_is_a_typed_error() {
+        // Regression (PR 10): this used to return `Ok(0.0)`, which a
+        // sliding-window drift detector reads as "no drift" while its
+        // buffer is still empty.
+        assert_eq!(
+            wasserstein_1d_samples(&[], &[1.0]),
+            Err(MetricError::EmptyWindow { left: 0, right: 1 })
+        );
+        assert_eq!(
+            wasserstein_1d_samples(&[1.0, 2.0], &[]),
+            Err(MetricError::EmptyWindow { left: 2, right: 0 })
+        );
+    }
+
+    #[test]
+    fn empty_vs_empty_is_well_defined_zero() {
+        assert_eq!(wasserstein_1d_samples(&[], &[]), Ok(0.0));
     }
 
     #[test]
     fn unequal_counts_match_hand_computed_quantile_integrals() {
         // a=[0,1], b=[0,1,2]: segments of |F_a⁻¹ - F_b⁻¹| are
         // [1/3,1/2)→1 and [2/3,1)→1, so W1 = 1/6 + 1/3 = 1/2.
-        let d = wasserstein_1d_samples(&[0.0, 1.0], &[0.0, 1.0, 2.0]);
+        let d = wasserstein_1d_samples(&[0.0, 1.0], &[0.0, 1.0, 2.0]).unwrap();
         assert!((d - 0.5).abs() < 1e-9, "got {d}");
         // a=[0], b=[1,3]: W1 = 0.5·1 + 0.5·3 = 2.
-        let d = wasserstein_1d_samples(&[0.0], &[1.0, 3.0]);
+        let d = wasserstein_1d_samples(&[0.0], &[1.0, 3.0]).unwrap();
         assert!((d - 2.0).abs() < 1e-9, "got {d}");
         // Order must not matter.
-        let d2 = wasserstein_1d_samples(&[1.0, 3.0], &[0.0]);
+        let d2 = wasserstein_1d_samples(&[1.0, 3.0], &[0.0]).unwrap();
         assert!((d - d2).abs() < 1e-12);
     }
 
@@ -159,18 +231,28 @@ mod tests {
         // the segments and yields 8.75. The exact integral over the
         // merged breakpoints {1/4, 1/3, 1/2, 2/3, 3/4} is
         // (1 + 18 + 16 + 18 + 51)/12 = 104/12.
-        let d = wasserstein_1d_samples(&[0.0, 10.0, 20.0], &[0.0, 1.0, 2.0, 3.0]);
+        let d = wasserstein_1d_samples(&[0.0, 10.0, 20.0], &[0.0, 1.0, 2.0, 3.0]).unwrap();
         assert!((d - 104.0 / 12.0).abs() < 1e-9, "got {d}");
     }
 
     #[test]
     fn hist_distance_basic() {
         // Point masses two bins apart -> distance 2.
-        assert!((wasserstein_1d_hist(&[1.0, 0.0, 0.0], &[0.0, 0.0, 1.0]) - 2.0).abs() < 1e-12);
+        let d = wasserstein_1d_hist(&[1.0, 0.0, 0.0], &[0.0, 0.0, 1.0]).unwrap();
+        assert!((d - 2.0).abs() < 1e-12);
         // Identical -> 0.
-        assert_eq!(wasserstein_1d_hist(&[0.5, 0.5], &[0.5, 0.5]), 0.0);
+        assert_eq!(wasserstein_1d_hist(&[0.5, 0.5], &[0.5, 0.5]), Ok(0.0));
         // Unnormalized inputs are normalized first.
-        assert!((wasserstein_1d_hist(&[2.0, 0.0], &[0.0, 4.0]) - 1.0).abs() < 1e-12);
+        let d = wasserstein_1d_hist(&[2.0, 0.0], &[0.0, 4.0]).unwrap();
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hist_rejects_mismatched_lengths() {
+        assert_eq!(
+            wasserstein_1d_hist(&[1.0], &[0.5, 0.5]),
+            Err(MetricError::LengthMismatch { left: 1, right: 2 })
+        );
     }
 
     #[test]
@@ -178,9 +260,9 @@ mod tests {
         let a = [0.6, 0.3, 0.1];
         let b = [0.1, 0.3, 0.6];
         let c = [0.3, 0.4, 0.3];
-        let ab = wasserstein_1d_hist(&a, &b);
-        let ac = wasserstein_1d_hist(&a, &c);
-        let cb = wasserstein_1d_hist(&c, &b);
+        let ab = wasserstein_1d_hist(&a, &b).unwrap();
+        let ac = wasserstein_1d_hist(&a, &c).unwrap();
+        let cb = wasserstein_1d_hist(&c, &b).unwrap();
         assert!(ab <= ac + cb + 1e-12);
     }
 
@@ -191,9 +273,9 @@ mod tests {
         let near = base.add_scalar(0.1);
         let far = base.add_scalar(5.0);
         let mut r1 = SmallRng64::new(1);
-        let d_near = sliced_wasserstein(&base, &near, 16, &mut r1);
+        let d_near = sliced_wasserstein(&base, &near, 16, &mut r1).unwrap();
         let mut r2 = SmallRng64::new(1);
-        let d_far = sliced_wasserstein(&base, &far, 16, &mut r2);
+        let d_far = sliced_wasserstein(&base, &far, 16, &mut r2).unwrap();
         assert!(d_near < d_far, "{d_near} vs {d_far}");
     }
 
@@ -201,16 +283,33 @@ mod tests {
     fn sliced_self_distance_is_small() {
         let mut rng = SmallRng64::new(3);
         let x = randn(&[30, 4], &mut rng);
-        let d = sliced_wasserstein(&x, &x, 8, &mut rng);
+        let d = sliced_wasserstein(&x, &x, 8, &mut rng).unwrap();
         assert!(d < 1e-6, "self distance {d}");
     }
 
     #[test]
-    #[should_panic(expected = "feature width")]
-    fn sliced_rejects_mismatched_width() {
+    fn sliced_rejects_degenerate_inputs() {
         let mut rng = SmallRng64::new(0);
         let x = randn(&[3, 4], &mut rng);
         let y = randn(&[3, 5], &mut rng);
-        sliced_wasserstein(&x, &y, 4, &mut rng);
+        assert_eq!(
+            sliced_wasserstein(&x, &y, 4, &mut rng),
+            Err(MetricError::WidthMismatch { left: 4, right: 5 })
+        );
+        assert_eq!(
+            sliced_wasserstein(&x, &x.clone(), 0, &mut rng),
+            Err(MetricError::ZeroProjections)
+        );
+        let flat = randn(&[12], &mut rng);
+        assert_eq!(
+            sliced_wasserstein(&flat, &x, 4, &mut rng),
+            Err(MetricError::BadRank { arg: "x", rank: 1 })
+        );
+        let empty = Array::zeros(&[0, 4]);
+        assert_eq!(
+            sliced_wasserstein(&empty, &x, 4, &mut rng),
+            Err(MetricError::EmptyWindow { left: 0, right: 3 })
+        );
+        assert_eq!(sliced_wasserstein(&empty, &empty, 4, &mut rng), Ok(0.0));
     }
 }

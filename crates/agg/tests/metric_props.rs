@@ -20,8 +20,8 @@ proptest! {
         let x = randn(&[n, 4], &mut rng);
         let y = randn(&[m, 4], &mut rng).add_scalar(1.0);
         // Same projection stream -> symmetric.
-        let d_xy = sliced_wasserstein(&x, &y, 8, &mut SmallRng64::new(7));
-        let d_yx = sliced_wasserstein(&y, &x, 8, &mut SmallRng64::new(7));
+        let d_xy = sliced_wasserstein(&x, &y, 8, &mut SmallRng64::new(7)).unwrap();
+        let d_yx = sliced_wasserstein(&y, &x, 8, &mut SmallRng64::new(7)).unwrap();
         prop_assert!((d_xy - d_yx).abs() < 1e-6);
         prop_assert!(d_xy >= 0.0);
     }
@@ -30,7 +30,7 @@ proptest! {
     fn js_similarity_matrix_entries_in_unit_interval(
         dists in prop::collection::vec(prop::collection::vec(0.01f64..5.0, 4), 2..6),
     ) {
-        let sim = similarity_matrix_js(&dists);
+        let sim = similarity_matrix_js(&dists).unwrap();
         for (i, row) in sim.iter().enumerate() {
             prop_assert_eq!(row[i], 1.0);
             for &v in row {
@@ -50,7 +50,7 @@ proptest! {
         let sim: Vec<Vec<f64>> = (0..n)
             .map(|i| (0..n).map(|j| if i == j { 1.0 } else { rng.gen_range(0.0..1.0) }).collect())
             .collect();
-        let w = normalize_similarity_with_temperature(&sim, tau);
+        let w = normalize_similarity_with_temperature(&sim, tau).unwrap();
         for row in &w {
             prop_assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
             prop_assert!(row.iter().all(|&v| v > 0.0));
@@ -105,6 +105,6 @@ proptest! {
     ) {
         // JS(p, (p+q)/2) <= JS(p, q): the midpoint is closer.
         let m: Vec<f64> = p.iter().zip(&q).map(|(&a, &b)| 0.5 * (a + b)).collect();
-        prop_assert!(js_divergence(&p, &m) <= js_divergence(&p, &q) + 1e-9);
+        prop_assert!(js_divergence(&p, &m).unwrap() <= js_divergence(&p, &q).unwrap() + 1e-9);
     }
 }

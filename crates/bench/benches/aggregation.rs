@@ -17,7 +17,7 @@ fn bench_sliced_wasserstein(c: &mut Criterion) {
     let y = randn(&[32, 768], &mut rng).add_scalar(0.5);
     c.bench_function("sliced_wasserstein_32x768_p16", |b| {
         let mut r = SmallRng64::new(1);
-        b.iter(|| black_box(sliced_wasserstein(&x, &y, 16, &mut r)))
+        b.iter(|| black_box(sliced_wasserstein(&x, &y, 16, &mut r).unwrap()))
     });
 }
 
@@ -26,7 +26,7 @@ fn bench_similarity_matrix(c: &mut Criterion) {
     let feats: Vec<_> = (0..5).map(|_| randn(&[24, 64], &mut rng)).collect();
     c.bench_function("similarity_matrix_5_devices", |b| {
         let mut r = SmallRng64::new(3);
-        b.iter(|| black_box(similarity_matrix_wasserstein(&feats, 12, &mut r)))
+        b.iter(|| black_box(similarity_matrix_wasserstein(&feats, 12, &mut r).unwrap()))
     });
 }
 
@@ -39,12 +39,12 @@ fn bench_similarity_matrix_pool(c: &mut Criterion) {
     group.bench_function("serial", |b| {
         let pool = Pool::serial();
         let mut r = SmallRng64::new(3);
-        b.iter(|| black_box(similarity_matrix_wasserstein_on(&pool, &feats, 12, &mut r)))
+        b.iter(|| black_box(similarity_matrix_wasserstein_on(&pool, &feats, 12, &mut r).unwrap()))
     });
     group.bench_function("parallel_4", |b| {
         let pool = Pool::new(4);
         let mut r = SmallRng64::new(3);
-        b.iter(|| black_box(similarity_matrix_wasserstein_on(&pool, &feats, 12, &mut r)))
+        b.iter(|| black_box(similarity_matrix_wasserstein_on(&pool, &feats, 12, &mut r).unwrap()))
     });
     group.finish();
 }
@@ -52,7 +52,7 @@ fn bench_similarity_matrix_pool(c: &mut Criterion) {
 fn bench_aggregation(c: &mut Criterion) {
     let sets: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64; 4096]).collect();
     let sim = vec![vec![0.9; 5]; 5];
-    let weights = normalize_similarity_with_temperature(&sim, 0.02);
+    let weights = normalize_similarity_with_temperature(&sim, 0.02).unwrap();
     c.bench_function("aggregate_importance_5x4096", |b| {
         b.iter(|| {
             for d in 0..5 {

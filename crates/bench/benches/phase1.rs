@@ -19,7 +19,7 @@ fn bench_phase1_pool(c: &mut Criterion) {
         per_class: 20,
         ..SyntheticSpec::cifar()
     };
-    let ds = cifar100_like(&spec, &mut rng);
+    let ds = cifar100_like(&spec, &mut rng).unwrap();
     let (train, val) = ds.split(0.8, &mut rng);
     let cfg = VitConfig::reference(10);
     let mut ps = ParamSet::new();

@@ -35,7 +35,8 @@ fn main() {
     let header = NasHeader::new(HeaderArch::chain(2, 1), shared);
 
     let mut srng = SmallRng64::new(99);
-    let parts = partition_confusion(&ds, 5, ConfusionLevel::C2, &mut srng);
+    let parts =
+        partition_confusion(&ds, 5, ConfusionLevel::C2, &mut srng).expect("valid partition");
     let devices: Vec<DeviceSetup> = parts
         .iter()
         .enumerate()

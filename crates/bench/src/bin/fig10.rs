@@ -96,9 +96,10 @@ fn main() {
         .iter()
         .map(|d| backbone_features(&vit, &ps, d, samples, &mut rng))
         .collect();
-    let wass = similarity_matrix_wasserstein(&feats, scale.pick(24, 8), &mut rng);
+    let wass =
+        similarity_matrix_wasserstein(&feats, scale.pick(24, 8), &mut rng).expect("valid features");
     let dists: Vec<_> = devices.iter().map(label_distribution).collect();
-    let js = similarity_matrix_js(&dists);
+    let js = similarity_matrix_js(&dists).expect("valid distributions");
 
     let header = ["", "d0 (A)", "d1 (A)", "d2 (A)", "d3 (B)", "d4 (B)"];
     print_table(

@@ -47,7 +47,8 @@ fn main() {
             let mut count = 0usize;
             for &seed in &seeds {
                 let mut srng = SmallRng64::new(1000 * seed + 7);
-                let parts = partition_confusion(&ds, n_devices, level, &mut srng);
+                let parts =
+                    partition_confusion(&ds, n_devices, level, &mut srng).expect("valid partition");
                 let devices: Vec<DeviceSetup> = parts
                     .iter()
                     .enumerate()

@@ -18,6 +18,7 @@
 use acme_data::{cifar100_like, stanford_cars_like, Dataset, SyntheticSpec};
 use acme_tensor::SmallRng64;
 
+pub mod drift;
 pub mod kernels;
 pub mod serving;
 pub mod store;
@@ -69,7 +70,7 @@ pub fn eval_cifar(scale: RunScale, rng: &mut SmallRng64) -> Dataset {
         noise: scale.pick(0.9, 0.55),
         ..SyntheticSpec::cifar()
     };
-    cifar100_like(&spec, rng)
+    cifar100_like(&spec, rng).expect("benchmark spec is valid")
 }
 
 /// The Stanford-Cars-like auxiliary workload (§IV-D): fine-grained
@@ -82,7 +83,7 @@ pub fn eval_cars(scale: RunScale, rng: &mut SmallRng64) -> Dataset {
         noise: scale.pick(0.95, 0.65),
         ..SyntheticSpec::cars()
     };
-    stanford_cars_like(&spec, rng)
+    stanford_cars_like(&spec, rng).expect("benchmark spec is valid")
 }
 
 /// Prints a Markdown-ish table: a header row and aligned value rows.

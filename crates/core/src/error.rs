@@ -1,5 +1,7 @@
 //! The unified error type of the public pipeline API.
 
+use acme_agg::MetricError;
+use acme_data::DataError;
 use acme_distsys::{ProtocolError, SendError};
 use acme_pareto::SelectError;
 
@@ -22,6 +24,11 @@ pub enum AcmeError {
     Transfer(SendError),
     /// The distributed schedule faulted.
     Protocol(ProtocolError),
+    /// A distance/similarity metric rejected its inputs (empty window,
+    /// mismatched supports, bad detector config, …).
+    Metric(MetricError),
+    /// The dataset generator or a partitioner rejected its spec.
+    Data(DataError),
 }
 
 impl std::fmt::Display for AcmeError {
@@ -34,6 +41,8 @@ impl std::fmt::Display for AcmeError {
             AcmeError::Selection(e) => write!(f, "candidate selection failed: {e}"),
             AcmeError::Transfer(e) => write!(f, "transfer failed: {e}"),
             AcmeError::Protocol(e) => write!(f, "protocol fault: {e}"),
+            AcmeError::Metric(e) => write!(f, "metric rejected inputs: {e}"),
+            AcmeError::Data(e) => write!(f, "data spec rejected: {e}"),
         }
     }
 }
@@ -44,6 +53,8 @@ impl std::error::Error for AcmeError {
             AcmeError::Selection(e) => Some(e),
             AcmeError::Transfer(e) => Some(e),
             AcmeError::Protocol(e) => Some(e),
+            AcmeError::Metric(e) => Some(e),
+            AcmeError::Data(e) => Some(e),
             _ => None,
         }
     }
@@ -64,6 +75,18 @@ impl From<SendError> for AcmeError {
 impl From<ProtocolError> for AcmeError {
     fn from(e: ProtocolError) -> Self {
         AcmeError::Protocol(e)
+    }
+}
+
+impl From<MetricError> for AcmeError {
+    fn from(e: MetricError) -> Self {
+        AcmeError::Metric(e)
+    }
+}
+
+impl From<DataError> for AcmeError {
+    fn from(e: DataError) -> Self {
+        AcmeError::Data(e)
     }
 }
 
@@ -90,6 +113,13 @@ mod tests {
         let e: AcmeError = SelectError::NoFiniteCandidate { total: 3 }.into();
         assert!(matches!(e, AcmeError::Selection(_)));
         assert!(e.to_string().contains("non-finite"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: AcmeError = MetricError::EmptyWindow { left: 0, right: 4 }.into();
+        assert!(matches!(e, AcmeError::Metric(_)));
+        assert!(e.to_string().contains("empty window"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: AcmeError = DataError::ZeroParts.into();
+        assert!(matches!(e, AcmeError::Data(_)));
         assert!(std::error::Error::source(&e).is_some());
     }
 }

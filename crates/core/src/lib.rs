@@ -53,6 +53,7 @@ mod outcome;
 mod phase1;
 mod phase2;
 mod pipeline;
+mod recustomize;
 mod refine;
 
 pub use acme_distsys::{
@@ -69,6 +70,9 @@ pub use phase1::{
 };
 pub use phase2::{coarse_header_search, EdgeCustomization};
 pub use pipeline::Acme;
+pub use recustomize::{
+    run_recustomization, DeviceRecustomization, RecustomizeConfig, RecustomizeOutcome,
+};
 pub use refine::{
     apply_neuron_drops, backbone_features, header_neuron_importance, refine_cluster, DeviceSetup,
     RefineConfig, RefineOutcome,

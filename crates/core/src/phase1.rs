@@ -233,7 +233,7 @@ mod tests {
 
     fn setup() -> (Vit, ParamSet, Dataset, Dataset, SmallRng64) {
         let mut rng = SmallRng64::new(0);
-        let ds = cifar100_like(&SyntheticSpec::tiny().with_per_class(12), &mut rng);
+        let ds = cifar100_like(&SyntheticSpec::tiny().with_per_class(12), &mut rng).unwrap();
         let (train, val) = ds.split(0.7, &mut rng);
         let cfg = VitConfig::tiny(ds.num_classes());
         let mut ps = ParamSet::new();

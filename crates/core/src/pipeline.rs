@@ -92,9 +92,9 @@ impl Acme {
         let mut pipe_rng = rng.fork(3);
 
         // Data: the cloud's public dataset and the devices' private pool.
-        let public = generate(&cfg.dataset, &mut data_rng);
+        let public = generate(&cfg.dataset, &mut data_rng)?;
         let (public_train, public_val) = public.split(0.8, &mut data_rng);
-        let device_pool = generate(&cfg.dataset, &mut data_rng);
+        let device_pool = generate(&cfg.dataset, &mut data_rng)?;
         let fleet = Fleet::micro_scaled(
             cfg.clusters,
             cfg.devices_per_cluster,
@@ -105,7 +105,7 @@ impl Acme {
             fleet.num_devices(),
             cfg.confusion,
             &mut data_rng,
-        );
+        )?;
 
         // Transfer metering fabric.
         let net = Network::new();

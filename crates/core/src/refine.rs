@@ -254,16 +254,16 @@ pub fn refine_cluster(
                 .iter()
                 .map(|d| backbone_features(backbone, base_ps, &d.train, cfg.sim_sample, rng))
                 .collect();
-            let sim = similarity_matrix_wasserstein_on(pool, &feats, cfg.sim_projections, rng);
-            normalize_similarity_with_temperature(&sim, cfg.sim_temperature)
+            let sim = similarity_matrix_wasserstein_on(pool, &feats, cfg.sim_projections, rng)?;
+            normalize_similarity_with_temperature(&sim, cfg.sim_temperature)?
         }
         AggregationMethod::Js => {
             let dists: Vec<_> = devices
                 .iter()
                 .map(|d| label_distribution(&d.train))
                 .collect();
-            let sim = similarity_matrix_js(&dists);
-            normalize_similarity_with_temperature(&sim, cfg.sim_temperature)
+            let sim = similarity_matrix_js(&dists)?;
+            normalize_similarity_with_temperature(&sim, cfg.sim_temperature)?
         }
         other => aggregation_weights(other, n, None),
     };
@@ -377,7 +377,7 @@ mod tests {
 
     fn setup() -> (Vit, NasHeader, ParamSet, Vec<DeviceSetup>, SmallRng64) {
         let mut rng = SmallRng64::new(0);
-        let ds = cifar100_like(&SyntheticSpec::tiny().with_per_class(48), &mut rng);
+        let ds = cifar100_like(&SyntheticSpec::tiny().with_per_class(48), &mut rng).unwrap();
         let cfg = VitConfig::tiny(ds.num_classes());
         let mut ps = ParamSet::new();
         let vit = Vit::new(&mut ps, &cfg, &mut rng);
@@ -391,7 +391,7 @@ mod tests {
             &mut rng,
         );
         let header = NasHeader::new(HeaderArch::chain(2, 1), shared);
-        let parts = partition_iid(&ds, 3, &mut rng);
+        let parts = partition_iid(&ds, 3, &mut rng).unwrap();
         let devices = parts
             .into_iter()
             .enumerate()

@@ -155,7 +155,7 @@ mod tests {
 
     #[test]
     fn dataset_augmentation_preserves_labels_and_counts() {
-        let ds = generate(&SyntheticSpec::tiny(), &mut SmallRng64::new(0));
+        let ds = generate(&SyntheticSpec::tiny(), &mut SmallRng64::new(0)).unwrap();
         let aug = Augment::default().apply_dataset(&ds, &mut SmallRng64::new(1));
         assert_eq!(aug.len(), ds.len());
         assert_eq!(aug.labels(), ds.labels());
@@ -165,7 +165,7 @@ mod tests {
 
     #[test]
     fn augmentation_is_deterministic_under_seed() {
-        let ds = generate(&SyntheticSpec::tiny(), &mut SmallRng64::new(0));
+        let ds = generate(&SyntheticSpec::tiny(), &mut SmallRng64::new(0)).unwrap();
         let a = Augment::default().apply_dataset(&ds, &mut SmallRng64::new(9));
         let b = Augment::default().apply_dataset(&ds, &mut SmallRng64::new(9));
         assert_eq!(a.get(5).0, b.get(5).0);

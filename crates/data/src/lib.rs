@@ -13,12 +13,18 @@
 //! the paper's C1/C2/C3 confusion levels from Fig. 11 — operate on any
 //! [`Dataset`].
 //!
+//! Post-deployment distribution shift is modeled by [`DriftingStream`]:
+//! per-device windows whose class prototypes and label mixture drift
+//! deterministically after a configured onset (PR 10). All spec and
+//! partition validation surfaces as the typed [`DataError`] instead of
+//! panicking.
+//!
 //! ```
 //! use acme_data::{cifar100_like, SyntheticSpec};
 //! use acme_tensor::SmallRng64;
 //!
 //! let mut rng = SmallRng64::new(0);
-//! let ds = cifar100_like(&SyntheticSpec::tiny(), &mut rng);
+//! let ds = cifar100_like(&SyntheticSpec::tiny(), &mut rng).unwrap();
 //! assert!(ds.len() > 0);
 //! let (train, test) = ds.split(0.8, &mut rng);
 //! assert!(train.len() > test.len());
@@ -26,12 +32,16 @@
 
 mod augment;
 mod dataset;
+mod drift;
+mod error;
 mod partition;
 mod stats;
 mod synthetic;
 
 pub use augment::Augment;
 pub use dataset::{Batch, Dataset};
+pub use drift::{DriftSpec, DriftingStream};
+pub use error::DataError;
 pub use partition::{
     partition_confusion, partition_dirichlet, partition_iid, partition_shards, ConfusionLevel,
 };

@@ -5,6 +5,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 
 use crate::dataset::Dataset;
+use crate::error::DataError;
 
 /// Data-heterogeneity level from Fig. 11 of the paper: IID plus three
 /// increasingly confused non-IID distributions.
@@ -57,33 +58,45 @@ impl std::fmt::Display for ConfusionLevel {
 
 /// Splits uniformly at random into `n_parts` near-equal shards.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when `n_parts` is zero.
-pub fn partition_iid(ds: &Dataset, n_parts: usize, rng: &mut impl Rng) -> Vec<Dataset> {
-    assert!(n_parts > 0, "n_parts must be positive");
+/// Returns [`DataError::ZeroParts`] when `n_parts` is zero.
+pub fn partition_iid(
+    ds: &Dataset,
+    n_parts: usize,
+    rng: &mut impl Rng,
+) -> Result<Vec<Dataset>, DataError> {
+    if n_parts == 0 {
+        return Err(DataError::ZeroParts);
+    }
     let mut idx: Vec<usize> = (0..ds.len()).collect();
     idx.shuffle(rng);
     let mut parts: Vec<Vec<usize>> = vec![Vec::new(); n_parts];
     for (i, &e) in idx.iter().enumerate() {
         parts[i % n_parts].push(e);
     }
-    parts.iter().map(|p| ds.subset(p)).collect()
+    Ok(parts.iter().map(|p| ds.subset(p)).collect())
 }
 
 /// Classic shard-based non-IID split: each part receives examples from at
 /// most `classes_per_part` classes.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when `n_parts` or `classes_per_part` is zero.
+/// Returns [`DataError::ZeroParts`] / [`DataError::ZeroClassesPerPart`]
+/// on a degenerate shard spec.
 pub fn partition_shards(
     ds: &Dataset,
     n_parts: usize,
     classes_per_part: usize,
     rng: &mut impl Rng,
-) -> Vec<Dataset> {
-    assert!(n_parts > 0 && classes_per_part > 0, "degenerate shard spec");
+) -> Result<Vec<Dataset>, DataError> {
+    if n_parts == 0 {
+        return Err(DataError::ZeroParts);
+    }
+    if classes_per_part == 0 {
+        return Err(DataError::ZeroClassesPerPart);
+    }
     let classes = ds.num_classes();
     // Assign each part a set of classes (cyclic over a shuffled class list
     // so every class is used when possible).
@@ -116,7 +129,7 @@ pub fn partition_shards(
         per_class_counter[c] += 1;
         parts[o].push(i);
     }
-    parts.iter().map(|p| ds.subset(p)).collect()
+    Ok(parts.iter().map(|p| ds.subset(p)).collect())
 }
 
 /// Samples a Dirichlet(α,…,α) vector of length `k` by normalizing Gamma
@@ -164,17 +177,22 @@ fn gamma_sample(alpha: f64, rng: &mut impl Rng) -> f64 {
 /// drawn from `Dirichlet(alpha)`; smaller `alpha` concentrates each class
 /// on fewer devices.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when `n_parts` is zero or `alpha` is not positive.
+/// Returns [`DataError::ZeroParts`] when `n_parts` is zero and
+/// [`DataError::BadAlpha`] when `alpha` is not positive and finite.
 pub fn partition_dirichlet(
     ds: &Dataset,
     n_parts: usize,
     alpha: f64,
     rng: &mut impl Rng,
-) -> Vec<Dataset> {
-    assert!(n_parts > 0, "n_parts must be positive");
-    assert!(alpha > 0.0, "alpha must be positive");
+) -> Result<Vec<Dataset>, DataError> {
+    if n_parts == 0 {
+        return Err(DataError::ZeroParts);
+    }
+    if !(alpha > 0.0 && alpha.is_finite()) {
+        return Err(DataError::BadAlpha(alpha));
+    }
     let classes = ds.num_classes();
     let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); classes];
     for i in 0..ds.len() {
@@ -200,17 +218,21 @@ pub fn partition_dirichlet(
             start = end;
         }
     }
-    parts.iter().map(|p| ds.subset(p)).collect()
+    Ok(parts.iter().map(|p| ds.subset(p)).collect())
 }
 
 /// Splits according to a [`ConfusionLevel`] (IID or Dirichlet at the
 /// level's α).
+///
+/// # Errors
+///
+/// Returns [`DataError::ZeroParts`] when `n_parts` is zero.
 pub fn partition_confusion(
     ds: &Dataset,
     n_parts: usize,
     level: ConfusionLevel,
     rng: &mut impl Rng,
-) -> Vec<Dataset> {
+) -> Result<Vec<Dataset>, DataError> {
     match level {
         ConfusionLevel::Iid => partition_iid(ds, n_parts, rng),
         other => partition_dirichlet(ds, n_parts, other.dirichlet_alpha(), rng),
@@ -228,6 +250,7 @@ mod tests {
             &SyntheticSpec::tiny().with_per_class(20),
             &mut SmallRng64::new(0),
         )
+        .unwrap()
     }
 
     fn label_entropy(ds: &Dataset) -> f64 {
@@ -249,7 +272,7 @@ mod tests {
     #[test]
     fn iid_split_is_near_equal_and_complete() {
         let ds = toy();
-        let parts = partition_iid(&ds, 5, &mut SmallRng64::new(1));
+        let parts = partition_iid(&ds, 5, &mut SmallRng64::new(1)).unwrap();
         assert_eq!(parts.len(), 5);
         let total: usize = parts.iter().map(|p| p.len()).sum();
         assert_eq!(total, ds.len());
@@ -261,7 +284,7 @@ mod tests {
     #[test]
     fn shards_limit_classes_per_part() {
         let ds = toy();
-        let parts = partition_shards(&ds, 4, 2, &mut SmallRng64::new(2));
+        let parts = partition_shards(&ds, 4, 2, &mut SmallRng64::new(2)).unwrap();
         for p in &parts {
             let mut classes: Vec<usize> = p.labels().to_vec();
             classes.sort_unstable();
@@ -275,7 +298,7 @@ mod tests {
     #[test]
     fn dirichlet_preserves_all_examples() {
         let ds = toy();
-        let parts = partition_dirichlet(&ds, 5, 0.5, &mut SmallRng64::new(3));
+        let parts = partition_dirichlet(&ds, 5, 0.5, &mut SmallRng64::new(3)).unwrap();
         let total: usize = parts.iter().map(|p| p.len()).sum();
         assert_eq!(total, ds.len());
     }
@@ -285,9 +308,10 @@ mod tests {
         let ds = generate(
             &SyntheticSpec::tiny().with_classes(8).with_per_class(30),
             &mut SmallRng64::new(7),
-        );
+        )
+        .unwrap();
         let avg_entropy = |alpha: f64, seed: u64| {
-            let parts = partition_dirichlet(&ds, 4, alpha, &mut SmallRng64::new(seed));
+            let parts = partition_dirichlet(&ds, 4, alpha, &mut SmallRng64::new(seed)).unwrap();
             parts
                 .iter()
                 .filter(|p| !p.is_empty())
@@ -313,9 +337,41 @@ mod tests {
     fn partition_confusion_dispatches() {
         let ds = toy();
         for level in ConfusionLevel::all() {
-            let parts = partition_confusion(&ds, 3, level, &mut SmallRng64::new(5));
+            let parts = partition_confusion(&ds, 3, level, &mut SmallRng64::new(5)).unwrap();
             assert_eq!(parts.iter().map(|p| p.len()).sum::<usize>(), ds.len());
         }
+    }
+
+    #[test]
+    fn degenerate_partitions_are_typed_errors() {
+        let ds = toy();
+        let mut rng = SmallRng64::new(0);
+        assert_eq!(
+            partition_iid(&ds, 0, &mut rng).err(),
+            Some(DataError::ZeroParts)
+        );
+        assert_eq!(
+            partition_shards(&ds, 0, 2, &mut rng).err(),
+            Some(DataError::ZeroParts)
+        );
+        assert_eq!(
+            partition_shards(&ds, 2, 0, &mut rng).err(),
+            Some(DataError::ZeroClassesPerPart)
+        );
+        assert_eq!(
+            partition_dirichlet(&ds, 3, 0.0, &mut rng).err(),
+            Some(DataError::BadAlpha(0.0))
+        );
+        assert_eq!(
+            partition_dirichlet(&ds, 3, f64::NAN, &mut rng)
+                .err()
+                .map(|e| matches!(e, DataError::BadAlpha(_))),
+            Some(true)
+        );
+        assert_eq!(
+            partition_confusion(&ds, 0, ConfusionLevel::C2, &mut rng).err(),
+            Some(DataError::ZeroParts)
+        );
     }
 
     #[test]

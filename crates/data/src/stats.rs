@@ -50,7 +50,7 @@ mod tests {
 
     #[test]
     fn label_distribution_sums_to_one() {
-        let ds = generate(&SyntheticSpec::tiny(), &mut SmallRng64::new(0));
+        let ds = generate(&SyntheticSpec::tiny(), &mut SmallRng64::new(0)).unwrap();
         let p = label_distribution(&ds);
         assert_eq!(p.len(), 4);
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
@@ -60,7 +60,7 @@ mod tests {
 
     #[test]
     fn empty_dataset_gives_uniform() {
-        let ds = generate(&SyntheticSpec::tiny(), &mut SmallRng64::new(0));
+        let ds = generate(&SyntheticSpec::tiny(), &mut SmallRng64::new(0)).unwrap();
         let empty = ds.subset(&[]);
         let p = label_distribution(&empty);
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
@@ -68,7 +68,7 @@ mod tests {
 
     #[test]
     fn feature_matrix_shape_and_cap() {
-        let ds = generate(&SyntheticSpec::tiny(), &mut SmallRng64::new(0));
+        let ds = generate(&SyntheticSpec::tiny(), &mut SmallRng64::new(0)).unwrap();
         let f = feature_matrix(&ds, 10);
         assert_eq!(f.shape(), &[10, 64]);
         let f_all = feature_matrix(&ds, 10_000);

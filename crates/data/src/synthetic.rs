@@ -13,6 +13,7 @@ use acme_tensor::{randn, Array};
 use rand::Rng;
 
 use crate::dataset::Dataset;
+use crate::error::DataError;
 
 /// Parameters of the synthetic dataset generator.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,6 +97,35 @@ impl SyntheticSpec {
     pub fn total(&self) -> usize {
         self.classes * self.per_class
     }
+
+    /// Validates the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError`] when the spec is degenerate (zero
+    /// classes/examples/channels), `grid` does not divide `size`, or
+    /// `confusion` is outside `[0, 1)`.
+    pub fn validate(&self) -> Result<(), DataError> {
+        if self.classes == 0 {
+            return Err(DataError::DegenerateSpec { field: "classes" });
+        }
+        if self.per_class == 0 {
+            return Err(DataError::DegenerateSpec { field: "per_class" });
+        }
+        if self.channels == 0 {
+            return Err(DataError::DegenerateSpec { field: "channels" });
+        }
+        if self.grid == 0 || self.size == 0 || !self.size.is_multiple_of(self.grid) {
+            return Err(DataError::GridMismatch {
+                grid: self.grid,
+                size: self.size,
+            });
+        }
+        if !(0.0..1.0).contains(&self.confusion) {
+            return Err(DataError::BadConfusion(self.confusion));
+        }
+        Ok(())
+    }
 }
 
 impl Default for SyntheticSpec {
@@ -120,25 +150,16 @@ fn upsample(coarse: &Array, channels: usize, grid: usize, size: usize) -> Array 
     out
 }
 
-/// Generates a dataset from `spec` with deterministic structure under a
-/// seeded RNG.
-///
-/// # Panics
-///
-/// Panics when `grid` does not divide `size`, `confusion` is outside
-/// `[0, 1)`, or the spec is degenerate (zero classes/examples).
-pub fn generate(spec: &SyntheticSpec, rng: &mut impl Rng) -> Dataset {
-    assert!(spec.classes > 0 && spec.per_class > 0, "degenerate spec");
-    assert!(spec.size.is_multiple_of(spec.grid), "grid must divide size");
-    assert!(
-        (0.0..1.0).contains(&spec.confusion),
-        "confusion must be in [0,1)"
-    );
+/// Renders the per-class prototype patterns for `spec`: a shared
+/// component (weighted by `confusion`) plus a per-class unique component,
+/// upsampled to image resolution. The drifting streams reuse this to
+/// build a second, target prototype set from an independent RNG stream.
+pub(crate) fn render_prototypes(spec: &SyntheticSpec, rng: &mut impl Rng) -> Vec<Array> {
     let coarse_shape = [spec.channels, spec.grid, spec.grid];
     let shared = randn(&coarse_shape, rng);
     let unique_w = (1.0 - spec.confusion).sqrt();
     let shared_w = spec.confusion.sqrt();
-    let prototypes: Vec<Array> = (0..spec.classes)
+    (0..spec.classes)
         .map(|_| {
             let unique = randn(&coarse_shape, rng);
             let mixed = unique
@@ -147,29 +168,57 @@ pub fn generate(spec: &SyntheticSpec, rng: &mut impl Rng) -> Dataset {
                 .expect("same shape");
             upsample(&mixed, spec.channels, spec.grid, spec.size)
         })
-        .collect();
+        .collect()
+}
+
+/// Renders one example from a prototype: global intensity jitter plus
+/// additive pixel noise. Shared by [`generate`] and the drifting streams
+/// so a zero-drift stream is distributed identically to a static
+/// dataset.
+pub(crate) fn render_example(proto: &Array, noise: f32, rng: &mut impl Rng) -> Array {
+    let jitter = 1.0 + 0.1 * rng.gen_range(-1.0f32..1.0);
+    let noise = randn(proto.shape(), rng).scale(noise);
+    proto.scale(jitter).add(&noise).expect("same shape")
+}
+
+/// Generates a dataset from `spec` with deterministic structure under a
+/// seeded RNG.
+///
+/// # Errors
+///
+/// Returns [`DataError`] when `grid` does not divide `size`, `confusion`
+/// is outside `[0, 1)`, or the spec is degenerate (zero
+/// classes/examples).
+pub fn generate(spec: &SyntheticSpec, rng: &mut impl Rng) -> Result<Dataset, DataError> {
+    spec.validate()?;
+    let prototypes = render_prototypes(spec, rng);
     let mut images = Vec::with_capacity(spec.total());
     let mut labels = Vec::with_capacity(spec.total());
     for (cls, proto) in prototypes.iter().enumerate() {
         for _ in 0..spec.per_class {
-            let jitter = 1.0 + 0.1 * rng.gen_range(-1.0f32..1.0);
-            let noise = randn(proto.shape(), rng).scale(spec.noise);
-            let img = proto.scale(jitter).add(&noise).expect("same shape");
-            images.push(img);
+            images.push(render_example(proto, spec.noise, rng));
             labels.push(cls);
         }
     }
-    Dataset::new(images, labels, spec.classes)
+    Ok(Dataset::new(images, labels, spec.classes))
 }
 
 /// CIFAR-100-like synthetic dataset (the paper's main benchmark, §IV-A).
-pub fn cifar100_like(spec: &SyntheticSpec, rng: &mut impl Rng) -> Dataset {
+///
+/// # Errors
+///
+/// Same contract as [`generate`].
+pub fn cifar100_like(spec: &SyntheticSpec, rng: &mut impl Rng) -> Result<Dataset, DataError> {
     generate(spec, rng)
 }
 
 /// Stanford-Cars-like synthetic dataset (the paper's auxiliary benchmark,
 /// §IV-D): call with [`SyntheticSpec::cars`] for the intended difficulty.
-pub fn stanford_cars_like(spec: &SyntheticSpec, rng: &mut impl Rng) -> Dataset {
+///
+/// # Errors
+///
+/// Same contract as [`generate`].
+pub fn stanford_cars_like(spec: &SyntheticSpec, rng: &mut impl Rng) -> Result<Dataset, DataError> {
     generate(spec, rng)
 }
 
@@ -181,7 +230,7 @@ mod tests {
     #[test]
     fn generates_expected_counts_and_shapes() {
         let spec = SyntheticSpec::tiny();
-        let ds = generate(&spec, &mut SmallRng64::new(0));
+        let ds = generate(&spec, &mut SmallRng64::new(0)).unwrap();
         assert_eq!(ds.len(), spec.total());
         assert_eq!(ds.image_shape(), &[1, 8, 8]);
         assert_eq!(ds.num_classes(), 4);
@@ -194,8 +243,8 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let spec = SyntheticSpec::tiny();
-        let a = generate(&spec, &mut SmallRng64::new(9));
-        let b = generate(&spec, &mut SmallRng64::new(9));
+        let a = generate(&spec, &mut SmallRng64::new(9)).unwrap();
+        let b = generate(&spec, &mut SmallRng64::new(9)).unwrap();
         assert_eq!(a.get(3).0, b.get(3).0);
     }
 
@@ -206,7 +255,7 @@ mod tests {
             let spec = SyntheticSpec::tiny()
                 .with_confusion(confusion)
                 .with_per_class(1);
-            let ds = generate(&spec, &mut SmallRng64::new(4));
+            let ds = generate(&spec, &mut SmallRng64::new(4)).unwrap();
             let mut total = 0.0;
             let mut count = 0;
             for i in 0..ds.len() {
@@ -224,7 +273,7 @@ mod tests {
     #[test]
     fn same_class_examples_are_similar() {
         let spec = SyntheticSpec::tiny();
-        let ds = generate(&spec, &mut SmallRng64::new(2));
+        let ds = generate(&spec, &mut SmallRng64::new(2)).unwrap();
         // Same-class distance should on average be below cross-class.
         let mut same = (0.0, 0);
         let mut cross = (0.0, 0);
@@ -250,12 +299,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "grid must divide")]
-    fn rejects_nondividing_grid() {
+    fn rejects_degenerate_specs_with_typed_errors() {
+        use crate::error::DataError;
         let spec = SyntheticSpec {
             grid: 3,
             ..SyntheticSpec::tiny()
         };
-        generate(&spec, &mut SmallRng64::new(0));
+        assert_eq!(
+            generate(&spec, &mut SmallRng64::new(0)).err(),
+            Some(DataError::GridMismatch { grid: 3, size: 8 })
+        );
+        let spec = SyntheticSpec::tiny().with_classes(0);
+        assert_eq!(
+            generate(&spec, &mut SmallRng64::new(0)).err(),
+            Some(DataError::DegenerateSpec { field: "classes" })
+        );
+        let spec = SyntheticSpec::tiny().with_confusion(1.0);
+        assert_eq!(
+            generate(&spec, &mut SmallRng64::new(0)).err(),
+            Some(DataError::BadConfusion(1.0))
+        );
     }
 }

@@ -12,7 +12,7 @@ fn dataset(seed: u64, classes: usize, per_class: usize) -> acme_data::Dataset {
     let spec = SyntheticSpec::tiny()
         .with_classes(classes)
         .with_per_class(per_class);
-    generate(&spec, &mut SmallRng64::new(seed))
+    generate(&spec, &mut SmallRng64::new(seed)).expect("valid spec")
 }
 
 proptest! {
@@ -24,7 +24,7 @@ proptest! {
         parts in 1usize..8,
     ) {
         let ds = dataset(seed, 4, 16);
-        let out = partition_iid(&ds, parts, &mut SmallRng64::new(seed + 1));
+        let out = partition_iid(&ds, parts, &mut SmallRng64::new(seed + 1)).unwrap();
         prop_assert_eq!(out.len(), parts);
         let total: usize = out.iter().map(|p| p.len()).sum();
         prop_assert_eq!(total, ds.len());
@@ -40,7 +40,7 @@ proptest! {
         alpha_x10 in 1u32..50,
     ) {
         let ds = dataset(seed, 5, 12);
-        let out = partition_dirichlet(&ds, parts, alpha_x10 as f64 / 10.0, &mut SmallRng64::new(seed));
+        let out = partition_dirichlet(&ds, parts, alpha_x10 as f64 / 10.0, &mut SmallRng64::new(seed)).unwrap();
         prop_assert_eq!(out.iter().map(|p| p.len()).sum::<usize>(), ds.len());
         // Every example's class space is preserved.
         for p in &out {
@@ -55,7 +55,7 @@ proptest! {
         cpp in 1usize..4,
     ) {
         let ds = dataset(seed, 6, 10);
-        let out = partition_shards(&ds, parts, cpp, &mut SmallRng64::new(seed));
+        let out = partition_shards(&ds, parts, cpp, &mut SmallRng64::new(seed)).unwrap();
         for p in &out {
             let mut cls: Vec<usize> = p.labels().to_vec();
             cls.sort_unstable();
@@ -68,7 +68,7 @@ proptest! {
     fn confusion_levels_all_partition_completely(seed in 0u64..50) {
         let ds = dataset(seed, 4, 12);
         for level in ConfusionLevel::all() {
-            let out = partition_confusion(&ds, 4, level, &mut SmallRng64::new(seed));
+            let out = partition_confusion(&ds, 4, level, &mut SmallRng64::new(seed)).unwrap();
             prop_assert_eq!(out.iter().map(|p| p.len()).sum::<usize>(), ds.len());
         }
     }

@@ -89,6 +89,22 @@ pub enum Payload {
         /// Aggregated importance scores.
         values: Vec<f32>,
     },
+    /// Edge → device (online re-customization): a structural variant
+    /// delta that re-personalizes a deployed header after drift, charged
+    /// at the delta's encoded size instead of a cold-start deploy.
+    RecustomizeDelta {
+        /// Re-customization round this delta belongs to (0-based); part
+        /// of the routing header, see
+        /// [`Payload::ImportanceUpload::round`].
+        round: usize,
+        /// Parameters the fresh head would ship dense (the cold-start
+        /// fallback estimate, 4 bytes each).
+        param_count: u64,
+        /// Measured `VariantDelta::bytes()` when the delta ships from
+        /// the content-addressed model store; `None` falls back to the
+        /// `4·param_count` estimate.
+        measured_bytes: Option<u64>,
+    },
     /// Device → cloud (centralized baseline only): raw training data.
     RawDataUpload {
         /// Sample count.
@@ -139,6 +155,11 @@ impl Payload {
                 } => 8 + 2 * tokens.len() as u64 + measured_bytes.unwrap_or(4 * param_count),
                 Payload::ImportanceUpload { values, .. }
                 | Payload::PersonalizedImportance { values, .. } => 4 * values.len() as u64,
+                Payload::RecustomizeDelta {
+                    param_count,
+                    measured_bytes,
+                    ..
+                } => measured_bytes.unwrap_or(4 * param_count),
                 Payload::RawDataUpload {
                     samples,
                     bytes_per_sample,
@@ -153,7 +174,8 @@ impl Payload {
         match self {
             Payload::HeaderSpec { .. }
             | Payload::ImportanceUpload { .. }
-            | Payload::PersonalizedImportance { .. } => LinkClass::DeviceEdge,
+            | Payload::PersonalizedImportance { .. }
+            | Payload::RecustomizeDelta { .. } => LinkClass::DeviceEdge,
             // Attribute reports and backbone weights cross the WAN; raw
             // data (centralized baseline) goes straight to the cloud;
             // control acks are charged at the coordinator tier.
@@ -172,6 +194,7 @@ impl Payload {
             Payload::HeaderSpec { .. } => "header-spec",
             Payload::ImportanceUpload { .. } => "importance-upload",
             Payload::PersonalizedImportance { .. } => "personalized-importance",
+            Payload::RecustomizeDelta { .. } => "recustomize-delta",
             Payload::RawDataUpload { .. } => "raw-data-upload",
             Payload::Ack => "ack",
         }
@@ -264,6 +287,26 @@ mod tests {
             measured_bytes: Some(64),
         };
         assert_eq!(hs.wire_bytes(), 16 + 8 + 24 + 64);
+    }
+
+    #[test]
+    fn recustomize_delta_rides_the_lan_at_delta_size() {
+        // Without a store measurement, the cold-start dense estimate.
+        let dense = Payload::RecustomizeDelta {
+            round: 3,
+            param_count: 250,
+            measured_bytes: None,
+        };
+        assert_eq!(dense.wire_bytes(), 16 + 1000);
+        // With a measured variant delta, the ledger charges the delta.
+        let delta = Payload::RecustomizeDelta {
+            round: 3,
+            param_count: 250,
+            measured_bytes: Some(72),
+        };
+        assert_eq!(delta.wire_bytes(), 16 + 72);
+        assert_eq!(delta.link_class(), LinkClass::DeviceEdge);
+        assert_eq!(delta.kind(), "recustomize-delta");
     }
 
     #[test]

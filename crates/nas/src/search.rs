@@ -411,7 +411,7 @@ mod tests {
     #[test]
     fn quick_search_finds_a_working_header() {
         let mut rng = SmallRng64::new(0);
-        let ds = cifar100_like(&SyntheticSpec::tiny().with_per_class(12), &mut rng);
+        let ds = cifar100_like(&SyntheticSpec::tiny().with_per_class(12), &mut rng).unwrap();
         let (train, val) = ds.split(0.7, &mut rng);
         let cfg = VitConfig::tiny(ds.num_classes());
         let mut ps = ParamSet::new();
@@ -436,7 +436,7 @@ mod tests {
     #[test]
     fn random_search_returns_valid_architecture() {
         let mut rng = SmallRng64::new(4);
-        let ds = cifar100_like(&SyntheticSpec::tiny().with_per_class(12), &mut rng);
+        let ds = cifar100_like(&SyntheticSpec::tiny().with_per_class(12), &mut rng).unwrap();
         let (train, val) = ds.split(0.7, &mut rng);
         let cfg = VitConfig::tiny(ds.num_classes());
         let mut ps = ParamSet::new();
@@ -469,7 +469,7 @@ mod tests {
         // Train shared params for several rounds and verify a fixed
         // child's loss decreases.
         let mut rng = SmallRng64::new(1);
-        let ds = cifar100_like(&SyntheticSpec::tiny().with_per_class(12), &mut rng);
+        let ds = cifar100_like(&SyntheticSpec::tiny().with_per_class(12), &mut rng).unwrap();
         let cfg = VitConfig::tiny(ds.num_classes());
         let mut ps = ParamSet::new();
         let vit = Vit::new(&mut ps, &cfg, &mut rng);

@@ -509,6 +509,144 @@ mod tests {
     }
 
     #[test]
+    fn hot_swap_serves_the_new_head_bit_identically_to_a_fresh_build() {
+        let mut store = tiny_store(4);
+        let device = 1;
+        let requests = sample_requests(&store, 24);
+        let serve = |s: &VariantStore| {
+            let engine = BatchEngine::new(s, ExitPolicy::always());
+            let batch: Vec<Request> = requests
+                .iter()
+                .filter(|r| r.device == device)
+                .cloned()
+                .collect();
+            let mut g = Graph::new();
+            engine.serve_batch(&mut g, &batch)
+        };
+        let before = serve(&store);
+
+        // Re-personalize the device's head the way the online Phase 2-2
+        // refinement would: same classes, nudged weights.
+        let (classes, fresh) = {
+            let v = store.device(device);
+            let mut fresh = ParamSet::new();
+            for id in v.params.ids() {
+                let src = v.params.value(id);
+                let data: Vec<f32> = src.data().iter().map(|&x| x + 0.125).collect();
+                let nid = fresh.add(
+                    v.params.name(id),
+                    acme_tensor::Array::from_vec(data, src.shape()).unwrap(),
+                );
+                fresh.set_trainable(nid, v.params.is_trainable(id));
+            }
+            (v.classes.clone(), fresh)
+        };
+        let cluster = store.device(device).cluster;
+        let mut blobs = ModelStore::in_memory();
+        let backbone_hash = blobs.put_params(&store.clusters()[cluster].params).unwrap();
+        let delta = VariantDelta::encode(
+            &store.clusters()[cluster].params,
+            backbone_hash,
+            &classes,
+            &fresh,
+        );
+        store.hot_swap(device, delta).unwrap();
+
+        // The swapped head is bitwise the re-personalized ParamSet.
+        let v = store.device(device);
+        assert_eq!(v.classes, classes);
+        for (x, y) in fresh.ids().zip(v.params.ids()) {
+            assert_eq!(fresh.name(x), v.params.name(y));
+            for (p, q) in fresh.value(x).data().iter().zip(v.params.value(y).data()) {
+                assert_eq!(p.to_bits(), q.to_bits());
+            }
+        }
+
+        // Serving picks the new head up immediately...
+        let after = serve(&store);
+        assert!(
+            before.iter().zip(&after).any(|(a, b)| a
+                .logits
+                .iter()
+                .zip(&b.logits)
+                .any(|(p, q)| p != q)),
+            "swapped head must change served logits"
+        );
+        // ...and is bit-identical to a store freshly built from blobs
+        // containing the swapped variant.
+        let mut blobs = ModelStore::in_memory();
+        let root = store.persist(&mut blobs).unwrap();
+        let restored = VariantStore::from_store(&blobs, root).unwrap();
+        let rebuilt = serve(&restored);
+        assert_eq!(after.len(), rebuilt.len());
+        for (x, y) in after.iter().zip(&rebuilt) {
+            assert_eq!(x.exit, y.exit);
+            assert_eq!(x.class, y.class);
+            for (p, q) in x.logits.iter().zip(&y.logits) {
+                assert_eq!(p.to_bits(), q.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn hot_swap_fails_closed_on_a_mismatched_delta() {
+        use acme_store::DeltaOp;
+        let mut store = tiny_store(2);
+        let device = 0;
+        let requests = sample_requests(&store, 8);
+        let serve = |s: &VariantStore| {
+            let engine = BatchEngine::new(s, ExitPolicy::always());
+            let batch: Vec<Request> = requests
+                .iter()
+                .filter(|r| r.device == device)
+                .cloned()
+                .collect();
+            let mut g = Graph::new();
+            engine.serve_batch(&mut g, &batch)
+        };
+        let before = serve(&store);
+
+        // Odd op count: heads come in (w, b) pairs.
+        let odd = VariantDelta {
+            backbone: ContentHash([0; 16]),
+            classes: vec![0, 1],
+            ops: vec![DeltaOp::Same {
+                name: "exit0.head.w".into(),
+                trainable: true,
+            }],
+        };
+        assert!(matches!(
+            store.hot_swap(device, odd),
+            Err(StoreError::Mismatch(_))
+        ));
+
+        // A delta referencing a parameter this backbone does not have.
+        let wrong = VariantDelta {
+            backbone: ContentHash([0; 16]),
+            classes: vec![0, 1],
+            ops: vec![
+                DeltaOp::Same {
+                    name: "no.such.param".into(),
+                    trainable: true,
+                },
+                DeltaOp::Same {
+                    name: "also.missing".into(),
+                    trainable: true,
+                },
+            ],
+        };
+        assert!(store.hot_swap(device, wrong).is_err());
+
+        // The old variant keeps serving, bit for bit.
+        let after = serve(&store);
+        for (x, y) in before.iter().zip(&after) {
+            for (p, q) in x.logits.iter().zip(&y.logits) {
+                assert_eq!(p.to_bits(), q.to_bits());
+            }
+        }
+    }
+
+    #[test]
     fn persist_is_deterministic_across_thread_counts() {
         let store = tiny_store(9);
         let mut roots = Vec::new();

@@ -12,7 +12,7 @@
 use std::sync::OnceLock;
 
 use acme_nn::{Activation, ParamId, ParamSet};
-use acme_store::VariantDelta;
+use acme_store::{StoreError, VariantDelta};
 use acme_tensor::{Array, Graph, Precision, SmallRng64, Var};
 use acme_vit::{MultiExitVit, Vit, VitConfig};
 use rand::RngCore;
@@ -423,6 +423,38 @@ impl VariantStore {
     /// Panics when `device` is out of range.
     pub fn cluster_of(&self, device: usize) -> &ClusterModel {
         &self.clusters[self.slots[device].cluster]
+    }
+
+    /// Hot-swaps `device`'s variant to the re-personalized head
+    /// described by `delta` (online re-customization after drift). The
+    /// delta is applied against the device's current cluster backbone —
+    /// exactly the materialization path a store loaded from blobs runs —
+    /// so the swapped variant is bit-identical to a fresh build from the
+    /// same delta. The old head is dropped; its pack-cache entries are
+    /// keyed by the old `ParamSet`'s pack idents and simply go cold, so
+    /// no stale packed weights can leak into the new head's products.
+    ///
+    /// # Errors
+    ///
+    /// Fails closed (the old variant keeps serving) when the delta does
+    /// not match the backbone or its ops do not come in per-exit
+    /// `(w, b)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `device` is out of range.
+    pub fn hot_swap(&mut self, device: usize, delta: VariantDelta) -> Result<(), StoreError> {
+        let cluster = self.slots[device].cluster;
+        if !delta.ops.len().is_multiple_of(2) {
+            return Err(StoreError::Mismatch(format!(
+                "variant delta has {} ops; exit heads come in (w, b) pairs",
+                delta.ops.len()
+            )));
+        }
+        let params = delta.apply(&self.clusters[cluster].params)?;
+        let variant = device_variant_from_params(cluster, &delta, params);
+        self.slots[device] = VariantSlot::materialized(cluster, variant);
+        Ok(())
     }
 
     /// Input shape `[channels, image, image]` every request must carry.

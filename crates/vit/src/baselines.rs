@@ -471,7 +471,7 @@ mod tests {
     fn all_baselines_build_and_forward() {
         let mut rng = SmallRng64::new(0);
         let spec = SyntheticSpec::tiny().with_classes(5);
-        let ds = cifar100_like(&spec, &mut rng);
+        let ds = cifar100_like(&spec, &mut rng).unwrap();
         let batch = ds.sample(3, &mut rng).as_batch();
         for kind in BaselineKind::all() {
             let mut ps = ParamSet::new();
@@ -506,7 +506,7 @@ mod tests {
     #[test]
     fn one_baseline_trains_above_chance() {
         let mut rng = SmallRng64::new(2);
-        let ds = cifar100_like(&SyntheticSpec::tiny().with_per_class(16), &mut rng);
+        let ds = cifar100_like(&SyntheticSpec::tiny().with_per_class(16), &mut rng).unwrap();
         let mut ps = ParamSet::new();
         let model = BaselineKind::MobileVit.build(&mut ps, 8, 1, ds.num_classes(), &mut rng);
         fit(

@@ -150,7 +150,7 @@ mod tests {
     #[test]
     fn distillation_reduces_loss_and_transfers_signal() {
         let mut rng = SmallRng64::new(0);
-        let ds = cifar100_like(&SyntheticSpec::tiny().with_per_class(16), &mut rng);
+        let ds = cifar100_like(&SyntheticSpec::tiny().with_per_class(16), &mut rng).unwrap();
         let cfg = VitConfig::tiny(ds.num_classes());
         let mut tps = ParamSet::new();
         let teacher = Vit::new(&mut tps, &cfg, &mut rng);
@@ -197,7 +197,7 @@ mod tests {
     #[should_panic(expected = "width mismatch")]
     fn rejects_mismatched_width() {
         let mut rng = SmallRng64::new(0);
-        let ds = cifar100_like(&SyntheticSpec::tiny(), &mut rng);
+        let ds = cifar100_like(&SyntheticSpec::tiny(), &mut rng).unwrap();
         let cfg = VitConfig::tiny(ds.num_classes());
         let mut tps = ParamSet::new();
         let teacher = Vit::new(&mut tps, &cfg, &mut rng);

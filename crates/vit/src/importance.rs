@@ -142,7 +142,7 @@ mod tests {
     #[test]
     fn scores_have_expected_shape_and_are_nonnegative() {
         let mut rng = SmallRng64::new(0);
-        let ds = cifar100_like(&SyntheticSpec::tiny(), &mut rng);
+        let ds = cifar100_like(&SyntheticSpec::tiny(), &mut rng).unwrap();
         let cfg = VitConfig::tiny(ds.num_classes());
         let mut ps = ParamSet::new();
         let vit = Vit::new(&mut ps, &cfg, &mut rng);
@@ -168,7 +168,7 @@ mod tests {
     #[test]
     fn scoring_is_deterministic_under_seed() {
         let mut rng = SmallRng64::new(1);
-        let ds = cifar100_like(&SyntheticSpec::tiny(), &mut rng);
+        let ds = cifar100_like(&SyntheticSpec::tiny(), &mut rng).unwrap();
         let cfg = VitConfig::tiny(ds.num_classes());
         let mut ps = ParamSet::new();
         let vit = Vit::new(&mut ps, &cfg, &mut SmallRng64::new(5));

@@ -26,7 +26,7 @@
 //! use acme_data::{cifar100_like, SyntheticSpec};
 //!
 //! let mut rng = SmallRng64::new(0);
-//! let ds = cifar100_like(&SyntheticSpec::tiny(), &mut rng);
+//! let ds = cifar100_like(&SyntheticSpec::tiny(), &mut rng).unwrap();
 //! let cfg = VitConfig::tiny(ds.num_classes());
 //! let mut ps = ParamSet::new();
 //! let vit = Vit::new(&mut ps, &cfg, &mut rng);

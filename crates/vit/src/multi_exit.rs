@@ -254,7 +254,7 @@ mod tests {
 
     fn setup() -> (Vit, ParamSet, Dataset, SmallRng64) {
         let mut rng = SmallRng64::new(0);
-        let ds = cifar100_like(&SyntheticSpec::tiny().with_per_class(24), &mut rng);
+        let ds = cifar100_like(&SyntheticSpec::tiny().with_per_class(24), &mut rng).unwrap();
         let cfg = VitConfig::tiny(ds.num_classes());
         let mut ps = ParamSet::new();
         let vit = Vit::new(&mut ps, &cfg, &mut rng);

@@ -9,7 +9,7 @@ use proptest::prelude::*;
 
 fn setup(seed: u64) -> (Vit, ParamSet, acme_data::Dataset, SmallRng64) {
     let mut rng = SmallRng64::new(seed);
-    let ds = cifar100_like(&SyntheticSpec::tiny(), &mut rng);
+    let ds = cifar100_like(&SyntheticSpec::tiny(), &mut rng).unwrap();
     let cfg = VitConfig::tiny(ds.num_classes());
     let mut ps = ParamSet::new();
     let vit = Vit::new(&mut ps, &cfg, &mut rng);

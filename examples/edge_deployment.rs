@@ -50,7 +50,7 @@ fn main() {
         per_class: if quick { 10 } else { 25 },
         ..SyntheticSpec::cifar()
     };
-    let ds = cifar100_like(&spec, &mut rng);
+    let ds = cifar100_like(&spec, &mut rng).expect("valid spec");
     let (train, val) = ds.split(0.8, &mut rng);
 
     // Cloud: train the reference model and derive the candidate pool.

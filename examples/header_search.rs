@@ -24,7 +24,7 @@ fn main() {
         noise: 0.6,
         ..SyntheticSpec::cifar()
     };
-    let ds = cifar100_like(&spec, &mut rng);
+    let ds = cifar100_like(&spec, &mut rng).expect("valid spec");
     let (train, test) = ds.split(0.8, &mut rng);
 
     // A trained backbone stands in for the cloud-assigned δ(θ0, w, d).

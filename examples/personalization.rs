@@ -37,7 +37,7 @@ fn main() {
         noise: 0.5,
         ..SyntheticSpec::cifar()
     };
-    let ds = cifar100_like(&spec, &mut rng);
+    let ds = cifar100_like(&spec, &mut rng).expect("valid spec");
 
     // Fig. 10 grouping: devices 0-2 on classes 0..5, devices 3-4 on 5..10.
     let group_a = by_classes(&ds, &[0, 1, 2, 3, 4]);

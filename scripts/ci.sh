@@ -148,6 +148,49 @@ print(f"store OK: {len(rows)} rows, "
 PY
 rm -f "$STORE_SMOKE_OUT"
 
+step "drift smoke (online re-customization under a wall-clock ceiling)"
+# One strong-drift fleet through the full online loop: per-window drift
+# statistics, sliding-window detection, header-only refit against the
+# frozen backbone, and a structural delta shipped over the metered
+# network. The bin asserts fleet-wide detection, deltas <= 25% of a
+# cold-start redeploy, and accuracy recovery. Writes to a scratch path
+# to leave the committed full-sweep BENCH_drift.json alone, then
+# validates the JSON shape here.
+DRIFT_SMOKE_OUT="$(mktemp -t acme-drift-smoke.XXXXXX.json)"
+cargo run --release -p acme-bench --bin drift "${CARGO_FLAGS[@]}" -- \
+    --smoke --out "$DRIFT_SMOKE_OUT"
+python3 - "$DRIFT_SMOKE_OUT" <<'PY'
+import json, sys
+rows = json.load(open(sys.argv[1]))
+assert rows, "drift sweep emitted no rows"
+keys = {"bench", "magnitude", "fleet_devices", "windows", "onset",
+        "drifted_devices", "mean_detection_latency", "total_delta_bytes",
+        "total_cold_start_bytes", "transfer_ratio",
+        "mean_accuracy_before", "mean_accuracy_at_detection",
+        "mean_accuracy_final", "ledger_bytes", "wall_s"}
+for r in rows:
+    assert set(r) == keys, f"row keys drifted: {sorted(set(r) ^ keys)}"
+    assert r["bench"] == "drift"
+    assert 0 <= r["drifted_devices"] <= r["fleet_devices"]
+strong = [r for r in rows if r["magnitude"] >= 0.9]
+assert strong, "smoke grid lost its strong-drift row"
+for r in strong:
+    assert r["drifted_devices"] == r["fleet_devices"], \
+        "strong drift was not detected fleet-wide"
+    assert r["mean_detection_latency"] is not None
+    assert 0 < r["total_delta_bytes"] < r["total_cold_start_bytes"]
+    assert r["transfer_ratio"] <= 0.25, \
+        f"re-customization cost {100 * r['transfer_ratio']:.1f}% of cold start"
+    assert r["mean_accuracy_final"] > r["mean_accuracy_at_detection"], \
+        "adaptation did not improve on the stale header"
+    # Ledger = delta payloads + the 16-byte routing header per message.
+    assert r["ledger_bytes"] == r["total_delta_bytes"] + 16 * r["drifted_devices"]
+print(f"drift OK: {len(rows)} rows, "
+      f"transfer ratio {min(r['transfer_ratio'] for r in strong):.3f}, "
+      f"recovery {max(r['mean_accuracy_final'] for r in strong):.3f}")
+PY
+rm -f "$DRIFT_SMOKE_OUT"
+
 step "observability smoke (fault-injected trace -> acme-obs-trace-v1)"
 # Run the fault-injected example with tracing on and validate the
 # exported document: per-round protocol spans, at least one retry and

@@ -11,7 +11,7 @@ use acme_vit::{DistillConfig, Vit, VitConfig};
 
 fn pool() -> Vec<acme::CandidateModel> {
     let mut rng = SmallRng64::new(0);
-    let ds = cifar100_like(&SyntheticSpec::tiny().with_per_class(12), &mut rng);
+    let ds = cifar100_like(&SyntheticSpec::tiny().with_per_class(12), &mut rng).unwrap();
     let (train, val) = ds.split(0.7, &mut rng);
     let cfg = VitConfig::tiny(ds.num_classes());
     let mut ps = ParamSet::new();

@@ -25,11 +25,11 @@ proptest! {
         // Guard against all-zero histograms.
         p[0] += 1.0;
         q[0] += 1.0;
-        let dpq = wasserstein_1d_hist(&p, &q);
-        let dqp = wasserstein_1d_hist(&q, &p);
+        let dpq = wasserstein_1d_hist(&p, &q).unwrap();
+        let dqp = wasserstein_1d_hist(&q, &p).unwrap();
         prop_assert!(dpq >= 0.0);
         prop_assert!((dpq - dqp).abs() < 1e-9, "symmetry: {dpq} vs {dqp}");
-        prop_assert!(wasserstein_1d_hist(&p, &p) < 1e-12);
+        prop_assert!(wasserstein_1d_hist(&p, &p).unwrap() < 1e-12);
     }
 
     #[test]
@@ -45,9 +45,9 @@ proptest! {
         p[0] += 1.0;
         q[0] += 1.0;
         r[0] += 1.0;
-        let pq = wasserstein_1d_hist(&p, &q);
-        let pr = wasserstein_1d_hist(&p, &r);
-        let rq = wasserstein_1d_hist(&r, &q);
+        let pq = wasserstein_1d_hist(&p, &q).unwrap();
+        let pr = wasserstein_1d_hist(&p, &r).unwrap();
+        let rq = wasserstein_1d_hist(&r, &q).unwrap();
         prop_assert!(pq <= pr + rq + 1e-9);
     }
 
@@ -57,7 +57,7 @@ proptest! {
         shift in -3.0f32..3.0,
     ) {
         let ys: Vec<f32> = xs.iter().map(|&x| x + shift).collect();
-        let d = wasserstein_1d_samples(&xs, &ys);
+        let d = wasserstein_1d_samples(&xs, &ys).unwrap();
         prop_assert!((d - shift.abs() as f64) < 1e-3, "shift {shift} -> distance {d}");
     }
 
@@ -71,10 +71,10 @@ proptest! {
         q.truncate(len);
         p[0] += 1.0;
         q[0] += 1.0;
-        let d = js_divergence(&p, &q);
+        let d = js_divergence(&p, &q).unwrap();
         prop_assert!(d >= -1e-12);
         prop_assert!(d <= (2.0f64).ln() + 1e-9);
-        prop_assert!((d - js_divergence(&q, &p)).abs() < 1e-9);
+        prop_assert!((d - js_divergence(&q, &p).unwrap()).abs() < 1e-9);
     }
 
     #[test]
@@ -87,7 +87,7 @@ proptest! {
         let sim: Vec<Vec<f64>> = (0..n)
             .map(|i| (0..n).map(|j| if i == j { 1.0 } else { 0.4 }).collect())
             .collect();
-        let weights = normalize_similarity_with_temperature(&sim, tau);
+        let weights = normalize_similarity_with_temperature(&sim, tau).unwrap();
         for device in 0..n {
             let fused = aggregate_importance(&sets, &weights, device);
             let lo = sets.iter().map(|s| s[0]).fold(f64::INFINITY, f64::min);
